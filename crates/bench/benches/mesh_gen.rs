@@ -1,0 +1,24 @@
+//! Criterion benches for mesh generation and graph export.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tempart_mesh::{GeneratorConfig, MeshCase};
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mesh/generate");
+    group.sample_size(10);
+    for case in MeshCase::ALL {
+        group.bench_function(BenchmarkId::from_parameter(case.name()), |b| {
+            b.iter(|| black_box(case.generate(&GeneratorConfig { base_depth: 4 })))
+        });
+    }
+    group.finish();
+}
+
+fn bench_to_graph(c: &mut Criterion) {
+    let mesh = MeshCase::Cylinder.generate(&GeneratorConfig { base_depth: 4 });
+    c.bench_function("mesh/to-graph", |b| b.iter(|| black_box(mesh.to_graph())));
+}
+
+criterion_group!(benches, bench_generators, bench_to_graph);
+criterion_main!(benches);

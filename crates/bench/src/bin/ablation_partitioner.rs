@@ -1,0 +1,105 @@
+//! Ablation: which parts of the multilevel machinery earn their keep?
+//!
+//! Sweeps the partitioner's knobs on the MC_TL instance the paper cares
+//! about (CYLINDER, 64 domains) and reports quality + wall time per setting:
+//! FM passes (0 = no refinement), initial-bisection tries, coarsest-graph
+//! size, and recursive-bisection vs k-way-refined schemes.
+//!
+//! Run: `cargo run -p tempart-bench --release --bin ablation_partitioner [--depth N]`
+
+use std::time::Instant;
+use tempart_bench::{rule, ExpOptions};
+use tempart_core::report::table;
+use tempart_core::{strategy_weights, PartitionStrategy};
+use tempart_graph::PartitionQuality;
+use tempart_mesh::MeshCase;
+use tempart_partition::{partition_graph, PartitionConfig, Scheme};
+
+fn main() {
+    let opts = ExpOptions::from_args();
+    let mesh = opts.mesh(MeshCase::Cylinder);
+    let (w, ncon) = strategy_weights(&mesh, PartitionStrategy::McTl);
+    let g = mesh.to_graph().with_vertex_weights(w, ncon);
+    let n_domains = 64;
+    println!(
+        "{}",
+        rule("Ablation — multilevel partitioner knobs (CYLINDER, MC_TL, 64 dom)")
+    );
+
+    let base = PartitionConfig::new(n_domains)
+        .with_ub(1.10)
+        .with_seed(opts.seed);
+    let variants: Vec<(&str, PartitionConfig)> = vec![
+        ("baseline", base.clone()),
+        (
+            "no FM refinement",
+            PartitionConfig {
+                refine_passes: 0,
+                ..base.clone()
+            },
+        ),
+        (
+            "1 refine pass",
+            PartitionConfig {
+                refine_passes: 1,
+                ..base.clone()
+            },
+        ),
+        (
+            "1 initial try",
+            PartitionConfig {
+                initial_tries: 1,
+                ..base.clone()
+            },
+        ),
+        (
+            "coarsen to 40",
+            PartitionConfig {
+                coarsen_to: 40,
+                ..base.clone()
+            },
+        ),
+        (
+            "coarsen to 500",
+            PartitionConfig {
+                coarsen_to: 500,
+                ..base.clone()
+            },
+        ),
+        (
+            "kway-refined",
+            base.clone().with_scheme(Scheme::KWayRefined),
+        ),
+        (
+            "multilevel-kway",
+            base.clone().with_scheme(Scheme::MultilevelKWay),
+        ),
+    ];
+
+    let mut rows = Vec::new();
+    for (name, cfg) in variants {
+        let t0 = Instant::now();
+        let part = partition_graph(&g, &cfg);
+        let dt = t0.elapsed();
+        let q = PartitionQuality::measure(&g, &part, n_domains);
+        rows.push(vec![
+            name.to_string(),
+            q.edge_cut.to_string(),
+            format!("{:.3}", q.max_imbalance()),
+            q.part_components.saturating_sub(n_domains).to_string(),
+            format!("{dt:.2?}"),
+        ]);
+    }
+    println!(
+        "{}",
+        table(
+            &["variant", "edge-cut", "worst-level-imb", "extra-comps", "time"],
+            &rows
+        )
+    );
+    println!(
+        "Reading guide: dropping FM refinement inflates the cut; fewer initial tries\n\
+         raise variance; a larger coarsest graph buys quality for time. The paper's\n\
+         choice (recursive bisection) should match or beat k-way on these meshes."
+    );
+}

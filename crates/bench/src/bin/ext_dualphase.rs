@@ -1,0 +1,98 @@
+//! Section VII perspective: dual-phase partitioning — MC_TL across
+//! processes, then SC_OC within each process — as a compromise between
+//! performance (per-subiteration balance) and communication volume.
+//!
+//! The compromise is *configuration-dependent*: dual-phase keeps every
+//! process active in every subiteration (outer MC_TL) but concentrates each
+//! level into few of the process's inner domains (inner SC_OC), so its win
+//! over SC_OC grows as cores-per-process shrinks or inner granularity rises.
+//! The sweep below maps that region.
+//!
+//! Run: `cargo run -p tempart-bench --release --bin ext_dualphase [--depth N]`
+
+use tempart_bench::{rule, ExpOptions};
+use tempart_core::report::table;
+use tempart_core::{run_flusim, PartitionStrategy, PipelineConfig};
+use tempart_flusim::{ClusterConfig, Strategy};
+use tempart_mesh::MeshCase;
+
+fn main() {
+    let opts = ExpOptions::from_args();
+    println!(
+        "{}",
+        rule("Extension — dual-phase MC_TL→SC_OC compromise (16 processes)")
+    );
+
+    for case in [MeshCase::Cylinder, MeshCase::PprimeNozzle] {
+        let mesh = opts.mesh(case);
+        println!("{}:", case.name());
+        let mut rows = Vec::new();
+        for cores in [8usize, 32] {
+            let cluster = ClusterConfig::new(16, cores);
+            // Baselines at 128 domains.
+            let mut results = Vec::new();
+            let configs: Vec<(String, PartitionStrategy, usize)> = vec![
+                ("SC_OC".into(), PartitionStrategy::ScOc, 128),
+                ("MC_TL".into(), PartitionStrategy::McTl, 128),
+                (
+                    "DUAL(8/proc)".into(),
+                    PartitionStrategy::DualPhase {
+                        domains_per_process: 8,
+                    },
+                    128,
+                ),
+                (
+                    "DUAL(16/proc)".into(),
+                    PartitionStrategy::DualPhase {
+                        domains_per_process: 16,
+                    },
+                    256,
+                ),
+            ];
+            for (name, strategy, nd) in &configs {
+                let cfg = PipelineConfig {
+                    strategy: *strategy,
+                    n_domains: *nd,
+                    cluster,
+                    scheduling: Strategy::EagerFifo,
+                    seed: opts.seed,
+                };
+                let out = run_flusim(&mesh, &cfg);
+                results.push((name.clone(), out));
+            }
+            let sc = results[0].1.makespan();
+            for (name, out) in &results {
+                rows.push(vec![
+                    format!("16p x {cores}c"),
+                    name.clone(),
+                    out.makespan().to_string(),
+                    format!("{:.2}", sc as f64 / out.makespan() as f64),
+                    out.interprocess_cut.to_string(),
+                    out.quality.edge_cut.to_string(),
+                ]);
+            }
+        }
+        println!(
+            "{}",
+            table(
+                &[
+                    "cluster",
+                    "strategy",
+                    "makespan",
+                    "speedup vs SC_OC",
+                    "interproc-cut",
+                    "total edge-cut",
+                ],
+                &rows
+            )
+        );
+    }
+    println!(
+        "Reading guide: dual-phase matches MC_TL's *inter-process* cut (its process\n\
+         boundaries are the MC_TL split) while its *total* cut stays near SC_OC's —\n\
+         the intra-process remainder is shared-memory-cheap. Its makespan advantage\n\
+         over SC_OC appears when cores-per-process is moderate or inner granularity\n\
+         is raised; at 32 cores/process with 8 coarse inner domains the sparse\n\
+         subiterations cannot feed the cores and the advantage collapses."
+    );
+}

@@ -1,0 +1,134 @@
+//! Extension: heterogeneous nodes (the paper's index terms include
+//! "heterogeneous systems"). Half of the 16 processes have 32 cores, half 8
+//! (320 cores total).
+//!
+//! Four configurations:
+//!  1. SC_OC, capacity-blind (128 equal domains, 8 per process);
+//!  2. MC_TL, capacity-blind (same geometry);
+//!  3. MC_TL, capacity-aware *mapping*: equal-size domains, but each process
+//!     receives a number of domains proportional to its cores (32-core
+//!     processes take 8 domains, 8-core processes take 2);
+//!  4. MC_TL, capacity-aware *partitioning* (METIS `tpwgts`-style): 8
+//!     domains per process, but domains of big processes are 4× heavier.
+//!
+//! The contrast between 3 and 4 isolates a subtlety: task concurrency per
+//! domain is bounded (≈4 kinds/phase), so heavier domains only help if the
+//! process has cores to run them wider — more-but-equal domains is the
+//! safer capacity lever.
+//!
+//! Run: `cargo run -p tempart-bench --release --bin ext_hetero [--depth N]`
+
+use tempart_bench::{rule, ExpOptions};
+use tempart_core::report::table;
+use tempart_core::{strategy_weights, PartitionStrategy};
+use tempart_flusim::{simulate_heterogeneous, CommModel, Strategy};
+use tempart_mesh::MeshCase;
+use tempart_partition::{partition_graph, PartitionConfig};
+use tempart_taskgraph::{generate_taskgraph, DomainDecomposition, TaskGraphConfig};
+
+fn main() {
+    let opts = ExpOptions::from_args();
+    let mesh = opts.mesh(MeshCase::Cylinder);
+    let n_processes = 16usize;
+    let cores: Vec<usize> = (0..n_processes).map(|p| if p < 8 { 32 } else { 8 }).collect();
+    let total_cores: usize = cores.iter().sum();
+    println!(
+        "{}",
+        rule("Extension — heterogeneous nodes (8 x 32c + 8 x 8c)")
+    );
+
+    let partition_for = |strategy: PartitionStrategy,
+                         n_domains: usize,
+                         targets: Option<Vec<f64>>| {
+        let (w, ncon) = strategy_weights(&mesh, strategy);
+        let g = mesh.to_graph().with_vertex_weights(w, ncon);
+        let mut cfg = PartitionConfig::new(n_domains)
+            .with_ub(if ncon > 1 { 1.10 } else { 1.05 })
+            .with_seed(opts.seed);
+        if let Some(t) = targets {
+            cfg = cfg.with_targets(t);
+        }
+        partition_graph(&g, &cfg)
+    };
+    let run = |part: &[u32], n_domains: usize, process_of: &[usize]| {
+        let dd = DomainDecomposition::new(&mesh, part, n_domains);
+        let graph = generate_taskgraph(&mesh, &dd, &TaskGraphConfig::default());
+        simulate_heterogeneous(&graph, &cores, process_of, Strategy::EagerFifo, &CommModel::FREE)
+    };
+
+    let block_map = |n_domains: usize| -> Vec<usize> {
+        tempart_taskgraph::stats::block_process_map(n_domains, n_processes)
+    };
+    // Capacity-aware mapping: one equal-size domain per core.
+    let aware_counts: Vec<usize> = cores.clone();
+    let aware_total: usize = aware_counts.iter().sum();
+    let mut aware_map = Vec::with_capacity(aware_total);
+    for (p, &cnt) in aware_counts.iter().enumerate() {
+        aware_map.extend(std::iter::repeat_n(p, cnt));
+    }
+    // Capacity-aware tpwgts: 8 domains per process, domain weight ∝ cores.
+    let tp: Vec<f64> = (0..128)
+        .map(|d| cores[d / 8] as f64 / (8.0 * total_cores as f64))
+        .collect();
+
+    let mut rows = Vec::new();
+    let mut baseline = 0u64;
+    let configs: Vec<(&str, Vec<u32>, usize, Vec<usize>)> = vec![
+        (
+            "SC_OC blind (128 dom)",
+            partition_for(PartitionStrategy::ScOc, 128, None),
+            128,
+            block_map(128),
+        ),
+        (
+            "MC_TL blind (128 dom)",
+            partition_for(PartitionStrategy::McTl, 128, None),
+            128,
+            block_map(128),
+        ),
+        (
+            "MC_TL blind (320 dom)",
+            partition_for(PartitionStrategy::McTl, aware_total, None),
+            aware_total,
+            block_map(aware_total),
+        ),
+        (
+            "MC_TL aware mapping (320 dom)",
+            partition_for(PartitionStrategy::McTl, aware_total, None),
+            aware_total,
+            aware_map.clone(),
+        ),
+        (
+            "MC_TL aware tpwgts (128 dom)",
+            partition_for(PartitionStrategy::McTl, 128, Some(tp)),
+            128,
+            block_map(128),
+        ),
+    ];
+    for (name, part, nd, pmap) in configs {
+        let sim = run(&part, nd, &pmap);
+        if baseline == 0 {
+            baseline = sim.makespan;
+        }
+        let busy_total: u64 = sim.busy.iter().sum();
+        let idle = 1.0 - busy_total as f64 / (sim.makespan as f64 * total_cores as f64);
+        rows.push(vec![
+            name.to_string(),
+            sim.makespan.to_string(),
+            format!("{:.2}", baseline as f64 / sim.makespan as f64),
+            format!("{:.1}%", idle * 100.0),
+        ]);
+    }
+    println!(
+        "{}",
+        table(&["configuration", "makespan", "speedup", "idle"], &rows)
+    );
+    println!(
+        "Finding: MC_TL dominates SC_OC on the heterogeneous cluster too, but naive\n\
+         capacity-proportional work assignment does NOT beat capacity-blind MC_TL\n\
+         here — task granularity and cross-subiteration pipelining, not the raw\n\
+         per-subiteration barrier, bound the makespan once every process is active\n\
+         in every subiteration. Capacity awareness would need to reshape task\n\
+         granularity (smaller tasks on small nodes), not just cell counts."
+    );
+}

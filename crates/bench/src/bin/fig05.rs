@@ -1,0 +1,65 @@
+//! Figure 5: FLUSEPA vs FLUSIM — how close is the idealized simulator to a
+//! real execution? The paper observes the same scheduling patterns with a
+//! ~20% execution-time variance (FLUSIM is idealized: no communication or
+//! runtime overhead).
+//!
+//! Testbed substitution (this machine has a single core, see DESIGN.md):
+//! the "real execution" side is a *measured-cost replay* — one solver
+//! iteration runs the actual Euler flux/update kernels serially, each task's
+//! wall-clock duration is recorded, and the same DAG is re-simulated with
+//! those measured nanosecond costs. The idealized side is FLUSIM's abstract
+//! object-count costs. Both schedules run on the paper's Fig. 5 cluster
+//! (12 domains, 6 processes × 4 cores, SC_OC, PPRIME_NOZZLE).
+//!
+//! Run: `cargo run -p tempart-bench --release --bin fig05 [--depth N]`
+
+use tempart_bench::{measured_cost_graph, rule, ExpOptions};
+use tempart_core::report::pct;
+use tempart_core::{decompose, PartitionStrategy};
+use tempart_flusim::{ascii_gantt, simulate, ClusterConfig, Strategy};
+use tempart_mesh::MeshCase;
+use tempart_taskgraph::{
+    generate_taskgraph, stats::block_process_map, DomainDecomposition, TaskGraphConfig,
+};
+
+fn main() {
+    let opts = ExpOptions::from_args();
+    let mesh = opts.mesh(MeshCase::PprimeNozzle);
+    let n_domains = 12;
+    let cluster = ClusterConfig::new(6, 4);
+    let process_of = block_process_map(n_domains, 6);
+    println!(
+        "{}",
+        rule("Fig 5 — FLUSEPA (measured replay) vs FLUSIM (idealized)")
+    );
+
+    let part = decompose(&mesh, PartitionStrategy::ScOc, n_domains, opts.seed);
+    let dd = DomainDecomposition::new(&mesh, &part, n_domains);
+
+    // Idealized FLUSIM: abstract object-count costs.
+    let ideal_graph = generate_taskgraph(&mesh, &dd, &TaskGraphConfig::default());
+    let ideal = simulate(&ideal_graph, &cluster, &process_of, Strategy::EagerFifo);
+
+    // "FLUSEPA": the same DAG with measured kernel durations (ns).
+    let measured_graph = measured_cost_graph(&mesh, &part, n_domains);
+    let real = simulate(&measured_graph, &cluster, &process_of, Strategy::EagerFifo);
+
+    // Compare the two makespans after normalising the idealized one to the
+    // measured total work (the paper compares wall-clock traces directly;
+    // FLUSIM's unit is abstract).
+    let unit_ns = measured_graph.total_cost() as f64 / ideal_graph.total_cost() as f64;
+    let ideal_ns = ideal.makespan as f64 * unit_ns;
+    let gap = (real.makespan as f64 - ideal_ns).abs() / real.makespan as f64;
+
+    println!("measured  (\"FLUSEPA\") makespan : {:>12} ns", real.makespan);
+    println!("idealized (FLUSIM)    makespan : {:>12.0} ns-equivalent", ideal_ns);
+    println!("variance                      : {}  (paper: ~20%)", pct(gap));
+    println!("\nmeasured-replay trace:");
+    println!("{}", ascii_gantt(&measured_graph, &real.segments, 6, real.makespan, 96));
+    println!("idealized FLUSIM trace:");
+    println!("{}", ascii_gantt(&ideal_graph, &ideal.segments, 6, ideal.makespan, 96));
+    println!(
+        "The two traces must show the same qualitative pattern (same idle bands per\n\
+         subiteration); the % variance quantifies FLUSIM's idealization error."
+    );
+}

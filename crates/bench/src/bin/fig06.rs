@@ -1,0 +1,50 @@
+//! Figure 6: even with *unlimited* cores per process, SC_OC leaves whole
+//! processes inactive — the task-graph shape, not the scheduler, is the
+//! bottleneck.
+//!
+//! Configuration (paper): 64 MPI processes, 1 domain per process, unbounded
+//! cores, eager scheduling, CYLINDER, SC_OC.
+//!
+//! Run: `cargo run -p tempart-bench --release --bin fig06 [--depth N]`
+
+use tempart_bench::{mean, rule, ExpOptions};
+use tempart_core::{decompose, PartitionStrategy};
+use tempart_flusim::{ascii_gantt, simulate, ClusterConfig, Strategy};
+use tempart_mesh::MeshCase;
+use tempart_taskgraph::{generate_taskgraph, DomainDecomposition, TaskGraphConfig};
+
+fn main() {
+    let opts = ExpOptions::from_args();
+    let mesh = opts.mesh(MeshCase::Cylinder);
+    let n_domains = 64;
+    println!("{}", rule("Fig 6 — unbounded cores, SC_OC, 64 processes"));
+
+    let part = decompose(&mesh, PartitionStrategy::ScOc, n_domains, opts.seed);
+    let dd = DomainDecomposition::new(&mesh, &part, n_domains);
+    let graph = generate_taskgraph(&mesh, &dd, &TaskGraphConfig::default());
+    let cluster = ClusterConfig::unbounded(n_domains);
+    let process_of: Vec<usize> = (0..n_domains).collect();
+    let sim = simulate(&graph, &cluster, &process_of, Strategy::EagerFifo);
+
+    let inactivity = sim.process_inactivity();
+    let idle_mean = mean(&inactivity);
+    let idle_max = inactivity.iter().cloned().fold(0.0f64, f64::max);
+    let fully_busy = inactivity.iter().filter(|&&x| x < 0.05).count();
+
+    println!(
+        "makespan            : {} (critical path {})",
+        sim.makespan,
+        graph.critical_path()
+    );
+    println!("mean process idle   : {:.1}%", idle_mean * 100.0);
+    println!("max  process idle   : {:.1}%", idle_max * 100.0);
+    println!(
+        "processes <5% idle  : {fully_busy} of {n_domains} — idleness persists without any core limit"
+    );
+    println!("\ncomposite-process Gantt (digit = dominant subiteration, '.' = idle):");
+    println!("{}", ascii_gantt(&graph, &sim.segments, n_domains, sim.makespan, 100));
+    println!(
+        "Paper's reading: \"MPI processes, even in our ideal configuration, still exhibit\n\
+         periods of inactivity\" — the scheduling policy is not the cause."
+    );
+}

@@ -1,0 +1,45 @@
+//! Figure 9: SC_OC vs MC_TL execution traces on CYLINDER and CUBE —
+//! 128 domains on 16 processes × 32 cores. The paper reports "a clear visual
+//! representation of an acceleration factor of 2".
+//!
+//! Run: `cargo run -p tempart-bench --release --bin fig09 [--depth N]`
+
+use tempart_bench::{rule, tag, ExpOptions};
+use tempart_core::report::speedup;
+use tempart_core::{run_flusim, PartitionStrategy, PipelineConfig};
+use tempart_flusim::{ascii_gantt, ClusterConfig};
+use tempart_mesh::MeshCase;
+
+fn main() {
+    let opts = ExpOptions::from_args();
+    let cluster = ClusterConfig::new(16, 32);
+    println!("{}", rule("Fig 9 — 128 domains, 16 proc x 32 cores, eager"));
+
+    for case in [MeshCase::Cylinder, MeshCase::Cube] {
+        let mesh = opts.mesh(case);
+        let mut spans = Vec::new();
+        for strategy in [PartitionStrategy::ScOc, PartitionStrategy::McTl] {
+            let mut cfg = PipelineConfig::paper_default(strategy, 128);
+            cfg.seed = opts.seed;
+            let out = run_flusim(&mesh, &cfg);
+            println!(
+                "{} makespan={:>9}  idle={:>5.1}%  cut={:>7}  domains-components={}",
+                tag(case, strategy),
+                out.makespan(),
+                out.sim.idle_fraction(&cluster) * 100.0,
+                out.quality.edge_cut,
+                out.quality.part_components,
+            );
+            println!(
+                "{}",
+                ascii_gantt(&out.graph, &out.sim.segments, 16, out.sim.makespan, 96)
+            );
+            spans.push(out.makespan());
+        }
+        println!(
+            "{} speedup MC_TL over SC_OC: {}  (paper: ~2x)\n",
+            case.name(),
+            speedup(spans[0], spans[1])
+        );
+    }
+}

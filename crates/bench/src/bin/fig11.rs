@@ -1,0 +1,60 @@
+//! Figure 11: behaviour with respect to the number of domains —
+//! (a) performance ratio of MC_TL over SC_OC, (b) estimated inter-process
+//! communication volume. CYLINDER and CUBE, 16 processes × 32 cores.
+//!
+//! Expected shapes (paper): the ratio stays > 1 everywhere and *decreases*
+//! as domain count grows (finer granularity lets pipelining hide SC_OC's
+//! imbalance); MC_TL communicates more than SC_OC.
+//!
+//! Run: `cargo run -p tempart-bench --release --bin fig11 [--depth N]`
+
+use tempart_bench::{rule, ExpOptions};
+use tempart_core::report::table;
+use tempart_core::{run_flusim, PartitionStrategy, PipelineConfig};
+use tempart_mesh::MeshCase;
+
+fn main() {
+    let opts = ExpOptions::from_args();
+    let domain_counts = [16usize, 32, 64, 128, 256];
+    println!(
+        "{}",
+        rule("Fig 11 — MC_TL/SC_OC ratio and comm volume vs #domains")
+    );
+
+    for case in [MeshCase::Cylinder, MeshCase::Cube] {
+        let mesh = opts.mesh(case);
+        let mut rows = Vec::new();
+        for &nd in &domain_counts {
+            let mut res = Vec::new();
+            for strategy in [PartitionStrategy::ScOc, PartitionStrategy::McTl] {
+                let mut cfg = PipelineConfig::paper_default(strategy, nd);
+                cfg.seed = opts.seed;
+                res.push(run_flusim(&mesh, &cfg));
+            }
+            let ratio = res[0].makespan() as f64 / res[1].makespan() as f64;
+            rows.push(vec![
+                nd.to_string(),
+                res[0].makespan().to_string(),
+                res[1].makespan().to_string(),
+                format!("{ratio:.2}"),
+                res[0].interprocess_cut.to_string(),
+                res[1].interprocess_cut.to_string(),
+            ]);
+        }
+        println!("{}:", case.name());
+        println!(
+            "{}",
+            table(
+                &[
+                    "#domains",
+                    "SC_OC makespan",
+                    "MC_TL makespan",
+                    "ratio (11a)",
+                    "SC_OC ip-cut (11b)",
+                    "MC_TL ip-cut (11b)",
+                ],
+                &rows
+            )
+        );
+    }
+}

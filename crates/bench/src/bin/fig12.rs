@@ -1,0 +1,52 @@
+//! Figure 12: SC_OC vs MC_TL on PPRIME_NOZZLE within FLUSIM — same
+//! configuration as Fig. 5 (12 domains, 6 processes × 4 cores). The paper
+//! reports a "slightly smaller, but still considerable, improvement of
+//! around 20%" on this more intricate mesh.
+//!
+//! Run: `cargo run -p tempart-bench --release --bin fig12 [--depth N]`
+
+use tempart_bench::{rule, tag, ExpOptions};
+use tempart_core::report::pct;
+use tempart_core::{run_flusim, PartitionStrategy, PipelineConfig};
+use tempart_flusim::{ascii_gantt, ClusterConfig, Strategy};
+use tempart_mesh::MeshCase;
+
+fn main() {
+    let opts = ExpOptions::from_args();
+    let case = MeshCase::PprimeNozzle;
+    let mesh = opts.mesh(case);
+    let cluster = ClusterConfig::new(6, 4);
+    println!(
+        "{}",
+        rule("Fig 12 — PPRIME_NOZZLE, 12 domains, 6 proc x 4 cores (FLUSIM)")
+    );
+
+    let mut spans = Vec::new();
+    for strategy in [PartitionStrategy::ScOc, PartitionStrategy::McTl] {
+        let cfg = PipelineConfig {
+            strategy,
+            n_domains: 12,
+            cluster,
+            scheduling: Strategy::EagerFifo,
+            seed: opts.seed,
+        };
+        let out = run_flusim(&mesh, &cfg);
+        println!(
+            "{} makespan={:>9}  idle={:>5.1}%  interprocess-cut={}",
+            tag(case, strategy),
+            out.makespan(),
+            out.sim.idle_fraction(&cluster) * 100.0,
+            out.interprocess_cut
+        );
+        println!(
+            "{}",
+            ascii_gantt(&out.graph, &out.sim.segments, 6, out.sim.makespan, 96)
+        );
+        spans.push(out.makespan());
+    }
+    let gain = 1.0 - spans[1] as f64 / spans[0] as f64;
+    println!(
+        "execution-time reduction MC_TL vs SC_OC: {}  (paper: ~20%)",
+        pct(gain)
+    );
+}

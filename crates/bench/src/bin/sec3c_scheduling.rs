@@ -1,0 +1,71 @@
+//! Section III-C: is the scheduler the problem? The paper rules out the
+//! scheduling policy as the cause of idleness — any reasonable policy leaves
+//! the same gaps, because the task graph itself starves processes.
+//!
+//! This experiment runs the SC_OC task graph under four scheduling policies
+//! and compares them against simply switching the partitioning strategy to
+//! MC_TL (with the baseline eager policy).
+//!
+//! Run: `cargo run -p tempart-bench --release --bin sec3c_scheduling [--depth N]`
+
+use tempart_bench::{rule, ExpOptions};
+use tempart_core::report::table;
+use tempart_core::{decompose, PartitionStrategy};
+use tempart_flusim::{simulate, ClusterConfig, Strategy};
+use tempart_mesh::MeshCase;
+use tempart_taskgraph::{
+    generate_taskgraph, stats::block_process_map, DomainDecomposition, TaskGraphConfig,
+};
+
+fn main() {
+    let opts = ExpOptions::from_args();
+    let mesh = opts.mesh(MeshCase::Cylinder);
+    let n_domains = 128;
+    let cluster = ClusterConfig::new(16, 32);
+    let process_of = block_process_map(n_domains, 16);
+    println!(
+        "{}",
+        rule("Sec III-C — scheduling policy vs graph shape (CYLINDER)")
+    );
+
+    let graph_of = |strategy| {
+        let part = decompose(&mesh, strategy, n_domains, opts.seed);
+        let dd = DomainDecomposition::new(&mesh, &part, n_domains);
+        generate_taskgraph(&mesh, &dd, &TaskGraphConfig::default())
+    };
+    let sc_graph = graph_of(PartitionStrategy::ScOc);
+    let mc_graph = graph_of(PartitionStrategy::McTl);
+
+    let mut rows = Vec::new();
+    let policies = [
+        ("eager-fifo", Strategy::EagerFifo),
+        ("eager-lifo", Strategy::EagerLifo),
+        ("critical-path-first", Strategy::CriticalPathFirst),
+        ("smallest-first", Strategy::SmallestFirst),
+    ];
+    let mut best_sc = u64::MAX;
+    for (name, policy) in policies {
+        let sim = simulate(&sc_graph, &cluster, &process_of, policy);
+        best_sc = best_sc.min(sim.makespan);
+        rows.push(vec![
+            format!("SC_OC + {name}"),
+            sim.makespan.to_string(),
+            format!("{:.1}%", sim.idle_fraction(&cluster) * 100.0),
+        ]);
+    }
+    let mc = simulate(&mc_graph, &cluster, &process_of, Strategy::EagerFifo);
+    rows.push(vec![
+        "MC_TL + eager-fifo".to_string(),
+        mc.makespan.to_string(),
+        format!("{:.1}%", mc.idle_fraction(&cluster) * 100.0),
+    ]);
+    println!("{}", table(&["configuration", "makespan", "idle"], &rows));
+    let policy_gain = rows[0][1].parse::<f64>().unwrap() / best_sc as f64;
+    let strategy_gain = rows[0][1].parse::<f64>().unwrap() / mc.makespan as f64;
+    println!(
+        "best scheduling policy buys {:.0}% over eager; changing the *partitioning*\n\
+         buys {:.0}% — the graph shape, not the scheduler, is the lever (paper's §III-C).",
+        (policy_gain - 1.0) * 100.0,
+        (strategy_gain - 1.0) * 100.0
+    );
+}

@@ -1,0 +1,25 @@
+#![warn(missing_docs)]
+//! High-level API of the `tempart` workspace: partitioning strategies and the
+//! mesh → partition → task graph → execution pipeline.
+//!
+//! This crate packages the paper's contribution behind three strategy
+//! choices:
+//!
+//! * [`PartitionStrategy::ScOc`] — the baseline **S**ingle-**C**onstraint
+//!   **O**perating-**C**ost partitioning: each cell weighs `2^(τmax−τ)` and
+//!   the partitioner balances total weight (Section II-A of the paper);
+//! * [`PartitionStrategy::McTl`] — the contribution, **M**ulti-**C**onstraint
+//!   **T**emporal-**L**evel partitioning: each cell carries a one-hot vector
+//!   over temporal levels and every level is balanced independently
+//!   (Sections IV–V);
+//! * [`PartitionStrategy::DualPhase`] — the Section VII perspective: MC_TL
+//!   across processes, then SC_OC within each process's subdomain to recover
+//!   granularity with less communication.
+
+pub mod pipeline;
+pub mod report;
+pub mod strategy;
+
+pub use pipeline::{run_flusim, simulate_decomposition, FlusimOutcome, PipelineConfig};
+pub use strategy::{decompose, decompose_with_repair, strategy_weights, PartitionStrategy};
+pub use tempart_partition::Curve;

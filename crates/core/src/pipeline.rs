@@ -1,0 +1,194 @@
+//! The end-to-end experiment pipeline:
+//! mesh → strategy → domains → task graph → FLUSIM simulation.
+
+use crate::strategy::{decompose, PartitionStrategy};
+use tempart_flusim::{simulate, ClusterConfig, SimResult, Strategy};
+use tempart_graph::{PartId, PartitionQuality};
+use tempart_mesh::Mesh;
+use tempart_taskgraph::{
+    generate_taskgraph, stats::block_process_map, DomainDecomposition, TaskGraph, TaskGraphConfig,
+};
+
+/// Everything one FLUSIM experiment needs.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Partitioning strategy.
+    pub strategy: PartitionStrategy,
+    /// Number of extraction domains.
+    pub n_domains: usize,
+    /// Emulated cluster.
+    pub cluster: ClusterConfig,
+    /// Scheduling policy.
+    pub scheduling: Strategy,
+    /// Partitioner seed.
+    pub seed: u64,
+}
+
+impl PipelineConfig {
+    /// The configuration used by most of the paper's FLUSIM experiments:
+    /// 16 processes × 32 cores, eager scheduling.
+    pub fn paper_default(strategy: PartitionStrategy, n_domains: usize) -> Self {
+        Self {
+            strategy,
+            n_domains,
+            cluster: ClusterConfig::new(16, 32),
+            scheduling: Strategy::EagerFifo,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// Result bundle of one FLUSIM experiment.
+#[derive(Debug, Clone)]
+pub struct FlusimOutcome {
+    /// Per-cell domain assignment.
+    pub part: Vec<PartId>,
+    /// Partition quality of the decomposition (cut, volume, imbalance,
+    /// contiguity).
+    pub quality: PartitionQuality,
+    /// The generated task DAG.
+    pub graph: TaskGraph,
+    /// Domain → process mapping used.
+    pub process_of: Vec<usize>,
+    /// Simulation result (makespan, traces, activity).
+    pub sim: SimResult,
+    /// Estimated inter-process communication: cut edges whose endpoints'
+    /// domains live on different processes (the paper's Fig. 11b metric).
+    pub interprocess_cut: i64,
+}
+
+impl FlusimOutcome {
+    /// Simulated makespan.
+    pub fn makespan(&self) -> u64 {
+        self.sim.makespan
+    }
+}
+
+/// Generates the task graph and simulates a given decomposition on a
+/// cluster. Domains map onto processes in contiguous blocks.
+pub fn simulate_decomposition(
+    mesh: &Mesh,
+    part: &[PartId],
+    n_domains: usize,
+    cluster: &ClusterConfig,
+    scheduling: Strategy,
+) -> (TaskGraph, Vec<usize>, SimResult) {
+    let dd = DomainDecomposition::new(mesh, part, n_domains);
+    let graph = generate_taskgraph(mesh, &dd, &TaskGraphConfig::default());
+    let process_of = block_process_map(n_domains, cluster.n_processes);
+    let sim = simulate(&graph, cluster, &process_of, scheduling);
+    (graph, process_of, sim)
+}
+
+/// Runs the full pipeline: partition, generate, simulate, measure.
+pub fn run_flusim(mesh: &Mesh, config: &PipelineConfig) -> FlusimOutcome {
+    let part = decompose(mesh, config.strategy, config.n_domains, config.seed);
+    let cell_graph = mesh.to_graph();
+    let quality = PartitionQuality::measure(&cell_graph, &part, config.n_domains);
+    let (graph, process_of, sim) =
+        simulate_decomposition(mesh, &part, config.n_domains, &config.cluster, config.scheduling);
+
+    // Inter-process communication estimate: edges between cells whose
+    // domains sit on different processes.
+    let proc_of_cell: Vec<usize> = part.iter().map(|&d| process_of[d as usize]).collect();
+    let mut interprocess_cut = 0i64;
+    for v in 0..cell_graph.nvtx() as u32 {
+        for (u, w) in cell_graph.neighbors(v).zip(cell_graph.edge_weights(v)) {
+            if proc_of_cell[v as usize] != proc_of_cell[u as usize] {
+                interprocess_cut += i64::from(w);
+            }
+        }
+    }
+    interprocess_cut /= 2;
+
+    FlusimOutcome {
+        part,
+        quality,
+        graph,
+        process_of,
+        sim,
+        interprocess_cut,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempart_mesh::{cube_like, GeneratorConfig};
+
+    fn small_mesh() -> Mesh {
+        cube_like(&GeneratorConfig { base_depth: 4 })
+    }
+
+    #[test]
+    fn pipeline_produces_consistent_bundle() {
+        let m = small_mesh();
+        let cfg = PipelineConfig {
+            strategy: PartitionStrategy::ScOc,
+            n_domains: 8,
+            cluster: ClusterConfig::new(4, 2),
+            scheduling: Strategy::EagerFifo,
+            seed: 7,
+        };
+        let out = run_flusim(&m, &cfg);
+        assert_eq!(out.part.len(), m.n_cells());
+        assert_eq!(out.process_of.len(), 8);
+        assert_eq!(out.sim.total_executed(), out.graph.total_cost());
+        assert!(out.makespan() >= out.graph.critical_path());
+        assert!(out.interprocess_cut > 0);
+        assert!(out.interprocess_cut <= out.quality.edge_cut);
+    }
+
+    #[test]
+    fn mc_tl_not_slower_than_sc_oc_on_hotspot_mesh() {
+        // The headline claim, on a small instance: MC_TL's makespan does not
+        // exceed SC_OC's.
+        let m = small_mesh();
+        let mk = |strategy| {
+            run_flusim(
+                &m,
+                &PipelineConfig {
+                    strategy,
+                    n_domains: 8,
+                    cluster: ClusterConfig::new(4, 4),
+                    scheduling: Strategy::EagerFifo,
+                    seed: 3,
+                },
+            )
+        };
+        let sc = mk(PartitionStrategy::ScOc);
+        let mc = mk(PartitionStrategy::McTl);
+        assert_eq!(sc.graph.total_cost(), mc.graph.total_cost());
+        assert!(
+            mc.makespan() <= sc.makespan(),
+            "MC_TL {} vs SC_OC {}",
+            mc.makespan(),
+            sc.makespan()
+        );
+    }
+
+    #[test]
+    fn mc_tl_costs_more_communication() {
+        let m = small_mesh();
+        let mk = |strategy| {
+            run_flusim(
+                &m,
+                &PipelineConfig {
+                    strategy,
+                    n_domains: 8,
+                    cluster: ClusterConfig::new(4, 4),
+                    scheduling: Strategy::EagerFifo,
+                    seed: 3,
+                },
+            )
+        };
+        let sc = mk(PartitionStrategy::ScOc);
+        let mc = mk(PartitionStrategy::McTl);
+        assert!(
+            mc.quality.edge_cut > sc.quality.edge_cut,
+            "paper Fig 11b: MC_TL cut {} should exceed SC_OC cut {}",
+            mc.quality.edge_cut,
+            sc.quality.edge_cut
+        );
+    }
+}

@@ -1,0 +1,20 @@
+#![warn(missing_docs)]
+//! FLUSIM: an idealized discrete-event simulator for task-distributed
+//! executions.
+//!
+//! Reimplementation of the paper's FLUSIM submodule (Section III-A): given a
+//! cluster configuration (processes × cores), a domain→process mapping and a
+//! scheduling strategy, it replays a task DAG with list scheduling and
+//! reports makespan, per-process activity and a Gantt trace. No communication
+//! or runtime overheads are modelled — deliberately, so that any remaining
+//! idleness is attributable to the *shape of the task graph* alone.
+
+pub mod cluster;
+pub mod sim;
+pub mod svg;
+pub mod trace;
+
+pub use cluster::{ClusterConfig, UNBOUNDED_CORES};
+pub use sim::{simulate, simulate_heterogeneous, simulate_with_comm, CommModel, SimResult, Strategy};
+pub use svg::{gantt_svg, write_gantt_svg, SvgOptions};
+pub use trace::{ascii_gantt, segments_csv, Segment};

@@ -1,0 +1,506 @@
+//! Event-driven list scheduling of a task DAG on an emulated cluster.
+
+use crate::cluster::{ClusterConfig, UNBOUNDED_CORES};
+use crate::trace::Segment;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use tempart_taskgraph::{TaskGraph, TaskId};
+
+/// Inter-process communication model.
+///
+/// The paper's FLUSIM deliberately ignores communication ("No communication
+/// or runtime overheads are considered"); this optional model extends it so
+/// the §VII trade-off (MC_TL's larger cut vs its better balance) can be
+/// quantified. A dependency edge whose endpoint tasks live on different
+/// processes delays the successor's readiness by
+/// `latency + n_objects(pred) × cost_per_object`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CommModel {
+    /// Fixed per-message delay, in cost units.
+    pub latency: u64,
+    /// Per-transferred-object delay (∝ message size), in cost units.
+    pub cost_per_object: u64,
+}
+
+impl CommModel {
+    /// The idealized model: communication is free (the paper's FLUSIM).
+    pub const FREE: CommModel = CommModel {
+        latency: 0,
+        cost_per_object: 0,
+    };
+
+    /// Delay contributed by one cross-process edge from a task with
+    /// `n_objects` transferred objects.
+    pub fn delay(&self, n_objects: u32) -> u64 {
+        self.latency + u64::from(n_objects) * self.cost_per_object
+    }
+
+    /// True when the model adds no delay.
+    pub fn is_free(&self) -> bool {
+        self.latency == 0 && self.cost_per_object == 0
+    }
+}
+
+/// Ready-queue policy per process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// First-ready-first-served — the eager policy the paper uses as its
+    /// optimal reference in unbounded configurations.
+    EagerFifo,
+    /// Last-ready-first-served (depth-first tendency).
+    EagerLifo,
+    /// Highest upward rank first (critical-path-aware, HEFT-like).
+    CriticalPathFirst,
+    /// Cheapest task first.
+    SmallestFirst,
+}
+
+/// Outcome of a simulation.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Completion time of the last task, in cost units.
+    pub makespan: u64,
+    /// Σ task cost executed per process.
+    pub busy: Vec<u64>,
+    /// Length of the union of each process's active intervals: the time
+    /// during which *at least one* core of the process was busy. This is the
+    /// paper's composite-resource view (Fig. 6): a process is idle only when
+    /// all its cores are.
+    pub active: Vec<u64>,
+    /// Work executed per (process, subiteration).
+    pub subiter_work: Vec<Vec<u64>>,
+    /// Gantt segments (one per task).
+    pub segments: Vec<Segment>,
+}
+
+impl SimResult {
+    /// Fraction of total core-time spent idle, for a bounded cluster.
+    pub fn idle_fraction(&self, cluster: &ClusterConfig) -> f64 {
+        let cores = cluster
+            .total_cores()
+            .expect("idle fraction undefined for unbounded clusters");
+        let capacity = self.makespan as f64 * cores as f64;
+        if capacity == 0.0 {
+            return 0.0;
+        }
+        let busy: u64 = self.busy.iter().sum();
+        1.0 - busy as f64 / capacity
+    }
+
+    /// Per-process fraction of the makespan during which the composite
+    /// process resource is inactive (Fig. 6's reading).
+    pub fn process_inactivity(&self) -> Vec<f64> {
+        self.active
+            .iter()
+            .map(|&a| {
+                if self.makespan == 0 {
+                    0.0
+                } else {
+                    1.0 - a as f64 / self.makespan as f64
+                }
+            })
+            .collect()
+    }
+
+    /// Sum of executed cost (must equal the DAG's total cost).
+    pub fn total_executed(&self) -> u64 {
+        self.busy.iter().sum()
+    }
+}
+
+/// Simulates `graph` on `cluster`, with domains mapped to processes through
+/// `process_of` (`process_of[d]` = process of domain `d`).
+///
+/// # Panics
+///
+/// Panics if `process_of` is inconsistent with the graph or cluster, or if
+/// the DAG deadlocks (cycle — cannot happen for [`TaskGraph`]s built by this
+/// workspace).
+pub fn simulate(
+    graph: &TaskGraph,
+    cluster: &ClusterConfig,
+    process_of: &[usize],
+    strategy: Strategy,
+) -> SimResult {
+    simulate_with_comm(graph, cluster, process_of, strategy, &CommModel::FREE)
+}
+
+/// Like [`simulate`], with an explicit [`CommModel`]: successors of a task on
+/// another process become ready only after the communication delay.
+pub fn simulate_with_comm(
+    graph: &TaskGraph,
+    cluster: &ClusterConfig,
+    process_of: &[usize],
+    strategy: Strategy,
+    comm: &CommModel,
+) -> SimResult {
+    let cores = vec![cluster.cores_per_process; cluster.n_processes];
+    simulate_heterogeneous(graph, &cores, process_of, strategy, comm)
+}
+
+/// Like [`simulate_with_comm`], on a *heterogeneous* cluster: `cores[p]`
+/// cores for process `p` (use [`crate::cluster::UNBOUNDED_CORES`] for an
+/// unlimited process).
+pub fn simulate_heterogeneous(
+    graph: &TaskGraph,
+    cores: &[usize],
+    process_of: &[usize],
+    strategy: Strategy,
+    comm: &CommModel,
+) -> SimResult {
+    assert_eq!(process_of.len(), graph.n_domains, "one process per domain");
+    assert!(!cores.is_empty(), "need at least one process");
+    assert!(cores.iter().all(|&c| c >= 1), "every process needs a core");
+    assert!(
+        process_of.iter().all(|&p| p < cores.len()),
+        "process id out of range"
+    );
+    let n = graph.len();
+    let np = cores.len();
+
+    // Priority key per task (higher = run first), fixed per strategy.
+    let priority: Vec<i64> = match strategy {
+        Strategy::EagerFifo | Strategy::EagerLifo => vec![0; n],
+        Strategy::SmallestFirst => graph.tasks().iter().map(|t| -(t.cost as i64)).collect(),
+        Strategy::CriticalPathFirst => {
+            // Upward rank: longest path from the task to any sink.
+            let mut rank = vec![0i64; n];
+            for t in (0..n).rev() {
+                let down = graph
+                    .succs(t as TaskId)
+                    .iter()
+                    .map(|&s| rank[s as usize])
+                    .max()
+                    .unwrap_or(0);
+                rank[t] = down + graph.task(t as TaskId).cost as i64;
+            }
+            rank
+        }
+    };
+
+    let mut indegree: Vec<u32> = (0..n)
+        .map(|t| graph.preds(t as TaskId).len() as u32)
+        .collect();
+
+    // Per-process ready queue: max-heap over (priority, tiebreak).
+    // FIFO: older sequence first; LIFO: newer first.
+    let mut ready: Vec<BinaryHeap<(i64, i64, TaskId)>> = (0..np).map(|_| BinaryHeap::new()).collect();
+    let mut seq = 0i64;
+    let push_ready = |ready: &mut Vec<BinaryHeap<(i64, i64, TaskId)>>, t: TaskId, seq: &mut i64| {
+        let p = process_of[graph.task(t).domain as usize];
+        let tie = match strategy {
+            Strategy::EagerLifo => *seq,
+            _ => -*seq,
+        };
+        ready[p].push((priority[t as usize], tie, t));
+        *seq += 1;
+    };
+
+    for t in 0..n as TaskId {
+        if indegree[t as usize] == 0 {
+            push_ready(&mut ready, t, &mut seq);
+        }
+    }
+
+    // Event queue: tag 0 = task completion, tag 1 = delayed readiness.
+    let mut events: BinaryHeap<Reverse<(u64, u8, TaskId)>> = BinaryHeap::new();
+    // Earliest-start constraint accumulated from cross-process messages.
+    let mut ready_at = vec![0u64; n];
+    let mut free_cores: Vec<usize> = cores.to_vec();
+    let mut busy = vec![0u64; np];
+    let mut subiter_work = vec![vec![0u64; graph.n_subiterations as usize]; np];
+    let mut segments: Vec<Segment> = Vec::with_capacity(n);
+    // Active-interval tracking per process: count of running tasks and the
+    // time the process last became active.
+    let mut running = vec![0usize; np];
+    let mut active_since = vec![0u64; np];
+    let mut active = vec![0u64; np];
+
+    let mut now = 0u64;
+    let launch = |p: usize,
+                      t: TaskId,
+                      now: u64,
+                      events: &mut BinaryHeap<Reverse<(u64, u8, TaskId)>>,
+                      free_cores: &mut [usize],
+                      running: &mut [usize],
+                      active_since: &mut [u64],
+                      busy: &mut [u64],
+                      subiter_work: &mut [Vec<u64>],
+                      segments: &mut Vec<Segment>| {
+        let task = graph.task(t);
+        let end = now + task.cost;
+        if free_cores[p] != UNBOUNDED_CORES {
+            free_cores[p] -= 1;
+        }
+        if running[p] == 0 {
+            active_since[p] = now;
+        }
+        running[p] += 1;
+        busy[p] += task.cost;
+        subiter_work[p][task.subiter as usize] += task.cost;
+        segments.push(Segment {
+            task: t,
+            process: p as u32,
+            start: now,
+            end,
+        });
+        events.push(Reverse((end, 0u8, t)));
+    };
+
+    // Initial launches.
+    for p in 0..np {
+        while free_cores[p] > 0 {
+            let Some((_, _, t)) = ready[p].pop() else { break };
+            launch(
+                p,
+                t,
+                now,
+                &mut events,
+                &mut free_cores,
+                &mut running,
+                &mut active_since,
+                &mut busy,
+                &mut subiter_work,
+                &mut segments,
+            );
+        }
+    }
+
+    let mut done = 0usize;
+    while let Some(Reverse((time, tag, t))) = events.pop() {
+        now = time;
+        if tag == 1 {
+            // Delayed readiness: the task's messages have now all arrived.
+            push_ready(&mut ready, t, &mut seq);
+        } else {
+            done += 1;
+            let p = process_of[graph.task(t).domain as usize];
+            if free_cores[p] != UNBOUNDED_CORES {
+                free_cores[p] += 1;
+            }
+            running[p] -= 1;
+            if running[p] == 0 {
+                active[p] += now - active_since[p];
+            }
+            let tp = p;
+            for &s in graph.succs(t) {
+                let sp = process_of[graph.task(s).domain as usize];
+                if sp != tp && !comm.is_free() {
+                    let arrive = now + comm.delay(graph.task(t).n_objects);
+                    ready_at[s as usize] = ready_at[s as usize].max(arrive);
+                }
+                indegree[s as usize] -= 1;
+                if indegree[s as usize] == 0 {
+                    if ready_at[s as usize] > now {
+                        events.push(Reverse((ready_at[s as usize], 1u8, s)));
+                    } else {
+                        push_ready(&mut ready, s, &mut seq);
+                    }
+                }
+            }
+        }
+        // Fill freed capacity everywhere (newly ready tasks may belong to
+        // other processes whose cores are free).
+        for q in 0..np {
+            while free_cores[q] > 0 && !ready[q].is_empty() {
+                let (_, _, nt) = ready[q].pop().unwrap();
+                launch(
+                    q,
+                    nt,
+                    now,
+                    &mut events,
+                    &mut free_cores,
+                    &mut running,
+                    &mut active_since,
+                    &mut busy,
+                    &mut subiter_work,
+                    &mut segments,
+                );
+            }
+        }
+    }
+    assert_eq!(done, n, "deadlock: {} of {n} tasks executed", done);
+
+    SimResult {
+        makespan: now,
+        busy,
+        active,
+        subiter_work,
+        segments,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempart_taskgraph::{Task, TaskKind};
+
+    fn mk_task(domain: u32, cost: u64, subiter: u32) -> Task {
+        Task {
+            subiter,
+            tau: 0,
+            stage: 0,
+            domain,
+            kind: TaskKind::CellInternal,
+            n_objects: cost as u32,
+            cost,
+        }
+    }
+
+    /// Two independent chains on two domains.
+    fn two_chains() -> TaskGraph {
+        let tasks = vec![
+            mk_task(0, 5, 0),
+            mk_task(0, 5, 0),
+            mk_task(1, 3, 0),
+            mk_task(1, 3, 0),
+        ];
+        let preds = vec![vec![], vec![0], vec![], vec![2]];
+        TaskGraph::assemble(tasks, preds, 2, 1)
+    }
+
+    #[test]
+    fn chains_on_two_processes() {
+        let g = two_chains();
+        let cluster = ClusterConfig::new(2, 1);
+        let r = simulate(&g, &cluster, &[0, 1], Strategy::EagerFifo);
+        assert_eq!(r.makespan, 10);
+        assert_eq!(r.busy, vec![10, 6]);
+        assert_eq!(r.total_executed(), g.total_cost());
+        assert_eq!(r.active, vec![10, 6]);
+        let inact = r.process_inactivity();
+        assert!((inact[0] - 0.0).abs() < 1e-12);
+        assert!((inact[1] - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chains_on_one_process() {
+        let g = two_chains();
+        let cluster = ClusterConfig::new(1, 1);
+        let r = simulate(&g, &cluster, &[0, 0], Strategy::EagerFifo);
+        assert_eq!(r.makespan, 16, "serialised on one core");
+        assert!((r.idle_fraction(&cluster)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_cores_overlap_independent_chains() {
+        let g = two_chains();
+        let cluster = ClusterConfig::new(1, 2);
+        let r = simulate(&g, &cluster, &[0, 0], Strategy::EagerFifo);
+        assert_eq!(r.makespan, 10);
+    }
+
+    #[test]
+    fn unbounded_cores_hit_critical_path() {
+        // Wide fork: 1 root, 10 children; unbounded cores finish at
+        // root + max(child).
+        let mut tasks = vec![mk_task(0, 2, 0)];
+        let mut preds: Vec<Vec<TaskId>> = vec![vec![]];
+        for i in 0..10 {
+            tasks.push(mk_task(0, 1 + (i % 3), 0));
+            preds.push(vec![0]);
+        }
+        let g = TaskGraph::assemble(tasks, preds, 1, 1);
+        let r = simulate(&g, &ClusterConfig::unbounded(1), &[0], Strategy::EagerFifo);
+        assert_eq!(r.makespan, g.critical_path());
+    }
+
+    #[test]
+    fn makespan_lower_bounds() {
+        let g = two_chains();
+        for strat in [
+            Strategy::EagerFifo,
+            Strategy::EagerLifo,
+            Strategy::CriticalPathFirst,
+            Strategy::SmallestFirst,
+        ] {
+            let cluster = ClusterConfig::new(2, 1);
+            let r = simulate(&g, &cluster, &[0, 1], strat);
+            assert!(r.makespan >= g.critical_path());
+            let total_cores = cluster.total_cores().unwrap() as u64;
+            assert!(r.makespan >= g.total_cost() / total_cores);
+            assert_eq!(r.total_executed(), g.total_cost());
+        }
+    }
+
+    #[test]
+    fn dependencies_respected_in_segments() {
+        let g = two_chains();
+        let r = simulate(&g, &ClusterConfig::new(2, 2), &[0, 1], Strategy::EagerFifo);
+        let seg_of = |t: TaskId| r.segments.iter().find(|s| s.task == t).unwrap();
+        assert!(seg_of(1).start >= seg_of(0).end);
+        assert!(seg_of(3).start >= seg_of(2).end);
+    }
+
+    #[test]
+    fn comm_model_delays_cross_process_edges() {
+        // Chain across two processes: 0 (P0) -> 1 (P1). With latency L, task
+        // 1 starts L after task 0 finishes.
+        let tasks = vec![mk_task(0, 5, 0), mk_task(1, 3, 0)];
+        let preds = vec![vec![], vec![0]];
+        let g = TaskGraph::assemble(tasks, preds, 2, 1);
+        let cluster = ClusterConfig::new(2, 1);
+        let free = simulate(&g, &cluster, &[0, 1], Strategy::EagerFifo);
+        assert_eq!(free.makespan, 8);
+        let comm = CommModel {
+            latency: 10,
+            cost_per_object: 0,
+        };
+        let delayed = simulate_with_comm(&g, &cluster, &[0, 1], Strategy::EagerFifo, &comm);
+        assert_eq!(delayed.makespan, 5 + 10 + 3);
+        // Same-process chain is unaffected.
+        let local = simulate_with_comm(&g, &cluster, &[0, 0], Strategy::EagerFifo, &comm);
+        assert_eq!(local.makespan, 8);
+    }
+
+    #[test]
+    fn comm_model_scales_with_message_size() {
+        let tasks = vec![mk_task(0, 5, 0), mk_task(1, 3, 0)];
+        let preds = vec![vec![], vec![0]];
+        let g = TaskGraph::assemble(tasks, preds, 2, 1);
+        let cluster = ClusterConfig::new(2, 1);
+        let comm = CommModel {
+            latency: 1,
+            cost_per_object: 2,
+        };
+        // Pred has n_objects = cost = 5 → delay 1 + 5*2 = 11.
+        let r = simulate_with_comm(&g, &cluster, &[0, 1], Strategy::EagerFifo, &comm);
+        assert_eq!(r.makespan, 5 + 11 + 3);
+        assert_eq!(r.total_executed(), g.total_cost());
+    }
+
+    #[test]
+    fn heterogeneous_cores_respected() {
+        // 4 independent unit tasks on each of two domains; process 0 has 4
+        // cores (all parallel), process 1 has 1 core (serial).
+        let mut tasks = Vec::new();
+        let mut preds: Vec<Vec<TaskId>> = Vec::new();
+        for d in 0..2u32 {
+            for _ in 0..4 {
+                tasks.push(mk_task(d, 3, 0));
+                preds.push(vec![]);
+            }
+        }
+        let g = TaskGraph::assemble(tasks, preds, 2, 1);
+        let r = simulate_heterogeneous(
+            &g,
+            &[4, 1],
+            &[0, 1],
+            Strategy::EagerFifo,
+            &CommModel::FREE,
+        );
+        // Process 0 finishes at 3; process 1 serialises to 12.
+        assert_eq!(r.makespan, 12);
+        assert_eq!(r.busy, vec![12, 12]);
+        assert_eq!(r.active, vec![3, 12]);
+    }
+
+    #[test]
+    fn subiter_work_accounted() {
+        let tasks = vec![mk_task(0, 4, 0), mk_task(0, 6, 1)];
+        let preds = vec![vec![], vec![0]];
+        let g = TaskGraph::assemble(tasks, preds, 1, 2);
+        let r = simulate(&g, &ClusterConfig::new(1, 1), &[0], Strategy::EagerFifo);
+        assert_eq!(r.subiter_work[0], vec![4, 6]);
+    }
+}

@@ -1,0 +1,184 @@
+//! SVG Gantt rendering — the paper's figures (5, 6, 9, 12, 13) are Gantt
+//! charts colour-coded by subiteration; this module reproduces them as
+//! standalone SVG files with no external dependencies.
+
+use crate::trace::Segment;
+use std::fmt::Write as _;
+use tempart_taskgraph::TaskGraph;
+
+/// Visual options for [`gantt_svg`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SvgOptions {
+    /// Total plot width in pixels (time axis).
+    pub width: f64,
+    /// Height of one process row in pixels.
+    pub row_height: f64,
+    /// Gap between rows in pixels.
+    pub row_gap: f64,
+}
+
+impl Default for SvgOptions {
+    fn default() -> Self {
+        Self {
+            width: 960.0,
+            row_height: 14.0,
+            row_gap: 3.0,
+        }
+    }
+}
+
+/// A categorical palette for subiterations (cycled when there are more
+/// subiterations than entries) — chosen to echo the paper's traces.
+const PALETTE: [&str; 8] = [
+    "#d62728", // red      (subiteration 0: the heavy one)
+    "#1f77b4", // blue
+    "#2ca02c", // green
+    "#ff7f0e", // orange
+    "#9467bd", // purple
+    "#8c564b", // brown
+    "#17becf", // cyan
+    "#bcbd22", // olive
+];
+
+/// Renders the execution trace as an SVG Gantt chart: one row per process,
+/// one rectangle per task, colour-coded by subiteration — the same encoding
+/// as the paper's figures.
+pub fn gantt_svg(
+    graph: &TaskGraph,
+    segments: &[Segment],
+    n_processes: usize,
+    makespan: u64,
+    title: &str,
+    options: &SvgOptions,
+) -> String {
+    let o = options;
+    let label_w = 46.0;
+    let title_h = 22.0;
+    let height = title_h + n_processes as f64 * (o.row_height + o.row_gap) + 24.0;
+    let total_w = label_w + o.width + 8.0;
+    let scale = if makespan == 0 {
+        0.0
+    } else {
+        o.width / makespan as f64
+    };
+
+    let mut svg = String::with_capacity(segments.len() * 90 + 1024);
+    let _ = write!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{total_w:.0}" height="{height:.0}" viewBox="0 0 {total_w:.0} {height:.0}">"#
+    );
+    let _ = write!(
+        svg,
+        r##"<rect width="100%" height="100%" fill="white"/><text x="4" y="15" font-family="sans-serif" font-size="13" fill="#222">{}</text>"##,
+        xml_escape(title)
+    );
+    // Row backgrounds and labels.
+    for p in 0..n_processes {
+        let y = title_h + p as f64 * (o.row_height + o.row_gap);
+        let _ = write!(
+            svg,
+            r##"<rect x="{label_w}" y="{y:.1}" width="{:.1}" height="{:.1}" fill="#f2f2f2"/><text x="4" y="{:.1}" font-family="monospace" font-size="10" fill="#555">P{p}</text>"##,
+            o.width,
+            o.row_height,
+            y + o.row_height - 3.0,
+        );
+    }
+    // Task rectangles.
+    for s in segments {
+        let task = graph.task(s.task);
+        let color = PALETTE[task.subiter as usize % PALETTE.len()];
+        let x = label_w + s.start as f64 * scale;
+        let w = ((s.end - s.start) as f64 * scale).max(0.3);
+        let y = title_h + s.process as f64 * (o.row_height + o.row_gap);
+        let _ = write!(
+            svg,
+            r#"<rect x="{x:.2}" y="{y:.1}" width="{w:.2}" height="{:.1}" fill="{color}"/>"#,
+            o.row_height
+        );
+    }
+    // Time axis caption.
+    let _ = write!(
+        svg,
+        r##"<text x="{label_w}" y="{:.1}" font-family="sans-serif" font-size="10" fill="#555">0</text><text x="{:.1}" y="{:.1}" font-family="sans-serif" font-size="10" fill="#555" text-anchor="end">makespan = {makespan}</text>"##,
+        height - 8.0,
+        label_w + o.width,
+        height - 8.0,
+    );
+    svg.push_str("</svg>");
+    svg
+}
+
+/// Writes [`gantt_svg`] output to a file.
+pub fn write_gantt_svg(
+    graph: &TaskGraph,
+    segments: &[Segment],
+    n_processes: usize,
+    makespan: u64,
+    title: &str,
+    path: &std::path::Path,
+) -> std::io::Result<()> {
+    std::fs::write(
+        path,
+        gantt_svg(graph, segments, n_processes, makespan, title, &SvgOptions::default()),
+    )
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempart_taskgraph::{Task, TaskKind};
+
+    fn tiny() -> (TaskGraph, Vec<Segment>) {
+        let mk = |subiter: u32, cost: u64| Task {
+            subiter,
+            tau: 0,
+            stage: 0,
+            domain: 0,
+            kind: TaskKind::CellInternal,
+            n_objects: 1,
+            cost,
+        };
+        let g = TaskGraph::assemble(vec![mk(0, 4), mk(1, 4)], vec![vec![], vec![0]], 1, 2);
+        let segs = vec![
+            Segment { task: 0, process: 0, start: 0, end: 4 },
+            Segment { task: 1, process: 0, start: 4, end: 8 },
+        ];
+        (g, segs)
+    }
+
+    #[test]
+    fn svg_structure() {
+        let (g, segs) = tiny();
+        let svg = gantt_svg(&g, &segs, 2, 8, "test <trace>", &SvgOptions::default());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert!(svg.contains("test &lt;trace&gt;"), "title escaped");
+        // Two task rects with distinct subiteration colours.
+        assert!(svg.contains(PALETTE[0]));
+        assert!(svg.contains(PALETTE[1]));
+        assert!(svg.contains(">P0<") && svg.contains(">P1<"));
+        assert!(svg.contains("makespan = 8"));
+    }
+
+    #[test]
+    fn empty_trace_is_valid_svg() {
+        let (g, _) = tiny();
+        let svg = gantt_svg(&g, &[], 1, 0, "empty", &SvgOptions::default());
+        assert!(svg.starts_with("<svg") && svg.ends_with("</svg>"));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let (g, segs) = tiny();
+        let dir = std::env::temp_dir().join("tempart_svg_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.svg");
+        write_gantt_svg(&g, &segs, 1, 8, "t", &path).unwrap();
+        assert!(std::fs::read_to_string(&path).unwrap().contains("<svg"));
+        std::fs::remove_file(&path).ok();
+    }
+}

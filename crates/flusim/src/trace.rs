@@ -1,0 +1,167 @@
+//! Gantt traces: segments, ASCII rendering and CSV export.
+
+use tempart_taskgraph::{TaskGraph, TaskId};
+
+/// One executed task occurrence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Segment {
+    /// Task executed.
+    pub task: TaskId,
+    /// Process it ran on.
+    pub process: u32,
+    /// Start time (cost units).
+    pub start: u64,
+    /// End time (cost units).
+    pub end: u64,
+}
+
+/// Renders an ASCII Gantt chart: one row per process, `width` time bins.
+/// Each bin shows the dominant subiteration as a digit (`0`–`9`, then
+/// `a`–`z`), or `.` when the process is mostly idle in the bin — mirroring
+/// the paper's "tasks are color-coded according to their subiteration".
+pub fn ascii_gantt(
+    graph: &TaskGraph,
+    segments: &[Segment],
+    n_processes: usize,
+    makespan: u64,
+    width: usize,
+) -> String {
+    let width = width.max(1);
+    if makespan == 0 {
+        return String::new();
+    }
+    // busy[p][bin][subiter] accumulated as (bin -> per-subiter time) maps.
+    let ns = graph.n_subiterations.max(1) as usize;
+    let mut busy = vec![vec![0u64; width * ns]; n_processes];
+    let bin_len = makespan as f64 / width as f64;
+    for s in segments {
+        let sub = graph.task(s.task).subiter as usize;
+        let start = s.start as f64;
+        let end = s.end as f64;
+        if end <= start {
+            continue;
+        }
+        let first = ((start / bin_len) as usize).min(width - 1);
+        let last = ((end / bin_len).ceil() as usize).clamp(first + 1, width);
+        for bin in first..last {
+            let lo = bin as f64 * bin_len;
+            let hi = lo + bin_len;
+            let chunk = end.min(hi) - start.max(lo);
+            if chunk > 0.0 {
+                busy[s.process as usize][bin * ns + sub] += chunk.round() as u64;
+            }
+        }
+    }
+    let glyph = |sub: usize| -> char {
+        if sub < 10 {
+            (b'0' + sub as u8) as char
+        } else {
+            (b'a' + (sub - 10).min(25) as u8) as char
+        }
+    };
+    let mut out = String::new();
+    for (p, row) in busy.iter().enumerate() {
+        out.push_str(&format!("P{p:<3}|"));
+        for bin in 0..width {
+            let slice = &row[bin * ns..(bin + 1) * ns];
+            let total: u64 = slice.iter().sum();
+            if (total as f64) < bin_len * 0.05 {
+                out.push('.');
+            } else {
+                let dominant = slice
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|&(_, &v)| v)
+                    .map(|(i, _)| i)
+                    .unwrap_or(0);
+                out.push(glyph(dominant));
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Serialises segments to CSV (`process,task,subiter,tau,domain,kind,start,end`).
+pub fn segments_csv(graph: &TaskGraph, segments: &[Segment]) -> String {
+    let mut out = String::from("process,task,subiter,tau,domain,kind,start,end\n");
+    for s in segments {
+        let t = graph.task(s.task);
+        out.push_str(&format!(
+            "{},{},{},{},{},{:?},{},{}\n",
+            s.process, s.task, t.subiter, t.tau, t.domain, t.kind, s.start, s.end
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempart_taskgraph::{Task, TaskGraph, TaskKind};
+
+    fn tiny_graph() -> TaskGraph {
+        let tasks = vec![
+            Task {
+                subiter: 0,
+                tau: 0,
+                stage: 0,
+                domain: 0,
+                kind: TaskKind::CellInternal,
+                n_objects: 4,
+                cost: 4,
+            },
+            Task {
+                subiter: 1,
+                tau: 0,
+                stage: 0,
+                domain: 0,
+                kind: TaskKind::CellInternal,
+                n_objects: 4,
+                cost: 4,
+            },
+        ];
+        TaskGraph::assemble(tasks, vec![vec![], vec![0]], 1, 2)
+    }
+
+    #[test]
+    fn gantt_shows_subiterations() {
+        let g = tiny_graph();
+        let segments = vec![
+            Segment { task: 0, process: 0, start: 0, end: 4 },
+            Segment { task: 1, process: 0, start: 4, end: 8 },
+        ];
+        let s = ascii_gantt(&g, &segments, 1, 8, 8);
+        assert!(s.starts_with("P0  |"));
+        let row = s.trim_end().trim_start_matches("P0  |");
+        assert_eq!(row.len(), 8);
+        assert!(row.contains('0') && row.contains('1'), "{row}");
+    }
+
+    #[test]
+    fn gantt_idle_is_dots() {
+        let g = tiny_graph();
+        let segments = vec![Segment { task: 0, process: 0, start: 0, end: 4 }];
+        let s = ascii_gantt(&g, &segments, 2, 8, 8);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[1].ends_with("........"), "{}", lines[1]);
+    }
+
+    #[test]
+    fn csv_roundtrip_shape() {
+        let g = tiny_graph();
+        let segments = vec![Segment { task: 0, process: 0, start: 0, end: 4 }];
+        let csv = segments_csv(&g, &segments);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0].split(',').count(), 8);
+        assert!(lines[1].starts_with("0,0,0,0,0,CellInternal,0,4"));
+    }
+
+    #[test]
+    fn empty_trace() {
+        let g = tiny_graph();
+        assert_eq!(ascii_gantt(&g, &[], 1, 0, 10), "");
+    }
+}

@@ -1,0 +1,162 @@
+//! Incremental construction of [`CsrGraph`]s from edge lists.
+
+use crate::{CsrGraph, Weight};
+
+/// Builds a [`CsrGraph`] from undirected edges added one at a time.
+///
+/// Duplicate edges are merged by summing their weights. Self-loops are
+/// rejected. Vertex weights default to `1` for every constraint and can be
+/// overridden per vertex.
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    nvtx: usize,
+    ncon: usize,
+    /// One (neighbour, weight) list per vertex; deduplicated at build time.
+    adj: Vec<Vec<(u32, Weight)>>,
+    vwgt: Vec<Weight>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph with `nvtx` vertices and `ncon`
+    /// constraints per vertex. All vertex weights start at 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ncon == 0`.
+    pub fn new(nvtx: usize, ncon: usize) -> Self {
+        assert!(ncon >= 1, "ncon must be at least 1");
+        Self {
+            nvtx,
+            ncon,
+            adj: vec![Vec::new(); nvtx],
+            vwgt: vec![1; nvtx * ncon],
+        }
+    }
+
+    /// Number of vertices.
+    pub fn nvtx(&self) -> usize {
+        self.nvtx
+    }
+
+    /// Adds an undirected edge `{u, v}` of weight `w`.
+    ///
+    /// Adding the same edge again accumulates the weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u == v` or either endpoint is out of range.
+    pub fn add_edge(&mut self, u: u32, v: u32, w: Weight) {
+        assert_ne!(u, v, "self-loops are not allowed");
+        assert!((u as usize) < self.nvtx && (v as usize) < self.nvtx, "vertex out of range");
+        self.adj[u as usize].push((v, w));
+        self.adj[v as usize].push((u, w));
+    }
+
+    /// Sets the weight vector of vertex `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights.len() != ncon` or `v` is out of range.
+    pub fn set_vertex_weights(&mut self, v: u32, weights: &[Weight]) {
+        assert_eq!(weights.len(), self.ncon, "weight vector length");
+        let v = v as usize;
+        self.vwgt[v * self.ncon..(v + 1) * self.ncon].copy_from_slice(weights);
+    }
+
+    /// Finalizes the CSR arrays, merging duplicate edges.
+    pub fn build(mut self) -> CsrGraph {
+        let mut xadj = Vec::with_capacity(self.nvtx + 1);
+        xadj.push(0usize);
+        let mut adjncy = Vec::new();
+        let mut adjwgt = Vec::new();
+        for list in &mut self.adj {
+            list.sort_unstable_by_key(|&(n, _)| n);
+            let mut i = 0;
+            while i < list.len() {
+                let (n, mut w) = list[i];
+                let mut j = i + 1;
+                while j < list.len() && list[j].0 == n {
+                    w += list[j].1;
+                    j += 1;
+                }
+                adjncy.push(n);
+                adjwgt.push(w);
+                i = j;
+            }
+            xadj.push(adjncy.len());
+        }
+        CsrGraph::from_parts_unchecked(xadj, adjncy, adjwgt, self.vwgt, self.ncon)
+    }
+}
+
+/// Convenience constructor: an `nx × ny` 4-neighbour grid graph with unit
+/// weights. Useful in tests and benchmarks.
+pub fn grid_graph(nx: usize, ny: usize) -> CsrGraph {
+    let mut b = GraphBuilder::new(nx * ny, 1);
+    let id = |x: usize, y: usize| (y * nx + x) as u32;
+    for y in 0..ny {
+        for x in 0..nx {
+            if x + 1 < nx {
+                b.add_edge(id(x, y), id(x + 1, y), 1);
+            }
+            if y + 1 < ny {
+                b.add_edge(id(x, y), id(x, y + 1), 1);
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicate_edges_merge() {
+        let mut b = GraphBuilder::new(2, 1);
+        b.add_edge(0, 1, 2);
+        b.add_edge(1, 0, 3);
+        let g = b.build();
+        assert_eq!(g.nedges(), 1);
+        assert_eq!(g.edge_weights(0).collect::<Vec<_>>(), vec![5]);
+        assert_eq!(g.edge_weights(1).collect::<Vec<_>>(), vec![5]);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn self_loop_panics() {
+        let mut b = GraphBuilder::new(2, 1);
+        b.add_edge(1, 1, 1);
+    }
+
+    #[test]
+    fn vertex_weights_roundtrip() {
+        let mut b = GraphBuilder::new(2, 3);
+        b.set_vertex_weights(1, &[4, 5, 6]);
+        let g = b.build();
+        assert_eq!(g.vertex_weights(0), &[1, 1, 1]);
+        assert_eq!(g.vertex_weights(1), &[4, 5, 6]);
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = grid_graph(4, 3);
+        assert_eq!(g.nvtx(), 12);
+        // Horizontal edges: 3 per row * 3 rows; vertical: 4 per column pair * 2.
+        assert_eq!(g.nedges(), 3 * 3 + 4 * 2);
+        assert!(g.validate().is_ok());
+        // Corner has degree 2, centre has degree 4.
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(5), 4);
+    }
+
+    #[test]
+    fn build_isolated_vertices() {
+        let b = GraphBuilder::new(3, 1);
+        let g = b.build();
+        assert_eq!(g.nvtx(), 3);
+        assert_eq!(g.nedges(), 0);
+        assert_eq!(g.degree(1), 0);
+    }
+}

@@ -1,0 +1,306 @@
+//! Compressed-sparse-row graph storage.
+
+use crate::Weight;
+
+/// An undirected graph in CSR form, in the METIS style.
+///
+/// Every undirected edge `{u, v}` is stored twice, once in the adjacency list
+/// of `u` and once in that of `v`, with identical edge weights. Vertices carry
+/// `ncon` weights each, laid out contiguously: the weights of vertex `v` are
+/// `vwgt[v*ncon .. (v+1)*ncon]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsrGraph {
+    /// Adjacency-list offsets; `xadj.len() == nvtx + 1`.
+    xadj: Vec<usize>,
+    /// Concatenated adjacency lists (neighbour vertex ids).
+    adjncy: Vec<u32>,
+    /// Edge weights, parallel to `adjncy`.
+    adjwgt: Vec<Weight>,
+    /// Vertex weights, `nvtx * ncon` entries.
+    vwgt: Vec<Weight>,
+    /// Number of weights (constraints) per vertex; at least 1.
+    ncon: usize,
+}
+
+impl CsrGraph {
+    /// Builds a graph from raw CSR arrays, validating structural invariants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if array lengths are inconsistent, a neighbour index is out of
+    /// range, a self-loop is present, or the adjacency is not symmetric.
+    pub fn from_parts(
+        xadj: Vec<usize>,
+        adjncy: Vec<u32>,
+        adjwgt: Vec<Weight>,
+        vwgt: Vec<Weight>,
+        ncon: usize,
+    ) -> Self {
+        let g = Self::from_parts_unchecked(xadj, adjncy, adjwgt, vwgt, ncon);
+        g.validate().expect("invalid CSR graph");
+        g
+    }
+
+    /// Builds a graph from raw CSR arrays without validation.
+    ///
+    /// Used on hot paths (graph contraction) where the construction algorithm
+    /// guarantees the invariants; call [`Self::validate`] explicitly when in
+    /// doubt.
+    pub fn from_parts_unchecked(
+        xadj: Vec<usize>,
+        adjncy: Vec<u32>,
+        adjwgt: Vec<Weight>,
+        vwgt: Vec<Weight>,
+        ncon: usize,
+    ) -> Self {
+        Self {
+            xadj,
+            adjncy,
+            adjwgt,
+            vwgt,
+            ncon,
+        }
+    }
+
+    /// Checks all structural invariants, returning a description of the first
+    /// violation found.
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.nvtx();
+        if self.xadj.is_empty() {
+            return Err("xadj must have at least one entry".into());
+        }
+        if self.xadj[0] != 0 {
+            return Err("xadj[0] must be 0".into());
+        }
+        if *self.xadj.last().unwrap() != self.adjncy.len() {
+            return Err("xadj must end at adjncy.len()".into());
+        }
+        if self.adjwgt.len() != self.adjncy.len() {
+            return Err("adjwgt must be parallel to adjncy".into());
+        }
+        if self.ncon == 0 {
+            return Err("ncon must be at least 1".into());
+        }
+        if self.vwgt.len() != n * self.ncon {
+            return Err(format!(
+                "vwgt has {} entries, expected nvtx*ncon = {}",
+                self.vwgt.len(),
+                n * self.ncon
+            ));
+        }
+        for v in 0..n {
+            if self.xadj[v] > self.xadj[v + 1] {
+                return Err(format!("xadj not monotone at vertex {v}"));
+            }
+            for (u, w) in self.neighbors(v as u32).zip(self.edge_weights(v as u32)) {
+                if u as usize >= n {
+                    return Err(format!("neighbour {u} of {v} out of range"));
+                }
+                if u == v as u32 {
+                    return Err(format!("self-loop at vertex {v}"));
+                }
+                // Symmetry: v must appear in u's list with the same weight.
+                let back = self
+                    .neighbors(u)
+                    .zip(self.edge_weights(u))
+                    .find(|&(x, _)| x == v as u32);
+                match back {
+                    Some((_, bw)) if bw == w => {}
+                    Some(_) => return Err(format!("asymmetric edge weight on {{{v},{u}}}")),
+                    None => return Err(format!("edge {{{v},{u}}} not symmetric")),
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn nvtx(&self) -> usize {
+        self.xadj.len() - 1
+    }
+
+    /// Number of undirected edges (each stored twice internally).
+    #[inline]
+    pub fn nedges(&self) -> usize {
+        self.adjncy.len() / 2
+    }
+
+    /// Number of constraints (weights per vertex).
+    #[inline]
+    pub fn ncon(&self) -> usize {
+        self.ncon
+    }
+
+    /// Degree of vertex `v`.
+    #[inline]
+    pub fn degree(&self, v: u32) -> usize {
+        self.xadj[v as usize + 1] - self.xadj[v as usize]
+    }
+
+    /// Iterator over the neighbours of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: u32) -> std::iter::Copied<std::slice::Iter<'_, u32>> {
+        self.adjncy[self.xadj[v as usize]..self.xadj[v as usize + 1]]
+            .iter()
+            .copied()
+    }
+
+    /// Iterator over the edge weights of `v`, parallel to [`Self::neighbors`].
+    #[inline]
+    pub fn edge_weights(&self, v: u32) -> std::iter::Copied<std::slice::Iter<'_, Weight>> {
+        self.adjwgt[self.xadj[v as usize]..self.xadj[v as usize + 1]]
+            .iter()
+            .copied()
+    }
+
+    /// Neighbour/edge-weight pairs of `v` as parallel slices.
+    #[inline]
+    pub fn adjacency(&self, v: u32) -> (&[u32], &[Weight]) {
+        let r = self.xadj[v as usize]..self.xadj[v as usize + 1];
+        (&self.adjncy[r.clone()], &self.adjwgt[r])
+    }
+
+    /// The `ncon` weights of vertex `v`.
+    #[inline]
+    pub fn vertex_weights(&self, v: u32) -> &[Weight] {
+        let v = v as usize;
+        &self.vwgt[v * self.ncon..(v + 1) * self.ncon]
+    }
+
+    /// Raw CSR offset array (`nvtx + 1` entries).
+    #[inline]
+    pub fn xadj(&self) -> &[usize] {
+        &self.xadj
+    }
+
+    /// Raw adjacency array.
+    #[inline]
+    pub fn adjncy(&self) -> &[u32] {
+        &self.adjncy
+    }
+
+    /// Raw edge-weight array, parallel to [`Self::adjncy`].
+    #[inline]
+    pub fn adjwgt(&self) -> &[Weight] {
+        &self.adjwgt
+    }
+
+    /// Raw vertex-weight array (`nvtx * ncon` entries).
+    #[inline]
+    pub fn vwgt(&self) -> &[Weight] {
+        &self.vwgt
+    }
+
+    /// Sum of each constraint over all vertices.
+    pub fn total_weights(&self) -> Vec<i64> {
+        let mut tot = vec![0i64; self.ncon];
+        for v in 0..self.nvtx() {
+            for (c, t) in tot.iter_mut().enumerate() {
+                *t += i64::from(self.vwgt[v * self.ncon + c]);
+            }
+        }
+        tot
+    }
+
+    /// Sum of all edge weights (each undirected edge counted once).
+    pub fn total_edge_weight(&self) -> i64 {
+        self.adjwgt.iter().map(|&w| i64::from(w)).sum::<i64>() / 2
+    }
+
+    /// Replaces the vertex weights, e.g. to re-weight the same topology for a
+    /// different partitioning strategy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vwgt.len() != nvtx * ncon`.
+    pub fn with_vertex_weights(&self, vwgt: Vec<Weight>, ncon: usize) -> Self {
+        assert_eq!(vwgt.len(), self.nvtx() * ncon, "vertex weight length");
+        assert!(ncon >= 1, "ncon must be at least 1");
+        Self {
+            xadj: self.xadj.clone(),
+            adjncy: self.adjncy.clone(),
+            adjwgt: self.adjwgt.clone(),
+            vwgt,
+            ncon,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn path3() -> CsrGraph {
+        // 0 - 1 - 2
+        let mut b = GraphBuilder::new(3, 1);
+        b.add_edge(0, 1, 1);
+        b.add_edge(1, 2, 1);
+        b.build()
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let g = path3();
+        assert_eq!(g.nvtx(), 3);
+        assert_eq!(g.nedges(), 2);
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.neighbors(0).collect::<Vec<_>>(), vec![1]);
+        let mut n1 = g.neighbors(1).collect::<Vec<_>>();
+        n1.sort_unstable();
+        assert_eq!(n1, vec![0, 2]);
+        assert_eq!(g.vertex_weights(2), &[1]);
+        assert_eq!(g.total_weights(), vec![3]);
+        assert_eq!(g.total_edge_weight(), 2);
+    }
+
+    #[test]
+    fn validate_rejects_asymmetric() {
+        let g = CsrGraph::from_parts_unchecked(
+            vec![0, 1, 1],
+            vec![1],
+            vec![1],
+            vec![1, 1],
+            1,
+        );
+        assert!(g.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_self_loop() {
+        let g = CsrGraph::from_parts_unchecked(vec![0, 1], vec![0], vec![1], vec![1], 1);
+        assert!(g.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_bad_vwgt_len() {
+        let g = CsrGraph::from_parts_unchecked(vec![0, 0], Vec::new(), Vec::new(), vec![1, 2], 2);
+        assert!(g.validate().is_ok());
+        let g = CsrGraph::from_parts_unchecked(vec![0, 0], Vec::new(), Vec::new(), vec![1], 2);
+        assert!(g.validate().is_err());
+    }
+
+    #[test]
+    fn with_vertex_weights_changes_ncon() {
+        let g = path3();
+        let g2 = g.with_vertex_weights(vec![1, 0, 0, 1, 1, 0], 2);
+        assert_eq!(g2.ncon(), 2);
+        assert_eq!(g2.vertex_weights(1), &[0, 1]);
+        assert_eq!(g2.nedges(), g.nedges());
+    }
+
+    #[test]
+    #[should_panic(expected = "vertex weight length")]
+    fn with_vertex_weights_panics_on_len() {
+        let g = path3();
+        let _ = g.with_vertex_weights(vec![1, 2], 3);
+    }
+
+    #[test]
+    fn empty_graph_is_valid() {
+        let g = CsrGraph::from_parts(vec![0], Vec::new(), Vec::new(), Vec::new(), 1);
+        assert_eq!(g.nvtx(), 0);
+        assert_eq!(g.nedges(), 0);
+    }
+}

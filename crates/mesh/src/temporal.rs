@@ -1,0 +1,282 @@
+//! Temporal-level assignment and operating costs.
+//!
+//! In an explicit solver the maximum stable time step of a cell scales with
+//! its size (CFL condition), so the octree depth of a cell maps directly to a
+//! temporal level: each coarsening octave doubles the allowed time step. The
+//! paper's scheme assigns level τ = 0 to the finest cells (updated every
+//! subiteration) and τ = τmax to the coarsest (updated once per iteration);
+//! the *operating cost* of a τ-cell over one full iteration is `2^(τmax−τ)`.
+
+use crate::mesh::Mesh;
+
+/// Assignment rule from cell size to temporal level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TemporalScheme {
+    /// Number of temporal-level classes to produce (τ ∈ `0..n_levels`).
+    pub n_levels: u8,
+}
+
+impl TemporalScheme {
+    /// Creates a scheme with `n_levels` classes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_levels == 0` or `n_levels > 16`.
+    pub fn new(n_levels: u8) -> Self {
+        assert!(n_levels >= 1, "need at least one temporal level");
+        assert!(n_levels <= 16, "more than 16 temporal levels is unsupported");
+        Self { n_levels }
+    }
+
+    /// Highest temporal level (`n_levels - 1`).
+    pub fn tau_max(&self) -> u8 {
+        self.n_levels - 1
+    }
+
+    /// Number of subiterations in one iteration: `2^τmax`.
+    pub fn subiterations(&self) -> u32 {
+        1u32 << self.tau_max()
+    }
+
+    /// Derives and installs temporal levels on `mesh` from cell depths: the
+    /// deepest (finest) cells get τ = 0 and each octave of coarsening
+    /// increments τ, saturating at `τmax`.
+    pub fn assign(&self, mesh: &mut Mesh) {
+        let deepest = mesh
+            .cells()
+            .iter()
+            .map(|c| c.depth)
+            .max()
+            .unwrap_or(0);
+        let tau: Vec<u8> = mesh
+            .cells()
+            .iter()
+            .map(|c| (deepest - c.depth).min(self.tau_max()))
+            .collect();
+        mesh.set_tau(tau, self.n_levels);
+    }
+
+    /// True when level `tau` is *active* at subiteration `s` (0-based): a
+    /// τ-cell is updated every `2^τ`-th subiteration.
+    pub fn is_active(&self, tau: u8, subiter: u32) -> bool {
+        debug_assert!(tau < self.n_levels);
+        subiter.is_multiple_of(1u32 << tau)
+    }
+
+    /// The highest temporal level that is active at subiteration `s` — the
+    /// first phase of the subiteration processes this level.
+    pub fn max_active_level(&self, subiter: u32) -> u8 {
+        let mut tau = self.tau_max();
+        while tau > 0 && !self.is_active(tau, subiter) {
+            tau -= 1;
+        }
+        tau
+    }
+
+    /// Number of times a τ-cell is updated over one full iteration; equals
+    /// its operating cost `2^(τmax − τ)`.
+    pub fn activations(&self, tau: u8) -> u32 {
+        operating_cost(tau, self.tau_max())
+    }
+}
+
+/// Re-assigns temporal levels *radially* around a hotspot centre: a cell
+/// gets the smallest τ whose radius bound contains it (`dist < radii[τ]`),
+/// or `radii.len()` (the coarsest class) outside all bounds.
+///
+/// This decouples the τ labels from cell sizes, which is physically loose
+/// but exactly what is needed to *simulate temporal-level drift*: the paper
+/// assumes levels "experience minimal evolution across iterations"; moving
+/// the hotspot between calls lets experiments measure how a stale partition
+/// degrades as that assumption weakens.
+///
+/// `radii` must be strictly increasing.
+///
+/// # Panics
+///
+/// Panics if `radii` is empty, not strictly increasing, or longer than 15.
+pub fn assign_radial(mesh: &mut Mesh, centre: [f64; 3], radii: &[f64]) {
+    assert!(!radii.is_empty(), "need at least one radius");
+    assert!(radii.len() <= 15, "too many levels");
+    assert!(
+        radii.windows(2).all(|w| w[0] < w[1]),
+        "radii must be strictly increasing"
+    );
+    let n_levels = radii.len() as u8 + 1;
+    let tau: Vec<u8> = mesh
+        .cells()
+        .iter()
+        .map(|c| {
+            let d = ((c.centroid[0] - centre[0]).powi(2)
+                + (c.centroid[1] - centre[1]).powi(2)
+                + (c.centroid[2] - centre[2]).powi(2))
+            .sqrt();
+            radii
+                .iter()
+                .position(|&r| d < r)
+                .unwrap_or(radii.len()) as u8
+        })
+        .collect();
+    mesh.set_tau(tau, n_levels);
+}
+
+/// Operating cost of a cell of level `tau` in a mesh whose highest level is
+/// `tau_max`: the number of updates it receives per iteration, `2^(τmax−τ)`.
+///
+/// # Panics
+///
+/// Panics if `tau > tau_max`.
+pub fn operating_cost(tau: u8, tau_max: u8) -> u32 {
+    assert!(tau <= tau_max, "tau exceeds tau_max");
+    1u32 << (tau_max - tau)
+}
+
+/// Per-level cell counts: `hist[τ]` is the number of cells with level τ.
+pub fn level_histogram(mesh: &Mesh) -> Vec<usize> {
+    let mut hist = vec![0usize; mesh.n_tau_levels() as usize];
+    for &t in mesh.tau() {
+        hist[t as usize] += 1;
+    }
+    hist
+}
+
+/// Per-level share of total computation over one iteration, as fractions
+/// summing to 1: `count_τ · 2^(τmax−τ)` normalised. Reproduces the
+/// `%Computation` row of Table I.
+pub fn computation_shares(mesh: &Mesh) -> Vec<f64> {
+    let tau_max = mesh.n_tau_levels() - 1;
+    let hist = level_histogram(mesh);
+    let work: Vec<f64> = hist
+        .iter()
+        .enumerate()
+        .map(|(t, &n)| n as f64 * f64::from(operating_cost(t as u8, tau_max)))
+        .collect();
+    let total: f64 = work.iter().sum();
+    if total == 0.0 {
+        return vec![0.0; hist.len()];
+    }
+    work.into_iter().map(|w| w / total).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::octree::{Octree, OctreeConfig};
+
+    #[test]
+    fn operating_cost_doubles_per_level() {
+        assert_eq!(operating_cost(0, 3), 8);
+        assert_eq!(operating_cost(1, 3), 4);
+        assert_eq!(operating_cost(2, 3), 2);
+        assert_eq!(operating_cost(3, 3), 1);
+    }
+
+    #[test]
+    fn activity_pattern_matches_figure_4() {
+        // τmax = 2 → 4 subiterations. τ=0 active at each, τ=1 at 0 and 2,
+        // τ=2 only at 0.
+        let s = TemporalScheme::new(3);
+        assert_eq!(s.subiterations(), 4);
+        let active: Vec<Vec<bool>> = (0..3u8)
+            .map(|t| (0..4).map(|i| s.is_active(t, i)).collect())
+            .collect();
+        assert_eq!(active[0], vec![true, true, true, true]);
+        assert_eq!(active[1], vec![true, false, true, false]);
+        assert_eq!(active[2], vec![true, false, false, false]);
+    }
+
+    #[test]
+    fn max_active_level_per_subiteration() {
+        let s = TemporalScheme::new(3);
+        assert_eq!(s.max_active_level(0), 2);
+        assert_eq!(s.max_active_level(1), 0);
+        assert_eq!(s.max_active_level(2), 1);
+        assert_eq!(s.max_active_level(3), 0);
+    }
+
+    #[test]
+    fn total_activations_conserved() {
+        // Sum over subiterations of active levels equals per-level activations.
+        let s = TemporalScheme::new(4);
+        for tau in 0..4u8 {
+            let by_subiter = (0..s.subiterations())
+                .filter(|&i| s.is_active(tau, i))
+                .count() as u32;
+            assert_eq!(by_subiter, s.activations(tau));
+        }
+    }
+
+    #[test]
+    fn assign_maps_depth_to_tau() {
+        let cfg = OctreeConfig {
+            base_depth: 1,
+            max_depth: 3,
+        };
+        // Refine near origin corner twice.
+        let t = Octree::build(&cfg, |c, _, _| c[0] + c[1] + c[2] < 0.4);
+        let mut m = crate::mesh::Mesh::from_octree(&t);
+        TemporalScheme::new(3).assign(&mut m);
+        let deepest = m.cells().iter().map(|c| c.depth).max().unwrap();
+        for (cell, &tau) in m.cells().iter().zip(m.tau()) {
+            assert_eq!(tau, (deepest - cell.depth).min(2));
+        }
+        let hist = level_histogram(&m);
+        assert_eq!(hist.iter().sum::<usize>(), m.n_cells());
+        assert!(hist[0] > 0, "finest level must be populated");
+    }
+
+    #[test]
+    fn computation_shares_sum_to_one() {
+        let cfg = OctreeConfig {
+            base_depth: 2,
+            max_depth: 4,
+        };
+        let t = Octree::build(&cfg, |c, _, _| {
+            let d = (c[0] - 0.5).abs().max((c[1] - 0.5).abs()).max((c[2] - 0.5).abs());
+            d < 0.2
+        });
+        let mut m = crate::mesh::Mesh::from_octree(&t);
+        TemporalScheme::new(3).assign(&mut m);
+        let shares = computation_shares(&m);
+        assert_eq!(shares.len(), 3);
+        assert!((shares.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "tau exceeds tau_max")]
+    fn cost_panics_on_bad_tau() {
+        let _ = operating_cost(4, 3);
+    }
+
+    #[test]
+    fn radial_assignment_layers() {
+        let cfg = OctreeConfig {
+            base_depth: 3,
+            max_depth: 3,
+        };
+        let mut m = crate::mesh::Mesh::from_octree(&Octree::build(&cfg, |_, _, _| false));
+        assign_radial(&mut m, [0.5, 0.5, 0.5], &[0.2, 0.45]);
+        assert_eq!(m.n_tau_levels(), 3);
+        for cell in 0..m.n_cells() as u32 {
+            let c = m.cells()[cell as usize].centroid;
+            let d = ((c[0] - 0.5f64).powi(2) + (c[1] - 0.5).powi(2) + (c[2] - 0.5).powi(2)).sqrt();
+            let expected = if d < 0.2 { 0 } else if d < 0.45 { 1 } else { 2 };
+            assert_eq!(m.cell_tau(cell), expected);
+        }
+        // Moving the hotspot changes the labels.
+        let before = m.tau().to_vec();
+        assign_radial(&mut m, [0.2, 0.5, 0.5], &[0.2, 0.45]);
+        assert_ne!(before, m.tau());
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn radial_rejects_bad_radii() {
+        let cfg = OctreeConfig {
+            base_depth: 2,
+            max_depth: 2,
+        };
+        let mut m = crate::mesh::Mesh::from_octree(&Octree::build(&cfg, |_, _, _| false));
+        assign_radial(&mut m, [0.5; 3], &[0.4, 0.2]);
+    }
+}

@@ -1,0 +1,221 @@
+//! Multilevel bisection and the recursive-bisection k-way driver.
+
+use crate::coarsen::coarsen;
+use crate::initial::{initial_bisection, SideWeights};
+use crate::refine::{fm_refine, project, rebalance};
+use crate::PartitionConfig;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use tempart_graph::{CsrGraph, PartId, Weight};
+
+/// One multilevel bisection: coarsen, split, uncoarsen with refinement.
+///
+/// `frac0` is the share of every constraint's total weight that side 0
+/// should receive. Returns the 0/1 side per vertex.
+pub fn multilevel_bisection(
+    graph: &CsrGraph,
+    frac0: f64,
+    config: &PartitionConfig,
+    ub: f64,
+    seed: u64,
+) -> Vec<u8> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    // Multi-constraint instances need a larger coarsest graph to have enough
+    // mixing freedom.
+    let target = config.coarsen_to * graph.ncon().max(1);
+    let hierarchy = coarsen(graph, target, seed ^ 0x9E37_79B9_7F4A_7C15);
+    let coarsest = hierarchy.coarsest(graph);
+
+    let mut side = initial_bisection(coarsest, frac0, config.initial_tries, ub, &mut rng).side;
+    rebalance(coarsest, &mut side, frac0, ub);
+    fm_refine(coarsest, &mut side, frac0, ub, config.refine_passes);
+
+    // Walk the hierarchy back up: the projection target of levels[i] is
+    // levels[i-1].graph (or the original graph for i == 0). An explicit
+    // rebalance pass precedes FM at every level: projection and coarse moves
+    // can leave per-constraint violations that boundary-seeded FM cannot
+    // reach (especially for one-hot multi-constraint instances).
+    for i in (0..hierarchy.levels.len()).rev() {
+        let fine_graph = if i == 0 {
+            graph
+        } else {
+            &hierarchy.levels[i - 1].graph
+        };
+        side = project(&hierarchy.levels[i].fine_to_coarse, &side);
+        rebalance(fine_graph, &mut side, frac0, ub);
+        fm_refine(fine_graph, &mut side, frac0, ub, config.refine_passes);
+    }
+    side
+}
+
+/// Extracts the induced subgraph of the vertices with `side[v] == which`.
+///
+/// Returns the subgraph and the mapping from sub-vertex index to original
+/// vertex index.
+pub fn extract_subgraph(graph: &CsrGraph, side: &[u8], which: u8) -> (CsrGraph, Vec<u32>) {
+    let n = graph.nvtx();
+    let ncon = graph.ncon();
+    let mut to_sub = vec![u32::MAX; n];
+    let mut to_orig: Vec<u32> = Vec::new();
+    for v in 0..n {
+        if side[v] == which {
+            to_sub[v] = to_orig.len() as u32;
+            to_orig.push(v as u32);
+        }
+    }
+    let ns = to_orig.len();
+    let mut xadj = Vec::with_capacity(ns + 1);
+    xadj.push(0usize);
+    let mut adjncy = Vec::new();
+    let mut adjwgt: Vec<Weight> = Vec::new();
+    let mut vwgt = Vec::with_capacity(ns * ncon);
+    for &ov in &to_orig {
+        for (u, w) in graph.neighbors(ov).zip(graph.edge_weights(ov)) {
+            if to_sub[u as usize] != u32::MAX {
+                adjncy.push(to_sub[u as usize]);
+                adjwgt.push(w);
+            }
+        }
+        xadj.push(adjncy.len());
+        vwgt.extend_from_slice(graph.vertex_weights(ov));
+    }
+    (
+        CsrGraph::from_parts_unchecked(xadj, adjncy, adjwgt, vwgt, ncon),
+        to_orig,
+    )
+}
+
+/// Recursive bisection into `config.nparts` parts.
+pub fn recursive_bisection(graph: &CsrGraph, config: &PartitionConfig) -> Vec<PartId> {
+    let mut part = vec![0 as PartId; graph.nvtx()];
+    // Balance errors compound multiplicatively down the bisection tree, so
+    // each bisection gets the per-level share of the global tolerance:
+    // ub_bisect^levels == ub.
+    let ub = config.ubvec.iter().copied().fold(1.0f64, f64::max);
+    let levels = (config.nparts as f64).log2().ceil().max(1.0);
+    let ub_bisect = ub.powf(1.0 / levels).max(1.001);
+    let fracs: Vec<f64> = match &config.target_fracs {
+        Some(t) => t.clone(),
+        None => vec![1.0 / config.nparts as f64; config.nparts],
+    };
+    split_recursive(graph, config, &fracs, 0, ub_bisect, config.seed, &mut |v, p| {
+        part[v as usize] = p;
+    });
+    part
+}
+
+/// Recursively splits `graph` into `k` parts, assigning part ids starting at
+/// `base` through the `assign(original_vertex, part)` callback.
+///
+/// `graph` vertices are identified via an implicit identity map at the top
+/// call; recursion passes explicit maps through closures.
+fn split_recursive(
+    graph: &CsrGraph,
+    config: &PartitionConfig,
+    fracs: &[f64],
+    base: PartId,
+    ub_bisect: f64,
+    seed: u64,
+    assign: &mut dyn FnMut(u32, PartId),
+) {
+    let k = fracs.len();
+    if k <= 1 {
+        for v in 0..graph.nvtx() as u32 {
+            assign(v, base);
+        }
+        return;
+    }
+    // Left child takes the first floor(k/2) leaves; side 0's share of this
+    // subgraph's weight is the leaves' combined target fraction.
+    let kl = k / 2;
+    let total: f64 = fracs.iter().sum();
+    let left: f64 = fracs[..kl].iter().sum();
+    let frac0 = left / total;
+    let side = if graph.nvtx() <= k {
+        // Degenerate: fewer vertices than parts; round-robin split.
+        (0..graph.nvtx())
+            .map(|v| u8::from(v % k >= kl))
+            .collect::<Vec<u8>>()
+    } else {
+        multilevel_bisection(graph, frac0, config, ub_bisect, seed)
+    };
+    let (g0, map0) = extract_subgraph(graph, &side, 0);
+    let (g1, map1) = extract_subgraph(graph, &side, 1);
+    let s0 = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    let s1 = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(2);
+    split_recursive(&g0, config, &fracs[..kl], base, ub_bisect, s0, &mut |v, p| {
+        assign(map0[v as usize], p)
+    });
+    split_recursive(
+        &g1,
+        config,
+        &fracs[kl..],
+        base + kl as PartId,
+        ub_bisect,
+        s1,
+        &mut |v, p| assign(map1[v as usize], p),
+    );
+}
+
+/// Reports the worst normalised side load of a bisection (test helper).
+pub fn bisection_norm(graph: &CsrGraph, side: &[u8], frac0: f64) -> f64 {
+    SideWeights::measure(graph, side, frac0).max_norm()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempart_graph::builder::grid_graph;
+    use tempart_graph::edge_cut;
+
+    #[test]
+    fn multilevel_bisection_of_large_grid() {
+        let g = grid_graph(40, 40);
+        let cfg = PartitionConfig::new(2);
+        let side = multilevel_bisection(&g, 0.5, &cfg, 1.05, 1);
+        let norm = bisection_norm(&g, &side, 0.5);
+        assert!(norm <= 1.06, "norm {norm}");
+        let part: Vec<u32> = side.iter().map(|&s| u32::from(s)).collect();
+        // Ideal cut 40; multilevel should stay well under 2x.
+        assert!(edge_cut(&g, &part) <= 80, "cut {}", edge_cut(&g, &part));
+    }
+
+    #[test]
+    fn extract_preserves_structure() {
+        let g = grid_graph(4, 4);
+        let side: Vec<u8> = (0..16).map(|v| u8::from(v % 4 >= 2)).collect();
+        let (sub, map) = extract_subgraph(&g, &side, 0);
+        assert_eq!(sub.nvtx(), 8);
+        assert!(sub.validate().is_ok());
+        // Left 2x4 block has 10 internal edges.
+        assert_eq!(sub.nedges(), 10);
+        for (sv, &ov) in map.iter().enumerate() {
+            assert_eq!(side[ov as usize], 0, "mapped vertex on wrong side");
+            assert_eq!(sub.vertex_weights(sv as u32), g.vertex_weights(ov));
+        }
+    }
+
+    #[test]
+    fn recursive_bisection_nonpow2() {
+        let g = grid_graph(15, 15);
+        let cfg = PartitionConfig::new(5);
+        let part = recursive_bisection(&g, &cfg);
+        let mut counts = vec![0usize; 5];
+        for &p in &part {
+            counts[p as usize] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 0), "{counts:?}");
+        let imb = tempart_graph::max_imbalance(&g, &part, 5);
+        assert!(imb <= 1.35, "imbalance {imb}");
+    }
+
+    #[test]
+    fn degenerate_more_parts_than_vertices() {
+        let g = grid_graph(2, 2);
+        let cfg = PartitionConfig::new(4);
+        let part = recursive_bisection(&g, &cfg);
+        let mut seen: Vec<_> = part.clone();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2, 3]);
+    }
+}

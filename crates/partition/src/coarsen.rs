@@ -1,0 +1,301 @@
+//! Coarsening: heavy-edge matching and graph contraction.
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use tempart_graph::CsrGraph;
+
+/// A single level of the coarsening hierarchy.
+#[derive(Debug, Clone)]
+pub struct CoarseLevel {
+    /// The coarse graph.
+    pub graph: CsrGraph,
+    /// For every *fine* vertex, the coarse vertex it maps to.
+    pub fine_to_coarse: Vec<u32>,
+}
+
+/// Computes a heavy-edge matching of `graph`.
+///
+/// Vertices are visited in a random order; each unmatched vertex matches the
+/// unmatched neighbour connected by the heaviest edge (ties broken by lower
+/// vertex id for determinism). Returns `match_of[v]`, with `match_of[v] == v`
+/// for unmatched vertices.
+pub fn heavy_edge_matching(graph: &CsrGraph, rng: &mut SmallRng) -> Vec<u32> {
+    let n = graph.nvtx();
+    let ncon = graph.ncon();
+    // Dominant weight class per vertex; multi-constraint matching prefers
+    // same-class pairs so coarse vertices keep (nearly) one-hot weight
+    // vectors — mixed coarse vertices make per-class balancing impossible at
+    // coarse levels.
+    let class_of = |v: u32| -> usize {
+        let w = graph.vertex_weights(v);
+        let mut best = 0usize;
+        for c in 1..ncon {
+            if w[c] > w[best] {
+                best = c;
+            }
+        }
+        best
+    };
+    let mut match_of: Vec<u32> = (0..n as u32).collect();
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.shuffle(rng);
+    let mut matched = vec![false; n];
+    for &v in &order {
+        if matched[v as usize] {
+            continue;
+        }
+        let vclass = class_of(v);
+        let mut best: Option<(bool, u32, u32)> = None; // (same class, weight, neighbor)
+        for (u, w) in graph.neighbors(v).zip(graph.edge_weights(v)) {
+            if matched[u as usize] {
+                continue;
+            }
+            let same = ncon == 1 || class_of(u) == vclass;
+            let cand = (same, w, u);
+            let better = match best {
+                None => true,
+                Some((bs, bw, bu)) => {
+                    (same, w) > (bs, bw) || (same == bs && w == bw && u < bu)
+                }
+            };
+            if better {
+                best = Some(cand);
+            }
+        }
+        if let Some((_, _, u)) = best {
+            matched[v as usize] = true;
+            matched[u as usize] = true;
+            match_of[v as usize] = u;
+            match_of[u as usize] = v;
+        }
+    }
+    match_of
+}
+
+/// Contracts `graph` along `match_of`, producing the coarse level.
+///
+/// Matched pairs merge into one coarse vertex whose weight vector is the
+/// component-wise sum; parallel edges merge by summing weights; edges inside
+/// a pair disappear.
+pub fn contract(graph: &CsrGraph, match_of: &[u32]) -> CoarseLevel {
+    let n = graph.nvtx();
+    let ncon = graph.ncon();
+    let mut fine_to_coarse = vec![u32::MAX; n];
+    let mut next = 0u32;
+    for v in 0..n as u32 {
+        if fine_to_coarse[v as usize] != u32::MAX {
+            continue;
+        }
+        let m = match_of[v as usize];
+        fine_to_coarse[v as usize] = next;
+        if m != v {
+            fine_to_coarse[m as usize] = next;
+        }
+        next += 1;
+    }
+    let nc = next as usize;
+
+    // Coarse vertex weights.
+    let mut vwgt = vec![0u32; nc * ncon];
+    for (v, &cv) in fine_to_coarse.iter().enumerate() {
+        let cv = cv as usize;
+        let fw = graph.vertex_weights(v as u32);
+        for c in 0..ncon {
+            vwgt[cv * ncon + c] += fw[c];
+        }
+    }
+
+    // Coarse adjacency: accumulate per coarse vertex with a dense scratch map
+    // (coarse-neighbour -> weight), reset between vertices via a stamp array.
+    let mut xadj = Vec::with_capacity(nc + 1);
+    let mut adjncy: Vec<u32> = Vec::with_capacity(graph.adjncy().len() / 2);
+    let mut adjwgt: Vec<u32> = Vec::with_capacity(graph.adjncy().len() / 2);
+    xadj.push(0usize);
+
+    // For each coarse vertex, the list of fine vertices mapping to it.
+    let mut members_off = vec![0usize; nc + 1];
+    for v in 0..n {
+        members_off[fine_to_coarse[v] as usize + 1] += 1;
+    }
+    for i in 0..nc {
+        members_off[i + 1] += members_off[i];
+    }
+    let mut members = vec![0u32; n];
+    let mut cursor = members_off.clone();
+    for v in 0..n as u32 {
+        let cv = fine_to_coarse[v as usize] as usize;
+        members[cursor[cv]] = v;
+        cursor[cv] += 1;
+    }
+
+    let mut stamp = vec![u32::MAX; nc];
+    let mut slot = vec![0usize; nc];
+    for cv in 0..nc {
+        let start = adjncy.len();
+        for &v in &members[members_off[cv]..members_off[cv + 1]] {
+            for (u, w) in graph.neighbors(v).zip(graph.edge_weights(v)) {
+                let cu = fine_to_coarse[u as usize] as usize;
+                if cu == cv {
+                    continue; // internal edge disappears
+                }
+                if stamp[cu] == cv as u32 {
+                    adjwgt[slot[cu]] += w;
+                } else {
+                    stamp[cu] = cv as u32;
+                    slot[cu] = adjncy.len();
+                    adjncy.push(cu as u32);
+                    adjwgt.push(w);
+                }
+            }
+        }
+        // Deterministic ordering of the coarse adjacency list.
+        let mut pairs: Vec<(u32, u32)> = adjncy[start..]
+            .iter()
+            .copied()
+            .zip(adjwgt[start..].iter().copied())
+            .collect();
+        pairs.sort_unstable_by_key(|&(u, _)| u);
+        for (i, (u, w)) in pairs.into_iter().enumerate() {
+            adjncy[start + i] = u;
+            adjwgt[start + i] = w;
+        }
+        xadj.push(adjncy.len());
+    }
+
+    CoarseLevel {
+        graph: CsrGraph::from_parts_unchecked(xadj, adjncy, adjwgt, vwgt, ncon),
+        fine_to_coarse,
+    }
+}
+
+/// The full coarsening hierarchy: `levels[0]` is one step coarser than the
+/// input, `levels.last()` is the coarsest.
+#[derive(Debug)]
+pub struct Hierarchy {
+    /// Successive coarse levels (possibly empty if the input was small).
+    pub levels: Vec<CoarseLevel>,
+}
+
+impl Hierarchy {
+    /// The coarsest graph, or `original` if no coarsening happened.
+    pub fn coarsest<'a>(&'a self, original: &'a CsrGraph) -> &'a CsrGraph {
+        self.levels.last().map_or(original, |l| &l.graph)
+    }
+}
+
+/// Coarsens `graph` until it has at most `target_nvtx` vertices or matching
+/// stops making progress (shrink factor under 10%).
+pub fn coarsen(graph: &CsrGraph, target_nvtx: usize, seed: u64) -> Hierarchy {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut levels: Vec<CoarseLevel> = Vec::new();
+    let mut current = graph.clone();
+    while current.nvtx() > target_nvtx {
+        let m = heavy_edge_matching(&current, &mut rng);
+        let level = contract(&current, &m);
+        let shrink = level.graph.nvtx() as f64 / current.nvtx() as f64;
+        if shrink > 0.92 {
+            break; // mostly unmatched: contracting further is useless
+        }
+        current = level.graph.clone();
+        levels.push(level);
+    }
+    Hierarchy { levels }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempart_graph::builder::grid_graph;
+
+    #[test]
+    fn matching_is_valid() {
+        let g = grid_graph(8, 8);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let m = heavy_edge_matching(&g, &mut rng);
+        for v in 0..g.nvtx() as u32 {
+            let u = m[v as usize];
+            assert_eq!(m[u as usize], v, "matching must be symmetric");
+            if u != v {
+                assert!(g.neighbors(v).any(|x| x == u), "matched along an edge");
+            }
+        }
+        // A grid has a near-perfect matching; expect most vertices matched.
+        let unmatched = (0..g.nvtx() as u32).filter(|&v| m[v as usize] == v).count();
+        assert!(unmatched < g.nvtx() / 4, "{unmatched} unmatched");
+    }
+
+    #[test]
+    fn contraction_conserves_weight() {
+        let g = grid_graph(8, 8);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let m = heavy_edge_matching(&g, &mut rng);
+        let lvl = contract(&g, &m);
+        assert!(lvl.graph.validate().is_ok());
+        assert_eq!(lvl.graph.total_weights(), g.total_weights());
+        assert!(lvl.graph.nvtx() < g.nvtx());
+        // Every fine vertex maps to a valid coarse vertex.
+        for &cv in &lvl.fine_to_coarse {
+            assert!((cv as usize) < lvl.graph.nvtx());
+        }
+    }
+
+    #[test]
+    fn contraction_conserves_cut_structure() {
+        // Edge weight across any coarse split equals the fine-edge weight sum:
+        // check total edge weight only drops by internal (matched) edges.
+        let g = grid_graph(6, 6);
+        let mut rng = SmallRng::seed_from_u64(11);
+        let m = heavy_edge_matching(&g, &mut rng);
+        let internal: i64 = (0..g.nvtx() as u32)
+            .filter(|&v| m[v as usize] > v)
+            .map(|v| {
+                let u = m[v as usize];
+                g.neighbors(v)
+                    .zip(g.edge_weights(v))
+                    .filter(|&(x, _)| x == u)
+                    .map(|(_, w)| i64::from(w))
+                    .sum::<i64>()
+            })
+            .sum();
+        let lvl = contract(&g, &m);
+        assert_eq!(lvl.graph.total_edge_weight(), g.total_edge_weight() - internal);
+    }
+
+    #[test]
+    fn multiconstraint_weights_add() {
+        let g = grid_graph(4, 4);
+        let mut vwgt = vec![0u32; 16 * 2];
+        for v in 0..16 {
+            vwgt[v * 2 + (v % 2)] = 2;
+        }
+        let g2 = g.with_vertex_weights(vwgt, 2);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let m = heavy_edge_matching(&g2, &mut rng);
+        let lvl = contract(&g2, &m);
+        assert_eq!(lvl.graph.total_weights(), g2.total_weights());
+        assert_eq!(lvl.graph.ncon(), 2);
+    }
+
+    #[test]
+    fn hierarchy_reaches_target() {
+        let g = grid_graph(32, 32);
+        let h = coarsen(&g, 64, 42);
+        assert!(h.coarsest(&g).nvtx() <= 130, "coarsest {}", h.coarsest(&g).nvtx());
+        assert!(!h.levels.is_empty());
+        // Monotone shrink.
+        let mut prev = g.nvtx();
+        for l in &h.levels {
+            assert!(l.graph.nvtx() < prev);
+            prev = l.graph.nvtx();
+        }
+    }
+
+    #[test]
+    fn coarsen_small_graph_is_noop_or_fast() {
+        let g = grid_graph(4, 4);
+        let h = coarsen(&g, 100, 1);
+        assert!(h.levels.is_empty());
+        assert_eq!(h.coarsest(&g).nvtx(), 16);
+    }
+}

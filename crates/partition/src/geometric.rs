@@ -1,0 +1,238 @@
+//! Geometric partitioning via space-filling curves.
+//!
+//! The paper's related work contrasts connectivity-based partitioners
+//! (METIS/Scotch) with geometric ones (Zoltan, space-filling curves for CFD
+//! [Aftosmis et al.]). This module provides that baseline: cells are sorted
+//! along a Morton or Hilbert curve through their centroids and the curve is
+//! cut into `k` consecutive, weight-balanced chunks. Geometric methods give
+//! compact, cheap partitions but ignore connectivity — and support only a
+//! single balancing criterion, which is precisely why the paper needs the
+//! multi-constraint machinery of the multilevel partitioner.
+
+use tempart_graph::PartId;
+
+/// Which space-filling curve to order cells by.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Curve {
+    /// Morton (Z-order): bit-interleaving, cheapest, more jumps.
+    Morton,
+    /// Hilbert: locality-optimal, no jumps between consecutive cells.
+    Hilbert,
+}
+
+/// Number of bits per coordinate used for curve indexing.
+const BITS: u32 = 16;
+
+/// Quantises a coordinate in `[0, 1]` to `BITS` bits.
+fn quantise(x: f64) -> u64 {
+    let max = (1u64 << BITS) - 1;
+    ((x.clamp(0.0, 1.0) * max as f64).round() as u64).min(max)
+}
+
+/// Morton (Z-order) index of a point in the unit cube.
+pub fn morton_index(p: [f64; 3]) -> u128 {
+    let (x, y, z) = (quantise(p[0]), quantise(p[1]), quantise(p[2]));
+    let mut out: u128 = 0;
+    for b in 0..BITS {
+        out |= (((x >> b) & 1) as u128) << (3 * b);
+        out |= (((y >> b) & 1) as u128) << (3 * b + 1);
+        out |= (((z >> b) & 1) as u128) << (3 * b + 2);
+    }
+    out
+}
+
+/// Hilbert index of a point in the unit cube (3-D Hilbert curve of order
+/// `BITS`), via the classic Gray-code / rotation construction (Butz
+/// algorithm, compact form).
+pub fn hilbert_index(p: [f64; 3]) -> u128 {
+    let mut x = [quantise(p[0]), quantise(p[1]), quantise(p[2])];
+    // Transpose-form Hilbert encoding (Skilling's algorithm, inverse step).
+    let m = 1u64 << (BITS - 1);
+    // Inverse undo of Skilling transform.
+    let mut q = m;
+    while q > 1 {
+        let pmask = q - 1;
+        for i in 0..3 {
+            if x[i] & q != 0 {
+                x[0] ^= pmask; // invert
+            } else {
+                let t = (x[0] ^ x[i]) & pmask;
+                x[0] ^= t;
+                x[i] ^= t;
+            }
+        }
+        q >>= 1;
+    }
+    // Gray encode.
+    for i in 1..3 {
+        x[i] ^= x[i - 1];
+    }
+    let mut t = 0u64;
+    q = m;
+    while q > 1 {
+        if x[2] & q != 0 {
+            t ^= q - 1;
+        }
+        q >>= 1;
+    }
+    for xi in &mut x {
+        *xi ^= t;
+    }
+    // Interleave the transposed coordinates into the Hilbert index: bit b of
+    // axis a becomes bit (3*b + (2 - a)) — most significant axis first.
+    let mut out: u128 = 0;
+    for b in 0..BITS {
+        for (a, &xi) in x.iter().enumerate() {
+            out |= (((xi >> b) & 1) as u128) << (3 * b + (2 - a as u32) as u128 as u32);
+        }
+    }
+    out
+}
+
+/// Partitions points along a space-filling curve into `k` chunks of
+/// (approximately) equal total weight.
+///
+/// Returns one part id per point. Weights must be non-negative; at least one
+/// must be positive.
+pub fn sfc_partition(
+    centroids: &[[f64; 3]],
+    weights: &[u64],
+    k: usize,
+    curve: Curve,
+) -> Vec<PartId> {
+    assert_eq!(centroids.len(), weights.len(), "one weight per point");
+    assert!(k >= 1, "need at least one part");
+    let n = centroids.len();
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    let key = |i: u32| -> u128 {
+        let c = centroids[i as usize];
+        match curve {
+            Curve::Morton => morton_index(c),
+            Curve::Hilbert => hilbert_index(c),
+        }
+    };
+    order.sort_by_key(|&i| key(i));
+
+    let total: u64 = weights.iter().sum();
+    let mut part = vec![0 as PartId; n];
+    let mut acc = 0u64;
+    let mut cut = 0usize; // parts already closed
+    for &i in &order {
+        // Close the current part when its share is reached (greedy prefix).
+        let target_end = total as u128 * (cut as u128 + 1) / k as u128;
+        if acc as u128 >= target_end && cut + 1 < k {
+            cut += 1;
+        }
+        part[i as usize] = cut as PartId;
+        acc += weights[i as usize];
+    }
+    part
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn morton_orders_octants() {
+        // The eight octant centres must sort in Z-order.
+        let a = morton_index([0.25, 0.25, 0.25]);
+        let b = morton_index([0.75, 0.25, 0.25]);
+        let c = morton_index([0.25, 0.75, 0.25]);
+        let e = morton_index([0.75, 0.75, 0.75]);
+        assert!(a < b && b < c && c < e);
+    }
+
+    #[test]
+    fn hilbert_neighbours_are_adjacent() {
+        // The defining property Morton lacks: consecutive cells of a full 3-D
+        // grid in Hilbert order are face-adjacent (distance exactly one cell
+        // step).
+        let nside = 8usize;
+        let h = 1.0 / nside as f64;
+        let mut pts = Vec::new();
+        for z in 0..nside {
+            for y in 0..nside {
+                for x in 0..nside {
+                    pts.push([
+                        (x as f64 + 0.5) * h,
+                        (y as f64 + 0.5) * h,
+                        (z as f64 + 0.5) * h,
+                    ]);
+                }
+            }
+        }
+        let jump = |curve: Curve| -> f64 {
+            let mut idx: Vec<usize> = (0..pts.len()).collect();
+            idx.sort_by_key(|&i| match curve {
+                Curve::Hilbert => hilbert_index(pts[i]),
+                Curve::Morton => morton_index(pts[i]),
+            });
+            let mut max_jump = 0.0f64;
+            for w in idx.windows(2) {
+                let (a, b) = (pts[w[0]], pts[w[1]]);
+                let d = ((a[0] - b[0]).powi(2) + (a[1] - b[1]).powi(2) + (a[2] - b[2]).powi(2))
+                    .sqrt();
+                max_jump = max_jump.max(d);
+            }
+            max_jump
+        };
+        let hilbert_jump = jump(Curve::Hilbert);
+        let morton_jump = jump(Curve::Morton);
+        assert!(
+            hilbert_jump < 1.01 * h,
+            "hilbert max jump {hilbert_jump} (cell step {h})"
+        );
+        assert!(
+            morton_jump > 2.0 * h,
+            "morton is expected to jump: {morton_jump}"
+        );
+    }
+
+    #[test]
+    fn sfc_balances_weights() {
+        let n = 1000usize;
+        let centroids: Vec<[f64; 3]> = (0..n)
+            .map(|i| {
+                let t = i as f64 / n as f64;
+                [t, (t * 7.0).fract(), (t * 13.0).fract()]
+            })
+            .collect();
+        let weights = vec![1u64; n];
+        for curve in [Curve::Morton, Curve::Hilbert] {
+            let part = sfc_partition(&centroids, &weights, 8, curve);
+            let mut counts = vec![0usize; 8];
+            for &p in &part {
+                counts[p as usize] += 1;
+            }
+            for &c in &counts {
+                assert!((100..=150).contains(&c), "{curve:?}: {counts:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn sfc_handles_skewed_weights() {
+        let centroids: Vec<[f64; 3]> = (0..100)
+            .map(|i| [i as f64 / 100.0, 0.5, 0.5])
+            .collect();
+        let mut weights = vec![1u64; 100];
+        weights[0] = 100; // one huge cell
+        let part = sfc_partition(&centroids, &weights, 4, Curve::Morton);
+        let mut sums = vec![0u64; 4];
+        for (i, &p) in part.iter().enumerate() {
+            sums[p as usize] += weights[i];
+        }
+        let max = *sums.iter().max().unwrap();
+        // The huge cell dominates; every part still gets something and the
+        // heaviest part is the one holding it.
+        assert!(sums.iter().all(|&s| s > 0), "{sums:?}");
+        assert!(max >= 100);
+    }
+
+    #[test]
+    fn single_part_trivial() {
+        let part = sfc_partition(&[[0.1, 0.2, 0.3]], &[5], 1, Curve::Hilbert);
+        assert_eq!(part, vec![0]);
+    }
+}

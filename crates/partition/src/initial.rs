@@ -1,0 +1,286 @@
+//! Initial bisection of the coarsest graph: greedy graph growing (GGGP).
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+use tempart_graph::CsrGraph;
+
+/// Per-side, per-constraint weight bookkeeping for a bisection.
+#[derive(Debug, Clone)]
+pub struct SideWeights {
+    /// `w[side][c]`.
+    pub w: [Vec<i64>; 2],
+    /// Target weight of side 0 per constraint (side 1 gets the rest).
+    pub target0: Vec<f64>,
+    /// Totals per constraint.
+    pub total: Vec<i64>,
+}
+
+impl SideWeights {
+    /// Initialises from a 0/1 assignment.
+    pub fn measure(graph: &CsrGraph, side: &[u8], frac0: f64) -> Self {
+        let ncon = graph.ncon();
+        let total = graph.total_weights();
+        let mut w = [vec![0i64; ncon], vec![0i64; ncon]];
+        for (v, &sv) in side.iter().enumerate() {
+            let s = sv as usize;
+            let vw = graph.vertex_weights(v as u32);
+            for c in 0..ncon {
+                w[s][c] += i64::from(vw[c]);
+            }
+        }
+        let target0 = total.iter().map(|&t| t as f64 * frac0).collect();
+        Self { w, target0, total }
+    }
+
+    /// Target weight of `side` for constraint `c`.
+    pub fn target(&self, s: usize, c: usize) -> f64 {
+        if s == 0 {
+            self.target0[c]
+        } else {
+            self.total[c] as f64 - self.target0[c]
+        }
+    }
+
+    /// Normalised load of `side` for constraint `c` (1.0 = on target).
+    pub fn norm(&self, s: usize, c: usize) -> f64 {
+        let t = self.target(s, c);
+        if t <= 0.0 {
+            // An empty constraint cannot be imbalanced.
+            if self.w[s][c] == 0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.w[s][c] as f64 / t
+        }
+    }
+
+    /// Worst normalised load over both sides and all constraints.
+    pub fn max_norm(&self) -> f64 {
+        let ncon = self.total.len();
+        let mut m = 0.0f64;
+        for s in 0..2 {
+            for c in 0..ncon {
+                m = m.max(self.norm(s, c));
+            }
+        }
+        m
+    }
+
+    /// Applies the move of a vertex with weights `vw` from `from` to the
+    /// other side.
+    pub fn apply(&mut self, vw: &[u32], from: usize) {
+        let to = 1 - from;
+        for (c, &x) in vw.iter().enumerate() {
+            self.w[from][c] -= i64::from(x);
+            self.w[to][c] += i64::from(x);
+        }
+    }
+
+    /// Worst normalised load if a vertex with weights `vw` moved from `from`.
+    pub fn max_norm_after(&mut self, vw: &[u32], from: usize) -> f64 {
+        self.apply(vw, from);
+        let m = self.max_norm();
+        self.apply(vw, 1 - from);
+        m
+    }
+}
+
+/// Result of one bisection attempt.
+#[derive(Debug, Clone)]
+pub struct Bisection {
+    /// 0/1 side per vertex.
+    pub side: Vec<u8>,
+    /// Edge cut of the bisection.
+    pub cut: i64,
+    /// Worst normalised side load (1.0 = perfectly on target).
+    pub max_norm: f64,
+}
+
+/// Computes the cut of a 0/1 assignment.
+pub fn bisection_cut(graph: &CsrGraph, side: &[u8]) -> i64 {
+    let mut cut = 0i64;
+    for v in 0..graph.nvtx() as u32 {
+        for (u, w) in graph.neighbors(v).zip(graph.edge_weights(v)) {
+            if side[v as usize] != side[u as usize] {
+                cut += i64::from(w);
+            }
+        }
+    }
+    cut / 2
+}
+
+/// Grows side 0 greedily from a random seed until every constraint reaches
+/// its target, then returns the attempt.
+///
+/// When the frontier contains no *admissible* vertex (every candidate would
+/// overshoot a constraint target), growth restarts from a fresh admissible
+/// seed — this is what makes multi-constraint one-hot instances solvable and
+/// is also why MC_TL domains may come out disconnected, as the paper notes.
+pub fn grow_bisection(graph: &CsrGraph, frac0: f64, rng: &mut SmallRng) -> Bisection {
+    let n = graph.nvtx();
+    let ncon = graph.ncon();
+    let mut side = vec![1u8; n];
+    let mut weights = SideWeights::measure(graph, &side, frac0);
+
+    // gain[v] = (edge weight to side 0) - (edge weight to side 1); grow picks
+    // the admissible frontier vertex with the largest gain.
+    let mut in0 = vec![false; n];
+    let mut heap: std::collections::BinaryHeap<(i64, u32)> = std::collections::BinaryHeap::new();
+    let mut gain = vec![0i64; n];
+    for v in 0..n as u32 {
+        gain[v as usize] = -graph
+            .edge_weights(v)
+            .map(i64::from)
+            .sum::<i64>();
+    }
+
+    let admissible = |weights: &SideWeights, vw: &[u32]| -> bool {
+        (0..ncon).all(|c| vw[c] == 0 || (weights.w[0][c] as f64) < weights.target(0, c))
+    };
+    let done = |weights: &SideWeights| -> bool {
+        (0..ncon).all(|c| weights.w[0][c] as f64 >= weights.target(0, c) || weights.total[c] == 0)
+    };
+
+    let mut moved = 0usize;
+    while !done(&weights) && moved < n {
+        // Pop until a valid admissible frontier vertex is found.
+        let mut pick: Option<u32> = None;
+        while let Some((g, v)) = heap.pop() {
+            if in0[v as usize] || g != gain[v as usize] {
+                continue; // stale entry
+            }
+            if admissible(&weights, graph.vertex_weights(v)) {
+                pick = Some(v);
+                break;
+            }
+            // Inadmissible now; it may become admissible after other classes
+            // fill up, but with one-hot weights its class is full for good.
+            // Drop it; re-seeding handles leftovers.
+        }
+        // Frontier exhausted: seed a new region at a random admissible vertex.
+        let v = match pick {
+            Some(v) => v,
+            None => {
+                let start = rng.gen_range(0..n);
+                let found = (0..n)
+                    .map(|i| ((start + i) % n) as u32)
+                    .find(|&v| !in0[v as usize] && admissible(&weights, graph.vertex_weights(v)));
+                match found {
+                    Some(v) => v,
+                    None => break, // nothing admissible anywhere: stop
+                }
+            }
+        };
+        in0[v as usize] = true;
+        side[v as usize] = 0;
+        weights.apply(graph.vertex_weights(v), 1);
+        moved += 1;
+        for (u, w) in graph.neighbors(v).zip(graph.edge_weights(v)) {
+            if !in0[u as usize] {
+                gain[u as usize] += 2 * i64::from(w);
+                heap.push((gain[u as usize], u));
+            }
+        }
+    }
+
+    let cut = bisection_cut(graph, &side);
+    let max_norm = weights.max_norm();
+    Bisection { side, cut, max_norm }
+}
+
+/// Runs `tries` growth attempts and keeps the best: balanced attempts beat
+/// unbalanced ones; among equals, smaller cut wins.
+pub fn initial_bisection(
+    graph: &CsrGraph,
+    frac0: f64,
+    tries: usize,
+    ub: f64,
+    rng: &mut SmallRng,
+) -> Bisection {
+    let mut best: Option<Bisection> = None;
+    for _ in 0..tries.max(1) {
+        let b = grow_bisection(graph, frac0, rng);
+        let better = match &best {
+            None => true,
+            Some(cur) => {
+                let b_ok = b.max_norm <= ub;
+                let c_ok = cur.max_norm <= ub;
+                match (b_ok, c_ok) {
+                    (true, false) => true,
+                    (false, true) => false,
+                    (true, true) => b.cut < cur.cut,
+                    (false, false) => {
+                        b.max_norm < cur.max_norm
+                            || (b.max_norm == cur.max_norm && b.cut < cur.cut)
+                    }
+                }
+            }
+        };
+        if better {
+            best = Some(b);
+        }
+    }
+    best.expect("at least one attempt")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use tempart_graph::builder::grid_graph;
+
+    #[test]
+    fn grow_splits_grid_evenly() {
+        let g = grid_graph(10, 10);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let b = initial_bisection(&g, 0.5, 8, 1.05, &mut rng);
+        assert!(b.max_norm <= 1.1, "norm {}", b.max_norm);
+        let n0 = b.side.iter().filter(|&&s| s == 0).count();
+        assert!((40..=60).contains(&n0), "side0 {n0}");
+        assert!(b.cut > 0);
+    }
+
+    #[test]
+    fn asymmetric_fraction() {
+        let g = grid_graph(12, 12);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let b = initial_bisection(&g, 1.0 / 3.0, 8, 1.1, &mut rng);
+        let n0 = b.side.iter().filter(|&&s| s == 0).count();
+        // Expect roughly 48 of 144 vertices on side 0.
+        assert!((38..=58).contains(&n0), "side0 {n0}");
+    }
+
+    #[test]
+    fn one_hot_classes_fill_both() {
+        // Segregated 2-class grid: growing must reach both halves.
+        let g = grid_graph(8, 8);
+        let mut vwgt = vec![0u32; 64 * 2];
+        for v in 0..64 {
+            vwgt[v * 2 + usize::from(v % 8 >= 4)] = 1;
+        }
+        let g2 = g.with_vertex_weights(vwgt, 2);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let b = initial_bisection(&g2, 0.5, 8, 1.2, &mut rng);
+        assert!(b.max_norm <= 1.35, "norm {}", b.max_norm);
+    }
+
+    #[test]
+    fn cut_helper_matches_metric() {
+        let g = grid_graph(6, 6);
+        let side: Vec<u8> = (0..36).map(|v| u8::from(v % 6 >= 3)).collect();
+        let part: Vec<u32> = side.iter().map(|&s| u32::from(s)).collect();
+        assert_eq!(bisection_cut(&g, &side), tempart_graph::edge_cut(&g, &part));
+    }
+
+    #[test]
+    fn side_weights_norms() {
+        let g = grid_graph(4, 1);
+        let side = vec![0u8, 0, 1, 1];
+        let w = SideWeights::measure(&g, &side, 0.5);
+        assert!((w.max_norm() - 1.0).abs() < 1e-12);
+        let skew = SideWeights::measure(&g, &[0, 0, 0, 1], 0.5);
+        assert!((skew.max_norm() - 1.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,357 @@
+//! Direct k-way partitioning: greedy k-way refinement, and the full
+//! multilevel k-way scheme (the `METIS_PartGraphKway` analogue: coarsen the
+//! whole graph once, split the coarsest graph, refine during uncoarsening).
+
+use crate::coarsen::coarsen;
+use crate::PartitionConfig;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use tempart_graph::{CsrGraph, PartId};
+
+/// Greedy k-way boundary refinement.
+///
+/// Repeatedly sweeps boundary vertices in random order; each vertex may move
+/// to the neighbouring part with the best positive cut gain, provided the
+/// move does not push any constraint of the target part above its allowance
+/// (average × `ub`) and does not empty the source part.
+///
+/// Returns the number of moves applied.
+pub fn kway_refine(graph: &CsrGraph, part: &mut [PartId], config: &PartitionConfig) -> usize {
+    let n = graph.nvtx();
+    let k = config.nparts;
+    let ncon = graph.ncon();
+    if n == 0 || k <= 1 {
+        return 0;
+    }
+    let mut rng = SmallRng::seed_from_u64(config.seed ^ 0x4B57_4159);
+    let totals = graph.total_weights();
+    // allowance[p*ncon + c]
+    let mut pw = vec![0i64; k * ncon];
+    let mut psize = vec![0usize; k];
+    for (v, &p) in part.iter().enumerate() {
+        let p = p as usize;
+        psize[p] += 1;
+        let vw = graph.vertex_weights(v as u32);
+        for c in 0..ncon {
+            pw[p * ncon + c] += i64::from(vw[c]);
+        }
+    }
+    let allowance: Vec<f64> = (0..ncon)
+        .map(|c| totals[c] as f64 / k as f64 * config.ub(c))
+        .collect();
+
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    let mut moves = 0usize;
+    // Scratch: per-part connection weight for the current vertex.
+    let mut conn = vec![0i64; k];
+    let mut touched: Vec<usize> = Vec::with_capacity(8);
+
+    for _pass in 0..config.refine_passes.max(1) {
+        order.shuffle(&mut rng);
+        let mut pass_moves = 0usize;
+        for &v in &order {
+            let pv = part[v as usize] as usize;
+            if psize[pv] <= 1 {
+                continue;
+            }
+            touched.clear();
+            let mut is_boundary = false;
+            for (u, w) in graph.neighbors(v).zip(graph.edge_weights(v)) {
+                let pu = part[u as usize] as usize;
+                if conn[pu] == 0 {
+                    touched.push(pu);
+                }
+                conn[pu] += i64::from(w);
+                if pu != pv {
+                    is_boundary = true;
+                }
+            }
+            if is_boundary {
+                let internal = conn[pv];
+                let vw = graph.vertex_weights(v);
+                let mut best: Option<(i64, usize)> = None;
+                for &p in &touched {
+                    if p == pv {
+                        continue;
+                    }
+                    let gain = conn[p] - internal;
+                    if gain <= 0 {
+                        continue;
+                    }
+                    // Feasibility: target part stays within allowance.
+                    let fits = (0..ncon).all(|c| {
+                        vw[c] == 0
+                            || (pw[p * ncon + c] + i64::from(vw[c])) as f64
+                                <= allowance[c].max(1.0)
+                    });
+                    if fits {
+                        let better = match best {
+                            None => true,
+                            Some((bg, bp)) => gain > bg || (gain == bg && p < bp),
+                        };
+                        if better {
+                            best = Some((gain, p));
+                        }
+                    }
+                }
+                if let Some((_, p)) = best {
+                    for c in 0..ncon {
+                        pw[pv * ncon + c] -= i64::from(vw[c]);
+                        pw[p * ncon + c] += i64::from(vw[c]);
+                    }
+                    psize[pv] -= 1;
+                    psize[p] += 1;
+                    part[v as usize] = p as PartId;
+                    pass_moves += 1;
+                }
+            }
+            for &p in &touched {
+                conn[p] = 0;
+            }
+        }
+        moves += pass_moves;
+        if pass_moves == 0 {
+            break;
+        }
+    }
+    moves
+}
+
+/// K-way balance restoration: while some `(part, constraint)` load exceeds
+/// its allowance, move the best-gain vertex carrying that constraint out of
+/// the overloaded part into its best-connected part with headroom. The
+/// k-way analogue of `refine::rebalance` — without it, projected k-way
+/// partitions of one-hot multi-constraint graphs can stay arbitrarily
+/// imbalanced (greedy refinement only ever takes positive-gain moves).
+///
+/// Returns the number of moves applied.
+pub fn kway_rebalance(graph: &CsrGraph, part: &mut [PartId], config: &PartitionConfig) -> usize {
+    let n = graph.nvtx();
+    let k = config.nparts;
+    let ncon = graph.ncon();
+    if n == 0 || k <= 1 {
+        return 0;
+    }
+    let totals = graph.total_weights();
+    let mut pw = vec![0i64; k * ncon];
+    for (v, &p) in part.iter().enumerate() {
+        let vw = graph.vertex_weights(v as u32);
+        for c in 0..ncon {
+            pw[p as usize * ncon + c] += i64::from(vw[c]);
+        }
+    }
+    let allowance: Vec<f64> = (0..ncon)
+        .map(|c| (totals[c] as f64 / k as f64 * config.ub(c)).max(1.0))
+        .collect();
+
+    let mut moves = 0usize;
+    while moves < n {
+        // Worst (part, constraint) violation.
+        let mut worst: Option<(f64, usize, usize)> = None; // (ratio, part, con)
+        for p in 0..k {
+            for c in 0..ncon {
+                if totals[c] == 0 {
+                    continue;
+                }
+                let ratio = pw[p * ncon + c] as f64 / allowance[c];
+                if ratio > 1.0 && worst.is_none_or(|(r, _, _)| ratio > r) {
+                    worst = Some((ratio, p, c));
+                }
+            }
+        }
+        let Some((_, wp, wc)) = worst else { break };
+        // Best-gain movable vertex: in part `wp`, carrying `wc`, going to a
+        // connected part with headroom for all its constraints; if the
+        // overloaded part has no usable boundary (e.g. everything crammed
+        // into one part), fall back to the least-loaded part that fits.
+        let mut best: Option<(i64, u32, usize)> = None; // (gain, vertex, target)
+        let mut fallback: Option<(i64, u32)> = None; // (-internal, vertex)
+        for v in 0..n as u32 {
+            if part[v as usize] as usize != wp {
+                continue;
+            }
+            let vw = graph.vertex_weights(v);
+            if vw[wc] == 0 {
+                continue;
+            }
+            // Connection per candidate part.
+            let mut internal = 0i64;
+            let mut best_target: Option<(i64, usize)> = None;
+            for (u, w) in graph.neighbors(v).zip(graph.edge_weights(v)) {
+                let pu = part[u as usize] as usize;
+                if pu == wp {
+                    internal += i64::from(w);
+                } else {
+                    let fits = (0..ncon).all(|c| {
+                        vw[c] == 0
+                            || (pw[pu * ncon + c] + i64::from(vw[c])) as f64 <= allowance[c]
+                    });
+                    if fits && best_target.is_none_or(|(bw, _)| i64::from(w) > bw) {
+                        best_target = Some((i64::from(w), pu));
+                    }
+                }
+            }
+            if let Some((conn, target)) = best_target {
+                let gain = conn - internal;
+                if best.is_none_or(|(bg, _, _)| gain > bg) {
+                    best = Some((gain, v, target));
+                }
+            } else if fallback.is_none_or(|(bi, _)| -internal > bi) {
+                fallback = Some((-internal, v));
+            }
+        }
+        let chosen = best.map(|(_, v, t)| (v, t)).or_else(|| {
+            let (_, v) = fallback?;
+            let vw = graph.vertex_weights(v);
+            // Least-loaded (on wc) part that fits every constraint.
+            (0..k)
+                .filter(|&p| p != wp)
+                .filter(|&p| {
+                    (0..ncon).all(|c| {
+                        vw[c] == 0
+                            || (pw[p * ncon + c] + i64::from(vw[c])) as f64 <= allowance[c]
+                    })
+                })
+                .min_by_key(|&p| pw[p * ncon + wc])
+                .map(|p| (v, p))
+        });
+        let Some((v, target)) = chosen else { break };
+        let vw = graph.vertex_weights(v);
+        for c in 0..ncon {
+            pw[wp * ncon + c] -= i64::from(vw[c]);
+            pw[target * ncon + c] += i64::from(vw[c]);
+        }
+        part[v as usize] = target as PartId;
+        moves += 1;
+    }
+    moves
+}
+
+/// Full multilevel k-way partitioning: one global coarsening pass, an
+/// initial k-way split of the coarsest graph by recursive bisection, then
+/// greedy k-way refinement at every uncoarsening level.
+///
+/// Compared to recursive bisection of the full graph this trades some cut
+/// quality (the paper found RB better on its meshes) for a single coarsening
+/// hierarchy — the classic quality/speed trade-off METIS exposes as its two
+/// entry points.
+pub fn multilevel_kway(graph: &CsrGraph, config: &PartitionConfig) -> Vec<PartId> {
+    let k = config.nparts;
+    if k <= 1 || graph.nvtx() <= 1 {
+        return vec![0; graph.nvtx()];
+    }
+    // Keep the coarsest graph large enough to seat k parts comfortably.
+    let target = (config.coarsen_to * graph.ncon().max(1)).max(8 * k);
+    let hierarchy = coarsen(graph, target, config.seed ^ 0x6B77_6179);
+    let coarsest = hierarchy.coarsest(graph);
+
+    let mut part = crate::bisect::recursive_bisection(coarsest, config);
+    kway_rebalance(coarsest, &mut part, config);
+    kway_refine(coarsest, &mut part, config);
+
+    for i in (0..hierarchy.levels.len()).rev() {
+        let fine_graph = if i == 0 {
+            graph
+        } else {
+            &hierarchy.levels[i - 1].graph
+        };
+        // Project: each fine vertex inherits its coarse image's part.
+        let map = &hierarchy.levels[i].fine_to_coarse;
+        part = map.iter().map(|&cv| part[cv as usize]).collect();
+        kway_rebalance(fine_graph, &mut part, config);
+        kway_refine(fine_graph, &mut part, config);
+    }
+    part
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bisect::recursive_bisection;
+    use tempart_graph::builder::grid_graph;
+    use tempart_graph::{edge_cut, max_imbalance};
+
+    #[test]
+    fn refinement_reduces_cut_of_random_partition() {
+        let g = grid_graph(16, 16);
+        // Deliberately bad: pseudo-random scatter over 4 parts.
+        let mut part: Vec<PartId> = (0..256u64)
+            .map(|v| ((v.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) % 4) as PartId)
+            .collect();
+        let before = edge_cut(&g, &part);
+        let cfg = PartitionConfig::new(4).with_ub(1.15);
+        let moves = kway_refine(&g, &mut part, &cfg);
+        let after = edge_cut(&g, &part);
+        assert!(moves > 0);
+        assert!(after < before, "cut {before} -> {after}");
+        assert!(max_imbalance(&g, &part, 4) <= 1.4);
+    }
+
+    #[test]
+    fn refinement_preserves_part_count() {
+        let g = grid_graph(12, 12);
+        let cfg = PartitionConfig::new(6);
+        let mut part = recursive_bisection(&g, &cfg);
+        kway_refine(&g, &mut part, &cfg);
+        let mut used = vec![false; 6];
+        for &p in &part {
+            used[p as usize] = true;
+        }
+        assert!(used.iter().all(|&u| u));
+    }
+
+    #[test]
+    fn multilevel_kway_quality() {
+        let g = grid_graph(24, 24);
+        let cfg = PartitionConfig::new(8).with_ub(1.10);
+        let part = multilevel_kway(&g, &cfg);
+        let mut used = vec![false; 8];
+        for &p in &part {
+            used[p as usize] = true;
+        }
+        assert!(used.iter().all(|&u| u), "all parts populated");
+        assert!(max_imbalance(&g, &part, 8) <= 1.35);
+        // Quality within 2x of full recursive bisection on a grid.
+        let rb = recursive_bisection(&g, &cfg);
+        assert!(
+            edge_cut(&g, &part) <= 2 * edge_cut(&g, &rb),
+            "mlkway {} vs rb {}",
+            edge_cut(&g, &part),
+            edge_cut(&g, &rb)
+        );
+    }
+
+    #[test]
+    fn kway_rebalance_fixes_violations() {
+        // Cram everything into part 0 of 4: rebalance must spread it out.
+        let g = grid_graph(8, 8);
+        let mut part = vec![0 as PartId; 64];
+        let cfg = PartitionConfig::new(4).with_ub(1.20);
+        let moves = kway_rebalance(&g, &mut part, &cfg);
+        assert!(moves > 0);
+        let imb = max_imbalance(&g, &part, 4);
+        assert!(imb <= 1.25, "imbalance {imb} after rebalance");
+    }
+
+    #[test]
+    fn multilevel_kway_multiconstraint() {
+        let g = grid_graph(16, 16);
+        let mut vwgt = vec![0u32; 256 * 2];
+        for v in 0..256 {
+            vwgt[v * 2 + usize::from(v % 16 >= 8)] = 1;
+        }
+        let g2 = g.with_vertex_weights(vwgt, 2);
+        let cfg = PartitionConfig::new(4).with_ub(1.15);
+        let part = multilevel_kway(&g2, &cfg);
+        assert!(max_imbalance(&g2, &part, 4) <= 1.5);
+    }
+
+    #[test]
+    fn noop_on_single_part() {
+        let g = grid_graph(4, 4);
+        let mut part = vec![0 as PartId; 16];
+        let cfg = PartitionConfig::new(1);
+        assert_eq!(kway_refine(&g, &mut part, &cfg), 0);
+    }
+}

@@ -1,0 +1,86 @@
+//! Process-group structure: per-group injectors and in-group stealing.
+
+use crossbeam::deque::{Injector, Steal, Stealer, Worker};
+use tempart_taskgraph::TaskId;
+
+/// The scheduling fabric of one process group: a shared injector plus one
+/// work-stealing deque per worker thread of the group.
+pub struct Group {
+    /// Global inbox of the group; newly-ready tasks land here.
+    pub injector: Injector<TaskId>,
+    /// Stealers for all worker deques of this group.
+    pub stealers: Vec<Stealer<TaskId>>,
+}
+
+impl Group {
+    /// Creates the group fabric, returning the group and the worker-local
+    /// deques (to be moved into the worker threads).
+    pub fn new(n_workers: usize) -> (Self, Vec<Worker<TaskId>>) {
+        let workers: Vec<Worker<TaskId>> = (0..n_workers).map(|_| Worker::new_lifo()).collect();
+        let stealers = workers.iter().map(Worker::stealer).collect();
+        (
+            Self {
+                injector: Injector::new(),
+                stealers,
+            },
+            workers,
+        )
+    }
+
+    /// Finds work for the worker owning `local`: local deque first, then the
+    /// group injector, then stealing from in-group siblings.
+    pub fn find_task(&self, local: &Worker<TaskId>, self_index: usize) -> Option<TaskId> {
+        if let Some(t) = local.pop() {
+            return Some(t);
+        }
+        loop {
+            match self.injector.steal_batch_and_pop(local) {
+                Steal::Success(t) => return Some(t),
+                Steal::Empty => break,
+                Steal::Retry => continue,
+            }
+        }
+        for (i, s) in self.stealers.iter().enumerate() {
+            if i == self_index {
+                continue;
+            }
+            loop {
+                match s.steal() {
+                    Steal::Success(t) => return Some(t),
+                    Steal::Empty => break,
+                    Steal::Retry => continue,
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn injector_roundtrip() {
+        let (g, workers) = Group::new(2);
+        g.injector.push(7);
+        g.injector.push(8);
+        let t = g.find_task(&workers[0], 0).unwrap();
+        assert!(t == 7 || t == 8);
+        // The batch-steal may have moved the second task into worker 0's
+        // local deque; worker 1 must still find it via stealing.
+        let t2 = g.find_task(&workers[1], 1).unwrap();
+        assert_ne!(t, t2);
+        assert!(g.find_task(&workers[1], 1).is_none());
+    }
+
+    #[test]
+    fn local_first() {
+        let (g, workers) = Group::new(1);
+        workers[0].push(1);
+        g.injector.push(2);
+        assert_eq!(g.find_task(&workers[0], 0), Some(1));
+        assert_eq!(g.find_task(&workers[0], 0), Some(2));
+        assert_eq!(g.find_task(&workers[0], 0), None);
+    }
+}

@@ -1,0 +1,17 @@
+#![warn(missing_docs)]
+//! A StarPU-like threaded task runtime with MPI-like process groups.
+//!
+//! The paper's FLUSEPA delegates task scheduling to StarPU within each MPI
+//! process; tasks never migrate between processes (their domain is pinned to
+//! a rank). This crate reproduces that execution model in shared memory:
+//! worker threads are partitioned into *groups*; each group owns the tasks of
+//! the domains mapped to it; workers steal within their group but **never**
+//! across groups. That boundary is what makes per-subiteration load imbalance
+//! show up as idle cores, exactly as in the distributed setting.
+
+pub mod dag_exec;
+pub mod groups;
+pub mod trace;
+
+pub use dag_exec::{execute, ExecReport, RuntimeConfig};
+pub use trace::WallSegment;

@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+//! An explicit temporal-adaptive finite-volume Euler solver.
+//!
+//! This crate is the workspace's stand-in for FLUSEPA's numerical core: a
+//! cell-centred finite-volume discretisation of the compressible Euler
+//! equations on the unstructured meshes of `tempart-mesh`, advanced with the
+//! paper's adaptive time-stepping scheme (temporal levels, `2^τmax`
+//! subiterations per iteration) and executed task-by-task over
+//! `tempart-runtime` following the task graph of `tempart-taskgraph`.
+//!
+//! Substitutions with respect to FLUSEPA (documented in DESIGN.md): Euler
+//! instead of Navier–Stokes (the viscous terms only change the per-cell
+//! constant cost) and single-stage forward-Euler updates instead of Heun's
+//! two-stage method (the task graph the paper studies is per *phase*, not per
+//! Runge–Kutta stage, so its shape is identical).
+
+pub mod flux;
+pub mod kernels;
+pub mod monitor;
+pub mod solver;
+pub mod state;
+pub mod timestep;
+pub mod viscous;
+
+pub use flux::rusanov;
+pub use monitor::{FlowStats, Monitor};
+pub use kernels::{CellStage, SharedArray};
+pub use solver::{blast_initial, Solver, SolverConfig, TimeIntegration};
+pub use state::{EulerState, Primitive, GAMMA};
+pub use timestep::stable_dt;
+pub use viscous::{viscous_flux, Viscosity};

@@ -1,0 +1,141 @@
+//! Conservative state vectors and the ideal-gas equation of state.
+
+/// Ratio of specific heats for air.
+pub const GAMMA: f64 = 1.4;
+
+/// Primitive flow variables.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Primitive {
+    /// Density.
+    pub rho: f64,
+    /// Velocity components.
+    pub vel: [f64; 3],
+    /// Static pressure.
+    pub p: f64,
+}
+
+impl Primitive {
+    /// Quiescent gas at the given density and pressure.
+    pub fn at_rest(rho: f64, p: f64) -> Self {
+        Self {
+            rho,
+            vel: [0.0; 3],
+            p,
+        }
+    }
+
+    /// Converts to the conservative vector `[ρ, ρu, ρv, ρw, E]`.
+    pub fn to_conservative(self) -> [f64; 5] {
+        let ke = 0.5
+            * self.rho
+            * (self.vel[0] * self.vel[0] + self.vel[1] * self.vel[1] + self.vel[2] * self.vel[2]);
+        [
+            self.rho,
+            self.rho * self.vel[0],
+            self.rho * self.vel[1],
+            self.rho * self.vel[2],
+            self.p / (GAMMA - 1.0) + ke,
+        ]
+    }
+
+    /// Speed of sound.
+    pub fn sound_speed(self) -> f64 {
+        (GAMMA * self.p / self.rho).sqrt()
+    }
+}
+
+/// Decodes a conservative vector into primitives.
+pub fn to_primitive(u: &[f64; 5]) -> Primitive {
+    let rho = u[0];
+    let inv = 1.0 / rho;
+    let vel = [u[1] * inv, u[2] * inv, u[3] * inv];
+    let ke = 0.5 * rho * (vel[0] * vel[0] + vel[1] * vel[1] + vel[2] * vel[2]);
+    let p = (GAMMA - 1.0) * (u[4] - ke);
+    Primitive { rho, vel, p }
+}
+
+/// Flow state of a whole mesh: one conservative vector per cell.
+#[derive(Debug, Clone)]
+pub struct EulerState {
+    /// Conservative variables per cell.
+    pub u: Vec<[f64; 5]>,
+}
+
+impl EulerState {
+    /// Initialises every cell from `init(centroid)`.
+    pub fn init<F>(centroids: impl Iterator<Item = [f64; 3]>, init: F) -> Self
+    where
+        F: Fn([f64; 3]) -> Primitive,
+    {
+        Self {
+            u: centroids.map(|c| init(c).to_conservative()).collect(),
+        }
+    }
+
+    /// Volume-weighted totals of the conserved quantities.
+    pub fn totals(&self, volumes: impl Iterator<Item = f64>) -> [f64; 5] {
+        let mut t = [0.0f64; 5];
+        for (u, v) in self.u.iter().zip(volumes) {
+            for k in 0..5 {
+                t[k] += u[k] * v;
+            }
+        }
+        t
+    }
+
+    /// True when every entry is finite and density/energy positive.
+    pub fn is_physical(&self) -> bool {
+        self.u.iter().all(|u| {
+            u.iter().all(|x| x.is_finite()) && u[0] > 0.0 && {
+                let p = to_primitive(u).p;
+                p > 0.0
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_roundtrip() {
+        let p = Primitive {
+            rho: 1.2,
+            vel: [0.3, -0.5, 0.1],
+            p: 2.5,
+        };
+        let back = to_primitive(&p.to_conservative());
+        assert!((back.rho - p.rho).abs() < 1e-14);
+        assert!((back.p - p.p).abs() < 1e-12);
+        for k in 0..3 {
+            assert!((back.vel[k] - p.vel[k]).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn sound_speed_air() {
+        let p = Primitive::at_rest(1.0, 1.0);
+        assert!((p.sound_speed() - GAMMA.sqrt()).abs() < 1e-14);
+    }
+
+    #[test]
+    fn totals_weighted_by_volume() {
+        let s = EulerState::init(
+            [[0.0, 0.0, 0.0], [1.0, 0.0, 0.0]].into_iter(),
+            |_| Primitive::at_rest(2.0, 1.0),
+        );
+        let t = s.totals([1.0, 3.0].into_iter());
+        assert!((t[0] - 8.0).abs() < 1e-14);
+        assert!(s.is_physical());
+    }
+
+    #[test]
+    fn unphysical_detected() {
+        let mut s = EulerState::init([[0.0; 3]].into_iter(), |_| Primitive::at_rest(1.0, 1.0));
+        s.u[0][0] = -1.0;
+        assert!(!s.is_physical());
+        s.u[0][0] = f64::NAN;
+        assert!(!s.is_physical());
+    }
+}

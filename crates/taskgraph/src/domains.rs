@@ -1,0 +1,239 @@
+//! Domain decomposition analysis: object classification and neighbourhoods.
+
+use tempart_graph::PartId;
+use tempart_mesh::{FaceNeighbor, Mesh};
+
+/// Whether an object (cell or face) sits strictly inside its domain or on the
+/// border to another domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObjectClass {
+    /// No contact with another domain.
+    Internal,
+    /// Borders at least one other domain.
+    External,
+}
+
+/// A mesh + partition bundle with everything Algorithm 1 needs precomputed:
+/// per-domain, per-level object lists split into internal/external classes,
+/// and the domain adjacency (which domains share faces).
+#[derive(Debug, Clone)]
+pub struct DomainDecomposition {
+    /// Domain of every cell.
+    pub cell_domain: Vec<PartId>,
+    /// Number of domains.
+    pub n_domains: usize,
+    /// Number of temporal levels in the mesh.
+    pub n_levels: u8,
+    /// `cells[d][τ]` → (internal cell ids, external cell ids).
+    cells: Vec<Vec<(Vec<u32>, Vec<u32>)>>,
+    /// `faces[d][τ]` → (internal face ids, external face ids). A face belongs
+    /// to the domain of its owner cell; its level is the min of its adjacent
+    /// cells' levels; it is external when its two cells live in different
+    /// domains.
+    faces: Vec<Vec<(Vec<u32>, Vec<u32>)>>,
+    /// Sorted neighbour domains of every domain.
+    neighbors: Vec<Vec<PartId>>,
+}
+
+impl DomainDecomposition {
+    /// Builds the decomposition from a mesh and a per-cell domain assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `part.len() != mesh.n_cells()` or a part id is `>= n_domains`.
+    pub fn new(mesh: &Mesh, part: &[PartId], n_domains: usize) -> Self {
+        assert_eq!(part.len(), mesh.n_cells(), "partition vector length");
+        assert!(
+            part.iter().all(|&p| (p as usize) < n_domains),
+            "part id out of range"
+        );
+        let nl = mesh.n_tau_levels() as usize;
+        let mut cells: Vec<Vec<(Vec<u32>, Vec<u32>)>> =
+            vec![vec![(Vec::new(), Vec::new()); nl]; n_domains];
+        let mut faces: Vec<Vec<(Vec<u32>, Vec<u32>)>> =
+            vec![vec![(Vec::new(), Vec::new()); nl]; n_domains];
+        let mut neighbors: Vec<Vec<PartId>> = vec![Vec::new(); n_domains];
+
+        // Classify cells: external iff any neighbouring cell is elsewhere.
+        let mut cell_external = vec![false; mesh.n_cells()];
+        for f in mesh.faces() {
+            if let FaceNeighbor::Interior(nb) = f.neighbor {
+                let d0 = part[f.owner as usize];
+                let d1 = part[nb as usize];
+                if d0 != d1 {
+                    cell_external[f.owner as usize] = true;
+                    cell_external[nb as usize] = true;
+                    if !neighbors[d0 as usize].contains(&d1) {
+                        neighbors[d0 as usize].push(d1);
+                    }
+                    if !neighbors[d1 as usize].contains(&d0) {
+                        neighbors[d1 as usize].push(d0);
+                    }
+                }
+            }
+        }
+        for d in &mut neighbors {
+            d.sort_unstable();
+        }
+        for (c, &tau) in mesh.tau().iter().enumerate() {
+            let d = part[c] as usize;
+            let (int, ext) = &mut cells[d][tau as usize];
+            if cell_external[c] {
+                ext.push(c as u32);
+            } else {
+                int.push(c as u32);
+            }
+        }
+        for (fid, f) in mesh.faces().iter().enumerate() {
+            let d = part[f.owner as usize] as usize;
+            let tau = mesh.face_tau(fid as u32) as usize;
+            let external = match f.neighbor {
+                FaceNeighbor::Interior(nb) => part[nb as usize] as usize != d,
+                FaceNeighbor::Boundary => false,
+            };
+            let (int, ext) = &mut faces[d][tau];
+            if external {
+                ext.push(fid as u32);
+            } else {
+                int.push(fid as u32);
+            }
+        }
+
+        Self {
+            cell_domain: part.to_vec(),
+            n_domains,
+            n_levels: mesh.n_tau_levels(),
+            cells,
+            faces,
+            neighbors,
+        }
+    }
+
+    /// Cell ids of `(domain, τ, class)`.
+    pub fn cells_of(&self, domain: PartId, tau: u8, class: ObjectClass) -> &[u32] {
+        let (int, ext) = &self.cells[domain as usize][tau as usize];
+        match class {
+            ObjectClass::Internal => int,
+            ObjectClass::External => ext,
+        }
+    }
+
+    /// Face ids of `(domain, τ, class)`.
+    pub fn faces_of(&self, domain: PartId, tau: u8, class: ObjectClass) -> &[u32] {
+        let (int, ext) = &self.faces[domain as usize][tau as usize];
+        match class {
+            ObjectClass::Internal => int,
+            ObjectClass::External => ext,
+        }
+    }
+
+    /// Sorted neighbour domains of `domain`.
+    pub fn neighbors_of(&self, domain: PartId) -> &[PartId] {
+        &self.neighbors[domain as usize]
+    }
+
+    /// Number of cells of `domain` (all levels, both classes).
+    pub fn domain_cell_count(&self, domain: PartId) -> usize {
+        self.cells[domain as usize]
+            .iter()
+            .map(|(i, e)| i.len() + e.len())
+            .sum()
+    }
+
+    /// Total number of external cells across all domains.
+    pub fn total_external_cells(&self) -> usize {
+        self.cells
+            .iter()
+            .flat_map(|per_tau| per_tau.iter())
+            .map(|(_, e)| e.len())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempart_mesh::{Octree, OctreeConfig, TemporalScheme};
+
+    fn grid_mesh(depth: u8) -> Mesh {
+        let cfg = OctreeConfig {
+            base_depth: depth,
+            max_depth: depth,
+        };
+        let mut m = Mesh::from_octree(&Octree::build(&cfg, |_, _, _| false));
+        TemporalScheme::new(1).assign(&mut m);
+        m
+    }
+
+    /// Split the 4x4x4 grid in half along x (cells sorted by key order:
+    /// leaves sorted by (d,x,y,z) → x fastest? keys sorted lexicographically
+    /// by (depth, x, y, z) so x is the major axis after depth).
+    fn half_split(m: &Mesh) -> Vec<PartId> {
+        m.cells()
+            .iter()
+            .map(|c| u32::from(c.centroid[0] > 0.5))
+            .collect()
+    }
+
+    #[test]
+    fn classification_counts() {
+        let m = grid_mesh(2);
+        let part = half_split(&m);
+        let dd = DomainDecomposition::new(&m, &part, 2);
+        // Each half: 32 cells; the 16 cells touching the split plane are
+        // external.
+        for d in 0..2u32 {
+            let int = dd.cells_of(d, 0, ObjectClass::Internal).len();
+            let ext = dd.cells_of(d, 0, ObjectClass::External).len();
+            assert_eq!(int + ext, 32);
+            assert_eq!(ext, 16, "domain {d}");
+        }
+        assert_eq!(dd.neighbors_of(0), &[1]);
+        assert_eq!(dd.neighbors_of(1), &[0]);
+        assert_eq!(dd.total_external_cells(), 32);
+    }
+
+    #[test]
+    fn face_classification() {
+        let m = grid_mesh(2);
+        let part = half_split(&m);
+        let dd = DomainDecomposition::new(&m, &part, 2);
+        let ext0 = dd.faces_of(0, 0, ObjectClass::External).len();
+        let ext1 = dd.faces_of(1, 0, ObjectClass::External).len();
+        // 16 faces cross the plane; each owned by exactly one side.
+        assert_eq!(ext0 + ext1, 16);
+        let int_total = dd.faces_of(0, 0, ObjectClass::Internal).len()
+            + dd.faces_of(1, 0, ObjectClass::Internal).len();
+        // All other faces (interior of halves + boundary) are internal.
+        assert_eq!(int_total, m.n_faces() - 16);
+    }
+
+    #[test]
+    fn every_cell_listed_once() {
+        let m = grid_mesh(2);
+        let part: Vec<PartId> = (0..64).map(|i| (i % 4) as PartId).collect();
+        let dd = DomainDecomposition::new(&m, &part, 4);
+        let mut seen = vec![false; 64];
+        for d in 0..4u32 {
+            for tau in 0..1u8 {
+                for class in [ObjectClass::Internal, ObjectClass::External] {
+                    for &c in dd.cells_of(d, tau, class) {
+                        assert!(!seen[c as usize], "cell {c} duplicated");
+                        seen[c as usize] = true;
+                        assert_eq!(part[c as usize], d);
+                    }
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn single_domain_has_no_externals() {
+        let m = grid_mesh(2);
+        let dd = DomainDecomposition::new(&m, &vec![0; 64], 1);
+        assert_eq!(dd.total_external_cells(), 0);
+        assert!(dd.neighbors_of(0).is_empty());
+        assert_eq!(dd.domain_cell_count(0), 64);
+    }
+}

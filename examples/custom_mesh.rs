@@ -1,0 +1,71 @@
+//! Bring your own geometry: build a custom graded octree mesh, assign
+//! temporal levels, and run the whole pipeline on it.
+//!
+//! The refinement predicate below models a re-entry capsule bow shock: a
+//! spherical cap of very fine cells ahead of a blunt body, coarsening into
+//! the wake.
+//!
+//! Run: `cargo run --release --example custom_mesh`
+
+use tempart::core_api::{run_flusim, PartitionStrategy, PipelineConfig};
+use tempart::flusim::{ClusterConfig, Strategy};
+use tempart::mesh::{Mesh, Octree, OctreeConfig, TemporalScheme};
+
+fn main() {
+    // 1. Geometry: refine near a spherical shock front at x ≈ 0.3.
+    let body = [0.45f64, 0.5, 0.5];
+    let shock_radius = 0.18;
+    let cfg = OctreeConfig {
+        base_depth: 4,
+        max_depth: 7,
+    };
+    let tree = Octree::build(&cfg, |c, _, d| {
+        let r = ((c[0] - body[0]).powi(2) + (c[1] - body[1]).powi(2) + (c[2] - body[2]).powi(2))
+            .sqrt();
+        let dist_to_front = (r - shock_radius).abs();
+        // Tighter bands refine deeper.
+        match d {
+            4 => dist_to_front < 0.10 && c[0] < body[0],
+            5 => dist_to_front < 0.04 && c[0] < body[0],
+            6 => dist_to_front < 0.015 && c[0] < body[0],
+            _ => false,
+        }
+    });
+    let mut mesh = Mesh::from_octree(&tree);
+
+    // 2. Temporal levels from cell size (CFL octaves), 4 classes.
+    TemporalScheme::new(4).assign(&mut mesh);
+    println!(
+        "custom mesh: {} cells, per-level histogram {:?}",
+        mesh.n_cells(),
+        tempart::mesh::level_histogram(&mesh)
+    );
+
+    // 3. Pipeline with the dual-phase strategy (MC_TL across processes,
+    //    SC_OC inside).
+    for strategy in [
+        PartitionStrategy::ScOc,
+        PartitionStrategy::McTl,
+        PartitionStrategy::DualPhase {
+            domains_per_process: 8,
+        },
+    ] {
+        let out = run_flusim(
+            &mesh,
+            &PipelineConfig {
+                strategy,
+                n_domains: 64,
+                cluster: ClusterConfig::new(8, 8),
+                scheduling: Strategy::EagerFifo,
+                seed: 2024,
+            },
+        );
+        println!(
+            "{:<10} makespan={:>8} idle={:>5.1}% interprocess-cut={:>6}",
+            strategy.label(),
+            out.makespan(),
+            out.sim.idle_fraction(&ClusterConfig::new(8, 8)) * 100.0,
+            out.interprocess_cut,
+        );
+    }
+}

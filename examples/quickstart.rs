@@ -1,0 +1,45 @@
+//! Quickstart: partition a temporal-adaptive mesh with the paper's MC_TL
+//! strategy and see why it beats operating-cost balancing.
+//!
+//! Run: `cargo run --release --example quickstart`
+
+use tempart::core_api::{run_flusim, PartitionStrategy, PipelineConfig};
+use tempart::flusim::{ClusterConfig, Strategy};
+use tempart::mesh::{GeneratorConfig, MeshCase};
+
+fn main() {
+    // 1. A mesh with a refinement hotspot: cells carry temporal levels
+    //    (τ = 0 is finest; a τ-cell is updated every 2^τ-th subiteration).
+    let mesh = MeshCase::Cylinder.generate(&GeneratorConfig { base_depth: 4 });
+    println!(
+        "mesh: {} cells, {} faces, {} temporal levels",
+        mesh.n_cells(),
+        mesh.n_faces(),
+        mesh.n_tau_levels()
+    );
+
+    // 2. Decompose + generate the task graph + simulate one iteration, for
+    //    both strategies, on an emulated 8-process × 4-core cluster.
+    for strategy in [PartitionStrategy::ScOc, PartitionStrategy::McTl] {
+        let config = PipelineConfig {
+            strategy,
+            n_domains: 32,
+            cluster: ClusterConfig::new(8, 4),
+            scheduling: Strategy::EagerFifo,
+            seed: 42,
+        };
+        let out = run_flusim(&mesh, &config);
+        println!(
+            "{:<6}: makespan {:>7}  idle {:>5.1}%  edge-cut {:>6}  disconnected-domain excess {}",
+            strategy.label(),
+            out.makespan(),
+            out.sim.idle_fraction(&config.cluster) * 100.0,
+            out.quality.edge_cut,
+            out.quality.part_components - 32,
+        );
+    }
+    println!(
+        "\nMC_TL balances every temporal level across domains, so every subiteration\n\
+         is balanced — at the price of a larger edge cut (more communication)."
+    );
+}

@@ -1,0 +1,45 @@
+//! # tempart — temporal-level-aware multi-criteria mesh partitioning
+//!
+//! A from-scratch Rust reproduction of *"Multi-Criteria Mesh Partitioning
+//! for an Explicit Temporal Adaptive Task-Distributed Finite-Volume Solver"*
+//! (PDSEC/IPDPS 2024): the FLUSEPA/FLUSIM system family — graded
+//! unstructured meshes with temporal levels, a multilevel multi-constraint
+//! graph partitioner, the temporal-adaptive task-graph generator, an
+//! idealized execution simulator, a grouped threaded task runtime, and an
+//! explicit finite-volume Euler solver.
+//!
+//! This umbrella crate re-exports every workspace crate under one roof; see
+//! the README for a guided tour and `DESIGN.md` for the system inventory.
+//!
+//! ```
+//! use tempart::core_api::{run_flusim, PartitionStrategy, PipelineConfig};
+//! use tempart::flusim::{ClusterConfig, Strategy};
+//! use tempart::mesh::{GeneratorConfig, MeshCase};
+//!
+//! let mesh = MeshCase::Cube.generate(&GeneratorConfig { base_depth: 4 });
+//! let out = run_flusim(&mesh, &PipelineConfig {
+//!     strategy: PartitionStrategy::McTl,
+//!     n_domains: 8,
+//!     cluster: ClusterConfig::new(4, 2),
+//!     scheduling: Strategy::EagerFifo,
+//!     seed: 42,
+//! });
+//! assert!(out.makespan() >= out.graph.critical_path());
+//! ```
+
+/// High-level API: strategies (`SC_OC`, `MC_TL`, dual-phase) and pipelines.
+pub use tempart_core as core_api;
+/// FLUSIM: the idealized discrete-event execution simulator.
+pub use tempart_flusim as flusim;
+/// CSR graphs and partition-quality metrics.
+pub use tempart_graph as graph;
+/// Meshes, synthetic generators and temporal levels.
+pub use tempart_mesh as mesh;
+/// The multilevel single-/multi-constraint partitioner.
+pub use tempart_partition as partition;
+/// The grouped threaded task runtime.
+pub use tempart_runtime as runtime;
+/// The explicit finite-volume Euler solver.
+pub use tempart_solver as solver;
+/// Task-graph generation (Algorithm 1) and statistics.
+pub use tempart_taskgraph as taskgraph;

@@ -1,0 +1,508 @@
+//! `tempart` — command-line front end for the workspace.
+//!
+//! Subcommands:
+//!
+//! * `gen`       — generate a mesh and export it (VTK / CSV)
+//! * `partition` — decompose a mesh and report partition quality
+//! * `simulate`  — FLUSIM: simulate one iteration on an emulated cluster
+//! * `solve`     — run the real finite-volume solver for a few iterations
+//!
+//! Run `tempart help` for the full usage text.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use tempart::core_api::{
+    decompose, decompose_with_repair, run_flusim, Curve, PartitionStrategy, PipelineConfig,
+};
+use tempart::flusim::{ascii_gantt, ClusterConfig, CommModel, Strategy};
+use tempart::graph::PartitionQuality;
+use tempart::mesh::{level_histogram, GeneratorConfig, Mesh, MeshCase};
+use tempart::runtime::RuntimeConfig;
+use tempart::solver::{blast_initial, Solver, SolverConfig, TimeIntegration, Viscosity};
+use tempart::taskgraph::stats::block_process_map;
+
+const USAGE: &str = "\
+tempart — temporal-level-aware multi-criteria mesh partitioning
+
+USAGE:
+    tempart <COMMAND> [OPTIONS]
+
+COMMANDS:
+    gen        generate a mesh            (--case, --depth, --vtk F, --csv F)
+    partition  decompose + quality report (--case, --depth, --strategy, --domains,
+                                           --seed, --repair, --vtk F)
+               or partition an external METIS graph file:
+                                           (--graph F.graph, --domains, --out F.part)
+    simulate   FLUSIM one iteration       (--case, --depth, --strategy, --domains,
+                                           --processes, --cores, --latency, --gantt)
+    compare    SC_OC vs MC_TL side by side (--case, --depth, --domains,
+                                           --processes, --cores, --svg DIR)
+    solve      real FV solver             (--case, --depth, --strategy, --domains,
+                                           --iterations, --heun, --mu X, --groups,
+                                           --workers)
+    help       show this text
+
+COMMON OPTIONS:
+    --case cylinder|cube|pprime   mesh case                  [default: cylinder]
+    --depth N                     octree base depth          [default: per case]
+    --strategy uniform|sc_oc|mc_tl|dual:<k>|sfc_z|sfc_h      [default: mc_tl]
+    --domains N                   extraction domains         [default: 32]
+    --seed N                      partitioner seed           [default: 24397]
+";
+
+#[derive(Debug)]
+struct Options {
+    case: MeshCase,
+    depth: Option<u8>,
+    strategy: PartitionStrategy,
+    domains: usize,
+    processes: usize,
+    cores: usize,
+    seed: u64,
+    latency: u64,
+    iterations: usize,
+    heun: bool,
+    mu: Option<f64>,
+    groups: usize,
+    workers: usize,
+    repair: bool,
+    gantt: bool,
+    svg: Option<PathBuf>,
+    vtk: Option<PathBuf>,
+    csv: Option<PathBuf>,
+    graph_file: Option<PathBuf>,
+    out: Option<PathBuf>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self {
+            case: MeshCase::Cylinder,
+            depth: None,
+            strategy: PartitionStrategy::McTl,
+            domains: 32,
+            processes: 8,
+            cores: 4,
+            seed: 0x5F4D,
+            latency: 0,
+            iterations: 3,
+            heun: false,
+            mu: None,
+            groups: 2,
+            workers: 2,
+            repair: false,
+            gantt: false,
+            svg: None,
+            vtk: None,
+            csv: None,
+            graph_file: None,
+            out: None,
+        }
+    }
+}
+
+fn parse_strategy(s: &str) -> Result<PartitionStrategy, String> {
+    match s {
+        "uniform" => Ok(PartitionStrategy::Uniform),
+        "sc_oc" => Ok(PartitionStrategy::ScOc),
+        "mc_tl" => Ok(PartitionStrategy::McTl),
+        "sfc_z" => Ok(PartitionStrategy::SfcOc {
+            curve: Curve::Morton,
+        }),
+        "sfc_h" => Ok(PartitionStrategy::SfcOc {
+            curve: Curve::Hilbert,
+        }),
+        _ => {
+            if let Some(k) = s.strip_prefix("dual:") {
+                let k: usize = k.parse().map_err(|_| format!("bad dual factor in {s:?}"))?;
+                Ok(PartitionStrategy::DualPhase {
+                    domains_per_process: k,
+                })
+            } else {
+                Err(format!("unknown strategy {s:?}"))
+            }
+        }
+    }
+}
+
+fn parse_case(s: &str) -> Result<MeshCase, String> {
+    match s {
+        "cylinder" => Ok(MeshCase::Cylinder),
+        "cube" => Ok(MeshCase::Cube),
+        "pprime" | "pprime_nozzle" => Ok(MeshCase::PprimeNozzle),
+        _ => Err(format!("unknown case {s:?}")),
+    }
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut o = Options::default();
+    let mut i = 0;
+    let take = |args: &[String], i: &mut usize, flag: &str| -> Result<String, String> {
+        *i += 1;
+        args.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--case" => o.case = parse_case(&take(args, &mut i, "--case")?)?,
+            "--depth" => {
+                o.depth = Some(
+                    take(args, &mut i, "--depth")?
+                        .parse()
+                        .map_err(|e| format!("--depth: {e}"))?,
+                )
+            }
+            "--strategy" => o.strategy = parse_strategy(&take(args, &mut i, "--strategy")?)?,
+            "--domains" => {
+                o.domains = take(args, &mut i, "--domains")?
+                    .parse()
+                    .map_err(|e| format!("--domains: {e}"))?
+            }
+            "--processes" => {
+                o.processes = take(args, &mut i, "--processes")?
+                    .parse()
+                    .map_err(|e| format!("--processes: {e}"))?
+            }
+            "--cores" => {
+                o.cores = take(args, &mut i, "--cores")?
+                    .parse()
+                    .map_err(|e| format!("--cores: {e}"))?
+            }
+            "--seed" => {
+                o.seed = take(args, &mut i, "--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--latency" => {
+                o.latency = take(args, &mut i, "--latency")?
+                    .parse()
+                    .map_err(|e| format!("--latency: {e}"))?
+            }
+            "--iterations" => {
+                o.iterations = take(args, &mut i, "--iterations")?
+                    .parse()
+                    .map_err(|e| format!("--iterations: {e}"))?
+            }
+            "--groups" => {
+                o.groups = take(args, &mut i, "--groups")?
+                    .parse()
+                    .map_err(|e| format!("--groups: {e}"))?
+            }
+            "--workers" => {
+                o.workers = take(args, &mut i, "--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?
+            }
+            "--heun" => o.heun = true,
+            "--mu" => {
+                o.mu = Some(
+                    take(args, &mut i, "--mu")?
+                        .parse()
+                        .map_err(|e| format!("--mu: {e}"))?,
+                )
+            }
+            "--repair" => o.repair = true,
+            "--gantt" => o.gantt = true,
+            "--vtk" => o.vtk = Some(PathBuf::from(take(args, &mut i, "--vtk")?)),
+            "--svg" => o.svg = Some(PathBuf::from(take(args, &mut i, "--svg")?)),
+            "--csv" => o.csv = Some(PathBuf::from(take(args, &mut i, "--csv")?)),
+            "--graph" => o.graph_file = Some(PathBuf::from(take(args, &mut i, "--graph")?)),
+            "--out" => o.out = Some(PathBuf::from(take(args, &mut i, "--out")?)),
+            other => return Err(format!("unknown option {other:?}")),
+        }
+        i += 1;
+    }
+    Ok(o)
+}
+
+fn build_mesh(o: &Options) -> Mesh {
+    let base_depth = o.depth.unwrap_or_else(|| o.case.default_base_depth());
+    o.case.generate(&GeneratorConfig { base_depth })
+}
+
+fn cmd_gen(o: &Options) -> Result<(), String> {
+    let mesh = build_mesh(o);
+    println!(
+        "{}: {} cells, {} faces, τ histogram {:?}",
+        o.case.name(),
+        mesh.n_cells(),
+        mesh.n_faces(),
+        level_histogram(&mesh)
+    );
+    if let Some(path) = &o.vtk {
+        tempart::mesh::write_vtk(&mesh, None, path).map_err(|e| e.to_string())?;
+        println!("wrote {}", path.display());
+    }
+    if let Some(path) = &o.csv {
+        std::fs::write(path, tempart::mesh::cells_csv(&mesh, None)).map_err(|e| e.to_string())?;
+        println!("wrote {}", path.display());
+    }
+    Ok(())
+}
+
+/// Partition an external METIS-format graph file (`--graph`).
+fn cmd_partition_file(o: &Options, path: &std::path::Path) -> Result<(), String> {
+    use tempart::partition::{partition_graph, PartitionConfig};
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let graph = tempart::graph::parse_metis_graph(&text).map_err(|e| e.to_string())?;
+    let ub = if graph.ncon() > 1 { 1.10 } else { 1.05 };
+    let cfg = PartitionConfig::new(o.domains)
+        .with_ub(ub)
+        .with_seed(o.seed);
+    let part = partition_graph(&graph, &cfg);
+    let q = PartitionQuality::measure(&graph, &part, o.domains);
+    println!(
+        "{}: {} vertices, {} edges, {} constraints × {} parts",
+        path.display(),
+        graph.nvtx(),
+        graph.nedges(),
+        graph.ncon(),
+        o.domains
+    );
+    println!("  edge cut        : {}", q.edge_cut);
+    println!("  comm volume     : {}", q.comm_volume);
+    println!("  max imbalance   : {:.3}", q.max_imbalance());
+    if let Some(out) = &o.out {
+        std::fs::write(out, tempart::graph::to_metis_partition(&part))
+            .map_err(|e| e.to_string())?;
+        println!("wrote {}", out.display());
+    }
+    Ok(())
+}
+
+fn cmd_partition(o: &Options) -> Result<(), String> {
+    if let Some(path) = o.graph_file.clone() {
+        return cmd_partition_file(o, &path);
+    }
+    let mesh = build_mesh(o);
+    let (part, repair_note) = if o.repair {
+        let (part, report) = decompose_with_repair(&mesh, o.strategy, o.domains, o.seed);
+        (
+            part,
+            format!(
+                " (repair: {} fragments, {} cells moved)",
+                report.fragments_moved, report.vertices_moved
+            ),
+        )
+    } else {
+        (decompose(&mesh, o.strategy, o.domains, o.seed), String::new())
+    };
+    let g = mesh.to_graph();
+    let q = PartitionQuality::measure(&g, &part, o.domains);
+    println!(
+        "{} × {} domains via {}{repair_note}",
+        o.case.name(),
+        o.domains,
+        o.strategy.label()
+    );
+    println!("  edge cut        : {}", q.edge_cut);
+    println!("  comm volume     : {}", q.comm_volume);
+    println!("  max imbalance   : {:.3}", q.max_imbalance());
+    println!(
+        "  components      : {} ({} extra)",
+        q.part_components,
+        q.part_components.saturating_sub(o.domains)
+    );
+    if let Some(path) = &o.vtk {
+        tempart::mesh::write_vtk(&mesh, Some(&part), path).map_err(|e| e.to_string())?;
+        println!("wrote {}", path.display());
+    }
+    Ok(())
+}
+
+fn cmd_simulate(o: &Options) -> Result<(), String> {
+    let mesh = build_mesh(o);
+    let cluster = ClusterConfig::new(o.processes, o.cores);
+    let config = PipelineConfig {
+        strategy: o.strategy,
+        n_domains: o.domains,
+        cluster,
+        scheduling: Strategy::EagerFifo,
+        seed: o.seed,
+    };
+    let out = if o.latency == 0 {
+        run_flusim(&mesh, &config)
+    } else {
+        // Re-simulate with the communication model.
+        let part = decompose(&mesh, o.strategy, o.domains, o.seed);
+        let dd = tempart::taskgraph::DomainDecomposition::new(&mesh, &part, o.domains);
+        let graph = tempart::taskgraph::generate_taskgraph(
+            &mesh,
+            &dd,
+            &tempart::taskgraph::TaskGraphConfig::default(),
+        );
+        let process_of = block_process_map(o.domains, o.processes);
+        let comm = CommModel {
+            latency: o.latency,
+            cost_per_object: 0,
+        };
+        let sim = tempart::flusim::simulate_with_comm(
+            &graph,
+            &cluster,
+            &process_of,
+            Strategy::EagerFifo,
+            &comm,
+        );
+        let quality = PartitionQuality::measure(&mesh.to_graph(), &part, o.domains);
+        tempart::core_api::pipeline::FlusimOutcome {
+            part,
+            quality,
+            graph,
+            process_of,
+            sim,
+            interprocess_cut: 0,
+        }
+    };
+    println!(
+        "{} × {} domains via {} on {}p×{}c",
+        o.case.name(),
+        o.domains,
+        o.strategy.label(),
+        o.processes,
+        o.cores
+    );
+    println!("  makespan        : {}", out.makespan());
+    println!("  critical path   : {}", out.graph.critical_path());
+    println!(
+        "  idle fraction   : {:.1}%",
+        out.sim.idle_fraction(&cluster) * 100.0
+    );
+    println!("  tasks           : {}", out.graph.len());
+    if o.gantt {
+        println!(
+            "{}",
+            ascii_gantt(&out.graph, &out.sim.segments, o.processes, out.sim.makespan, 100)
+        );
+    }
+    Ok(())
+}
+
+fn cmd_solve(o: &Options) -> Result<(), String> {
+    let mesh = build_mesh(o);
+    let part = decompose(&mesh, o.strategy, o.domains, o.seed);
+    let config = SolverConfig {
+        cfl: 0.4,
+        integration: if o.heun {
+            TimeIntegration::Heun
+        } else {
+            TimeIntegration::ForwardEuler
+        },
+        viscosity: o.mu.map(Viscosity::air),
+    };
+    let mut solver = Solver::new(
+        &mesh,
+        &part,
+        o.domains,
+        config,
+        blast_initial([0.35, 0.5, 0.5], 0.15),
+    );
+    println!(
+        "{}: {} cells, {} tasks/iteration ({:?})",
+        o.case.name(),
+        mesh.n_cells(),
+        solver.graph().len(),
+        config.integration
+    );
+    let runtime = RuntimeConfig::new(o.groups, o.workers);
+    let group_of = block_process_map(o.domains, o.groups);
+    let before = solver.totals();
+    for it in 0..o.iterations {
+        let report = solver.run_iteration(&runtime, &group_of);
+        println!(
+            "  iteration {it}: {} tasks in {:?} (t = {:.5})",
+            report.executed, report.wall, solver.time
+        );
+    }
+    let after = solver.totals();
+    let state = solver.state();
+    println!(
+        "  physical: {}, relative mass drift {:.2e}",
+        state.is_physical(),
+        ((after[0] - before[0]) / before[0]).abs()
+    );
+    Ok(())
+}
+
+fn cmd_compare(o: &Options) -> Result<(), String> {
+    let mesh = build_mesh(o);
+    let cluster = ClusterConfig::new(o.processes, o.cores);
+    println!(
+        "{} ({} cells), {} domains on {}p x {}c:",
+        o.case.name(),
+        mesh.n_cells(),
+        o.domains,
+        o.processes,
+        o.cores
+    );
+    let mut spans = Vec::new();
+    for strategy in [PartitionStrategy::ScOc, PartitionStrategy::McTl] {
+        let cfg = PipelineConfig {
+            strategy,
+            n_domains: o.domains,
+            cluster,
+            scheduling: Strategy::EagerFifo,
+            seed: o.seed,
+        };
+        let out = run_flusim(&mesh, &cfg);
+        println!(
+            "  {:<6} makespan {:>8}  idle {:>5.1}%  cut {:>7}  interprocess {:>7}",
+            strategy.label(),
+            out.makespan(),
+            out.sim.idle_fraction(&cluster) * 100.0,
+            out.quality.edge_cut,
+            out.interprocess_cut
+        );
+        if let Some(dir) = &o.svg {
+            std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+            let path = dir.join(format!("{}.svg", strategy.label().to_lowercase()));
+            tempart::flusim::write_gantt_svg(
+                &out.graph,
+                &out.sim.segments,
+                o.processes,
+                out.sim.makespan,
+                &format!("{} / {}", o.case.name(), strategy.label()),
+                &path,
+            )
+            .map_err(|e| e.to_string())?;
+            println!("         trace written to {}", path.display());
+        }
+        spans.push(out.makespan());
+    }
+    println!(
+        "  speedup MC_TL over SC_OC: {:.2}x",
+        spans[0] as f64 / spans[1] as f64
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprint!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = match parse_options(&args[1..]) {
+        Err(e) => Err(e),
+        Ok(o) => match cmd.as_str() {
+            "gen" => cmd_gen(&o),
+            "partition" => cmd_partition(&o),
+            "simulate" => cmd_simulate(&o),
+            "compare" => cmd_compare(&o),
+            "solve" => cmd_solve(&o),
+            "help" | "--help" | "-h" => {
+                print!("{USAGE}");
+                Ok(())
+            }
+            other => Err(format!("unknown command {other:?}")),
+        },
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprint!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}

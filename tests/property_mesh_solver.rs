@@ -1,0 +1,161 @@
+//! Property-based tests for the mesh substrate and the solver's numerical
+//! kernels.
+
+use proptest::prelude::*;
+use tempart::mesh::{Mesh, Octree, OctreeConfig, TemporalScheme};
+use tempart::solver::{rusanov, Primitive, Viscosity, GAMMA};
+
+/// A random-but-physical primitive state.
+fn arb_primitive() -> impl Strategy<Value = Primitive> {
+    (
+        0.1f64..5.0,          // rho
+        -1.5f64..1.5,         // u
+        -1.5f64..1.5,         // v
+        -1.5f64..1.5,         // w
+        0.1f64..5.0,          // p
+    )
+        .prop_map(|(rho, u, v, w, p)| Primitive {
+            rho,
+            vel: [u, v, w],
+            p,
+        })
+}
+
+/// A random unit normal along an axis (the only normals octree meshes have).
+fn arb_normal() -> impl Strategy<Value = [f64; 3]> {
+    (0usize..6).prop_map(|i| {
+        let mut n = [0.0; 3];
+        n[i / 2] = if i % 2 == 0 { 1.0 } else { -1.0 };
+        n
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn rusanov_antisymmetric(a in arb_primitive(), b in arb_primitive(), n in arb_normal()) {
+        let ua = a.to_conservative();
+        let ub = b.to_conservative();
+        let nm = [-n[0], -n[1], -n[2]];
+        let f = rusanov(&ua, &ub, &n);
+        let g = rusanov(&ub, &ua, &nm);
+        for k in 0..5 {
+            prop_assert!((f[k] + g[k]).abs() < 1e-10, "component {k}: {} vs {}", f[k], g[k]);
+        }
+    }
+
+    #[test]
+    fn rusanov_consistent(a in arb_primitive(), n in arb_normal()) {
+        // F(u, u, n) equals the physical flux: check the mass component
+        // analytically (ρ·v·n) and that dissipation vanishes.
+        let u = a.to_conservative();
+        let f = rusanov(&u, &u, &n);
+        let vn = a.vel[0] * n[0] + a.vel[1] * n[1] + a.vel[2] * n[2];
+        prop_assert!((f[0] - a.rho * vn).abs() < 1e-12);
+        // Energy flux: (E + p)·vn.
+        let e = u[4];
+        prop_assert!((f[4] - (e + a.p) * vn).abs() < 1e-10);
+    }
+
+    #[test]
+    fn viscous_flux_antisymmetric_random(
+        a in arb_primitive(),
+        b in arb_primitive(),
+        dist in 0.01f64..1.0,
+        mu in 1e-4f64..1e-1,
+    ) {
+        let visc = Viscosity::air(mu);
+        let fa = tempart::solver::viscous_flux(&a.to_conservative(), &b.to_conservative(), dist, &visc);
+        let fb = tempart::solver::viscous_flux(&b.to_conservative(), &a.to_conservative(), dist, &visc);
+        for k in 0..5 {
+            prop_assert!((fa[k] + fb[k]).abs() < 1e-10);
+        }
+        prop_assert!(fa[0].abs() < 1e-15, "no viscous mass flux");
+    }
+
+    #[test]
+    fn primitive_conservative_roundtrip(a in arb_primitive()) {
+        let back = tempart::solver::state::to_primitive(&a.to_conservative());
+        prop_assert!((back.rho - a.rho).abs() < 1e-12);
+        prop_assert!((back.p - a.p).abs() < 1e-10);
+        for k in 0..3 {
+            prop_assert!((back.vel[k] - a.vel[k]).abs() < 1e-12);
+        }
+        prop_assert!((a.sound_speed() - (GAMMA * a.p / a.rho).sqrt()).abs() < 1e-13);
+    }
+
+    #[test]
+    fn octree_invariants_under_random_refinement(
+        cx in 0.1f64..0.9,
+        cy in 0.1f64..0.9,
+        cz in 0.1f64..0.9,
+        r in 0.05f64..0.35,
+        base in 1u8..3,
+        extra in 1u8..3,
+    ) {
+        let cfg = OctreeConfig {
+            base_depth: base,
+            max_depth: base + extra,
+        };
+        let tree = Octree::build(&cfg, |c, _, _| {
+            let d2 = (c[0] - cx).powi(2) + (c[1] - cy).powi(2) + (c[2] - cz).powi(2);
+            d2 < r * r
+        });
+        // 2:1 balance always holds after construction.
+        prop_assert!(tree.check_balance().is_ok());
+        // The mesh built from it tiles the unit cube exactly.
+        let mesh = Mesh::from_octree(&tree);
+        prop_assert!((mesh.total_volume() - 1.0).abs() < 1e-9);
+        // Face bookkeeping: every interior face's two cells are distinct and
+        // the owner is the finer (or equal) side.
+        for f in mesh.faces() {
+            if let Some(nb) = f.interior_neighbor() {
+                prop_assert!(nb != f.owner);
+                prop_assert!(
+                    mesh.cells()[f.owner as usize].depth >= mesh.cells()[nb as usize].depth
+                );
+            }
+        }
+        // Temporal assignment saturates correctly for any level count.
+        let mut m = mesh;
+        for nl in 1..=4u8 {
+            TemporalScheme::new(nl).assign(&mut m);
+            prop_assert!(m.tau().iter().all(|&t| t < nl));
+            prop_assert_eq!(
+                tempart::mesh::level_histogram(&m).iter().sum::<usize>(),
+                m.n_cells()
+            );
+        }
+    }
+
+    #[test]
+    fn sfc_partitions_are_complete_and_ordered(
+        k in 1usize..9,
+        n in 16usize..200,
+        seed in 0u64..100,
+    ) {
+        // Deterministic pseudo-random points from the seed.
+        let mut x = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        let mut next = || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            (x >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let pts: Vec<[f64; 3]> = (0..n).map(|_| [next(), next(), next()]).collect();
+        let w = vec![1u64; n];
+        for curve in [tempart::partition::Curve::Morton, tempart::partition::Curve::Hilbert] {
+            let part = tempart::partition::sfc_partition(&pts, &w, k, curve);
+            prop_assert_eq!(part.len(), n);
+            prop_assert!(part.iter().all(|&p| (p as usize) < k));
+            // Weight balance within the one-item granularity bound.
+            let mut counts = vec![0usize; k];
+            for &p in &part {
+                counts[p as usize] += 1;
+            }
+            let max = *counts.iter().max().unwrap();
+            prop_assert!(max <= n / k + (k - 1).max(1), "counts {counts:?}");
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Property-based tests over the whole stack: random graphs through the
+//! partitioner, random meshes through task-graph generation and simulation.
+
+use proptest::prelude::*;
+use tempart::graph::{edge_cut, GraphBuilder, PartitionQuality};
+use tempart::mesh::{Mesh, Octree, OctreeConfig, TemporalScheme};
+use tempart::partition::{partition_graph, PartitionConfig};
+use tempart::taskgraph::{
+    generate_taskgraph, stats::block_process_map, DomainDecomposition, TaskGraphConfig,
+};
+
+/// Builds a random connected graph: a spanning path plus extra random edges.
+fn random_graph(n: usize, extra: &[(usize, usize)], weights: &[u32]) -> tempart::graph::CsrGraph {
+    let mut b = GraphBuilder::new(n, 1);
+    for v in 1..n {
+        b.add_edge((v - 1) as u32, v as u32, 1);
+    }
+    for &(a, bb) in extra {
+        let (a, bb) = (a % n, bb % n);
+        if a != bb {
+            b.add_edge(a as u32, bb as u32, 1);
+        }
+    }
+    for (v, &w) in weights.iter().take(n).enumerate() {
+        b.set_vertex_weights(v as u32, &[w.max(1)]);
+    }
+    b.build()
+}
+
+/// Builds a random graded mesh from three octant refinement choices.
+fn random_mesh(r1: bool, r2: bool, levels: u8) -> Mesh {
+    let cfg = OctreeConfig {
+        base_depth: 2,
+        max_depth: 4,
+    };
+    let tree = Octree::build(&cfg, |c, _, d| {
+        let near_origin = c[0] < 0.4 && c[1] < 0.4 && c[2] < 0.4;
+        let near_far = c[0] > 0.6 && c[1] > 0.6;
+        (d == 2 && r1 && near_origin) || (d == 3 && r2 && near_origin) || (d == 2 && near_far)
+    });
+    let mut m = Mesh::from_octree(&tree);
+    TemporalScheme::new(levels).assign(&mut m);
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn partition_covers_every_vertex_exactly_once(
+        n in 8usize..120,
+        extra in proptest::collection::vec((0usize..200, 0usize..200), 0..40),
+        weights in proptest::collection::vec(1u32..9, 0..120),
+        k in 2usize..7,
+        seed in 0u64..1000,
+    ) {
+        let g = random_graph(n, &extra, &weights);
+        let cfg = PartitionConfig::new(k).with_seed(seed);
+        let part = partition_graph(&g, &cfg);
+        prop_assert_eq!(part.len(), n);
+        prop_assert!(part.iter().all(|&p| (p as usize) < k));
+        // Every part non-empty whenever n >= k.
+        let mut used = vec![false; k];
+        for &p in &part { used[p as usize] = true; }
+        prop_assert!(used.iter().all(|&u| u));
+    }
+
+    #[test]
+    fn partition_balance_within_reasonable_bounds(
+        n in 40usize..150,
+        extra in proptest::collection::vec((0usize..300, 0usize..300), 0..60),
+        k in 2usize..5,
+        seed in 0u64..1000,
+    ) {
+        // Unit weights: imbalance must stay modest on connected graphs.
+        let g = random_graph(n, &extra, &[]);
+        let cfg = PartitionConfig::new(k).with_seed(seed);
+        let part = partition_graph(&g, &cfg);
+        let q = PartitionQuality::measure(&g, &part, k);
+        prop_assert!(q.max_imbalance() < 1.5, "imbalance {}", q.max_imbalance());
+        prop_assert!(q.edge_cut >= 0);
+        prop_assert!(q.comm_volume >= q.edge_cut.min(1) - 1);
+    }
+
+    #[test]
+    fn refined_cut_never_negative_and_metrics_agree(
+        n in 10usize..80,
+        extra in proptest::collection::vec((0usize..160, 0usize..160), 0..30),
+        seed in 0u64..500,
+    ) {
+        let g = random_graph(n, &extra, &[]);
+        let part = partition_graph(&g, &PartitionConfig::new(2).with_seed(seed));
+        let cut = edge_cut(&g, &part);
+        prop_assert!(cut >= 0);
+        prop_assert!(cut <= g.total_edge_weight());
+    }
+
+    #[test]
+    fn taskgraph_invariants_on_random_meshes(
+        r1 in any::<bool>(),
+        r2 in any::<bool>(),
+        levels in 1u8..4,
+        k in 1usize..5,
+        seed in 0u64..200,
+    ) {
+        let m = random_mesh(r1, r2, levels);
+        let part = tempart::core_api::decompose(
+            &m, tempart::core_api::PartitionStrategy::McTl, k, seed);
+        let dd = DomainDecomposition::new(&m, &part, k);
+        let g = generate_taskgraph(&m, &dd, &TaskGraphConfig::default());
+        // Every edge respects topological order and subiteration monotonicity.
+        for t in 0..g.len() as u32 {
+            for &p in g.preds(t) {
+                prop_assert!(p < t);
+                prop_assert!(g.task(p).subiter <= g.task(t).subiter);
+            }
+        }
+        // Total cell-object processing matches the activation arithmetic.
+        let scheme = TemporalScheme::new(m.n_tau_levels());
+        let hist = tempart::mesh::level_histogram(&m);
+        let mut processed = vec![0u64; m.n_tau_levels() as usize];
+        for t in g.tasks() {
+            if !t.kind.is_face() {
+                processed[t.tau as usize] += u64::from(t.n_objects);
+            }
+        }
+        for tau in 0..m.n_tau_levels() {
+            prop_assert_eq!(
+                processed[tau as usize],
+                hist[tau as usize] as u64 * u64::from(scheme.activations(tau))
+            );
+        }
+    }
+
+    #[test]
+    fn simulation_conserves_work_and_bounds_makespan(
+        r1 in any::<bool>(),
+        r2 in any::<bool>(),
+        levels in 1u8..4,
+        k in 1usize..5,
+        np in 1usize..4,
+        cores in 1usize..5,
+    ) {
+        let m = random_mesh(r1, r2, levels);
+        let part = tempart::core_api::decompose(
+            &m, tempart::core_api::PartitionStrategy::ScOc, k, 7);
+        let dd = DomainDecomposition::new(&m, &part, k);
+        let g = generate_taskgraph(&m, &dd, &TaskGraphConfig::default());
+        let cluster = tempart::flusim::ClusterConfig::new(np, cores);
+        let process_of = block_process_map(k, np);
+        let sim = tempart::flusim::simulate(
+            &g, &cluster, &process_of, tempart::flusim::Strategy::EagerFifo);
+        prop_assert_eq!(sim.total_executed(), g.total_cost());
+        prop_assert!(sim.makespan >= g.critical_path());
+        let capacity = (np * cores) as u64;
+        prop_assert!(sim.makespan >= g.total_cost() / capacity);
+        prop_assert!(sim.makespan <= g.total_cost());
+        // Segments never overlap beyond core capacity at sample points.
+        for s in &sim.segments {
+            prop_assert!(s.end > s.start);
+        }
+    }
+}
