@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Offline CI entry point.
+#
+# The workspace has a ZERO-EXTERNAL-DEPENDENCY policy: every crate depends
+# only on the standard library and sibling path crates (see Cargo.toml and
+# DESIGN.md). That makes this script runnable on an air-gapped machine with
+# nothing but a Rust toolchain — `--offline` is not an optimization here,
+# it is an invariant we enforce.
+
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== policy: no external registry dependencies =="
+if grep -nE '^(rand|proptest|criterion|crossbeam|parking_lot)\b|crates-io' \
+    Cargo.toml crates/*/Cargo.toml; then
+    echo "ERROR: external registry dependency found (see matches above)" >&2
+    exit 1
+fi
+echo "ok"
+
+if cargo fmt --version >/dev/null 2>&1; then
+    echo "== cargo fmt --check =="
+    cargo fmt --check
+fi
+
+echo "== build (release, offline) =="
+cargo build --release --offline --workspace --all-targets
+
+echo "== tier-1 tests (root package) =="
+cargo test -q --offline
+
+echo "== workspace tests =="
+cargo test -q --offline --workspace
+
+echo "CI green."

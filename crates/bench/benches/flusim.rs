@@ -1,8 +1,8 @@
-//! Criterion benches for the FLUSIM discrete-event simulator: scheduling
+//! Wall-clock benches for the FLUSIM discrete-event simulator: scheduling
 //! strategies and the end-to-end makespan of the two partitioning
-//! strategies (the core experiment loop of Figs. 9/11/12).
+//! strategies (the core experiment loop of Figs. 9/11/12). Runs on the
+//! in-tree `tempart_testkit` harness.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use tempart_core::{decompose, PartitionStrategy};
 use tempart_flusim::{simulate, ClusterConfig, Strategy};
@@ -10,42 +10,44 @@ use tempart_mesh::{cylinder_like, GeneratorConfig};
 use tempart_taskgraph::{
     generate_taskgraph, stats::block_process_map, DomainDecomposition, TaskGraphConfig,
 };
+use tempart_testkit::bench::Bencher;
 
-fn bench_scheduling_strategies(c: &mut Criterion) {
+fn bench_scheduling_strategies(b: &mut Bencher) {
     let mesh = cylinder_like(&GeneratorConfig { base_depth: 4 });
     let part = decompose(&mesh, PartitionStrategy::ScOc, 64, 1);
     let dd = DomainDecomposition::new(&mesh, &part, 64);
     let graph = generate_taskgraph(&mesh, &dd, &TaskGraphConfig::default());
     let cluster = ClusterConfig::new(16, 4);
     let process_of = block_process_map(64, 16);
-    let mut group = c.benchmark_group("flusim/scheduling");
     for (name, strat) in [
         ("eager-fifo", Strategy::EagerFifo),
         ("eager-lifo", Strategy::EagerLifo),
         ("critical-path", Strategy::CriticalPathFirst),
         ("smallest-first", Strategy::SmallestFirst),
     ] {
-        group.bench_function(BenchmarkId::from_parameter(name), |b| {
-            b.iter(|| black_box(simulate(black_box(&graph), &cluster, &process_of, strat)))
+        b.bench(&format!("flusim/scheduling/{name}"), || {
+            black_box(simulate(black_box(&graph), &cluster, &process_of, strat))
         });
     }
-    group.finish();
 }
 
-fn bench_end_to_end(c: &mut Criterion) {
+fn bench_end_to_end(b: &mut Bencher) {
     let mesh = cylinder_like(&GeneratorConfig { base_depth: 4 });
-    let mut group = c.benchmark_group("flusim/end-to-end-128dom");
-    group.sample_size(10);
+    b.set_samples(10);
     for strategy in [PartitionStrategy::ScOc, PartitionStrategy::McTl] {
-        group.bench_function(BenchmarkId::from_parameter(strategy.label()), |b| {
-            b.iter(|| {
+        b.bench(
+            &format!("flusim/end-to-end-128dom/{}", strategy.label()),
+            || {
                 let cfg = tempart_core::PipelineConfig::paper_default(strategy, 128);
                 black_box(tempart_core::run_flusim(black_box(&mesh), &cfg))
-            })
-        });
+            },
+        );
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_scheduling_strategies, bench_end_to_end);
-criterion_main!(benches);
+fn main() {
+    let mut b = Bencher::new("flusim");
+    bench_scheduling_strategies(&mut b);
+    bench_end_to_end(&mut b);
+    b.finish();
+}

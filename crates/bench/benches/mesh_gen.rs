@@ -1,24 +1,27 @@
-//! Criterion benches for mesh generation and graph export.
+//! Wall-clock benches for mesh generation and graph export, on the in-tree
+//! `tempart_testkit` harness.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use tempart_mesh::{GeneratorConfig, MeshCase};
+use tempart_testkit::bench::Bencher;
 
-fn bench_generators(c: &mut Criterion) {
-    let mut group = c.benchmark_group("mesh/generate");
-    group.sample_size(10);
+fn bench_generators(b: &mut Bencher) {
+    b.set_samples(10);
     for case in MeshCase::ALL {
-        group.bench_function(BenchmarkId::from_parameter(case.name()), |b| {
-            b.iter(|| black_box(case.generate(&GeneratorConfig { base_depth: 4 })))
+        b.bench(&format!("mesh/generate/{}", case.name()), || {
+            black_box(case.generate(&GeneratorConfig { base_depth: 4 }))
         });
     }
-    group.finish();
 }
 
-fn bench_to_graph(c: &mut Criterion) {
+fn bench_to_graph(b: &mut Bencher) {
     let mesh = MeshCase::Cylinder.generate(&GeneratorConfig { base_depth: 4 });
-    c.bench_function("mesh/to-graph", |b| b.iter(|| black_box(mesh.to_graph())));
+    b.bench("mesh/to-graph", || black_box(mesh.to_graph()));
 }
 
-criterion_group!(benches, bench_generators, bench_to_graph);
-criterion_main!(benches);
+fn main() {
+    let mut b = Bencher::new("mesh_gen");
+    bench_generators(&mut b);
+    bench_to_graph(&mut b);
+    b.finish();
+}

@@ -1,59 +1,57 @@
-//! Criterion benches for the multilevel partitioner: SC vs MC weighting,
+//! Wall-clock benches for the multilevel partitioner: SC vs MC weighting,
 //! scheme ablations (recursive bisection vs k-way-refined), and the raw
-//! coarsening/refinement stages.
+//! coarsening stage. Runs on the in-tree `tempart_testkit` harness
+//! (warmup + samples, median/MAD, JSON under `results/`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use tempart_core::{strategy_weights, PartitionStrategy};
 use tempart_mesh::{cylinder_like, GeneratorConfig};
 use tempart_partition::{coarsen::coarsen, partition_graph, PartitionConfig, Scheme};
+use tempart_testkit::bench::Bencher;
 
-fn bench_strategies(c: &mut Criterion) {
+fn bench_strategies(b: &mut Bencher) {
     let mesh = cylinder_like(&GeneratorConfig { base_depth: 4 });
     let graph = mesh.to_graph();
-    let mut group = c.benchmark_group("partition/strategy");
-    group.sample_size(10);
+    b.set_samples(10);
     for strategy in [PartitionStrategy::ScOc, PartitionStrategy::McTl] {
         let (w, ncon) = strategy_weights(&mesh, strategy);
         let g = graph.with_vertex_weights(w, ncon);
-        group.bench_function(BenchmarkId::from_parameter(strategy.label()), |b| {
-            b.iter(|| {
-                let cfg = PartitionConfig::new(16).with_ub(if ncon > 1 { 1.10 } else { 1.05 });
-                black_box(partition_graph(black_box(&g), &cfg))
-            })
+        b.bench(&format!("partition/strategy/{}", strategy.label()), || {
+            let cfg = PartitionConfig::new(16).with_ub(if ncon > 1 { 1.10 } else { 1.05 });
+            black_box(partition_graph(black_box(&g), &cfg))
         });
     }
-    group.finish();
 }
 
-fn bench_schemes(c: &mut Criterion) {
+fn bench_schemes(b: &mut Bencher) {
     let mesh = cylinder_like(&GeneratorConfig { base_depth: 4 });
     let graph = mesh.to_graph();
     let (w, _) = strategy_weights(&mesh, PartitionStrategy::ScOc);
     let g = graph.with_vertex_weights(w, 1);
-    let mut group = c.benchmark_group("partition/scheme");
-    group.sample_size(10);
+    b.set_samples(10);
     for (name, scheme) in [
         ("recursive-bisection", Scheme::RecursiveBisection),
         ("kway-refined", Scheme::KWayRefined),
     ] {
-        group.bench_function(BenchmarkId::from_parameter(name), |b| {
-            b.iter(|| {
-                let cfg = PartitionConfig::new(16).with_scheme(scheme);
-                black_box(partition_graph(black_box(&g), &cfg))
-            })
+        b.bench(&format!("partition/scheme/{name}"), || {
+            let cfg = PartitionConfig::new(16).with_scheme(scheme);
+            black_box(partition_graph(black_box(&g), &cfg))
         });
     }
-    group.finish();
 }
 
-fn bench_coarsening(c: &mut Criterion) {
+fn bench_coarsening(b: &mut Bencher) {
     let mesh = cylinder_like(&GeneratorConfig { base_depth: 4 });
     let graph = mesh.to_graph();
-    c.bench_function("partition/coarsen-to-128", |b| {
-        b.iter(|| black_box(coarsen(black_box(&graph), 128, 42)))
+    b.bench("partition/coarsen-to-128", || {
+        black_box(coarsen(black_box(&graph), 128, 42))
     });
 }
 
-criterion_group!(benches, bench_strategies, bench_schemes, bench_coarsening);
-criterion_main!(benches);
+fn main() {
+    let mut b = Bencher::new("partitioner");
+    bench_strategies(&mut b);
+    bench_schemes(&mut b);
+    bench_coarsening(&mut b);
+    b.finish();
+}

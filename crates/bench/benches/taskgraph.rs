@@ -1,37 +1,38 @@
-//! Criterion benches for decomposition analysis and task-graph generation.
+//! Wall-clock benches for decomposition analysis and task-graph generation,
+//! on the in-tree `tempart_testkit` harness.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use tempart_core::{decompose, PartitionStrategy};
 use tempart_mesh::{cylinder_like, GeneratorConfig};
 use tempart_taskgraph::{generate_taskgraph, DomainDecomposition, TaskGraphConfig};
+use tempart_testkit::bench::Bencher;
 
-fn bench_decomposition_analysis(c: &mut Criterion) {
+fn bench_decomposition_analysis(b: &mut Bencher) {
     let mesh = cylinder_like(&GeneratorConfig { base_depth: 4 });
     let part = decompose(&mesh, PartitionStrategy::ScOc, 32, 1);
-    c.bench_function("taskgraph/domain-decomposition", |b| {
-        b.iter(|| black_box(DomainDecomposition::new(black_box(&mesh), &part, 32)))
+    b.bench("taskgraph/domain-decomposition", || {
+        black_box(DomainDecomposition::new(black_box(&mesh), &part, 32))
     });
 }
 
-fn bench_generation(c: &mut Criterion) {
+fn bench_generation(b: &mut Bencher) {
     let mesh = cylinder_like(&GeneratorConfig { base_depth: 4 });
-    let mut group = c.benchmark_group("taskgraph/generate");
     for &nd in &[16usize, 64, 128] {
         let part = decompose(&mesh, PartitionStrategy::McTl, nd, 1);
         let dd = DomainDecomposition::new(&mesh, &part, nd);
-        group.bench_function(BenchmarkId::from_parameter(nd), |b| {
-            b.iter(|| {
-                black_box(generate_taskgraph(
-                    black_box(&mesh),
-                    &dd,
-                    &TaskGraphConfig::default(),
-                ))
-            })
+        b.bench(&format!("taskgraph/generate/{nd}"), || {
+            black_box(generate_taskgraph(
+                black_box(&mesh),
+                &dd,
+                &TaskGraphConfig::default(),
+            ))
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_decomposition_analysis, bench_generation);
-criterion_main!(benches);
+fn main() {
+    let mut b = Bencher::new("taskgraph");
+    bench_decomposition_analysis(&mut b);
+    bench_generation(&mut b);
+    b.finish();
+}

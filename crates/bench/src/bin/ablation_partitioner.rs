@@ -93,7 +93,13 @@ fn main() {
     println!(
         "{}",
         table(
-            &["variant", "edge-cut", "worst-level-imb", "extra-comps", "time"],
+            &[
+                "variant",
+                "edge-cut",
+                "worst-level-imb",
+                "extra-comps",
+                "time"
+            ],
             &rows
         )
     );

@@ -13,8 +13,8 @@
 use tempart_bench::{rule, ExpOptions};
 use tempart_core::report::table;
 use tempart_core::{decompose, PartitionStrategy};
-use tempart_graph::migration_volume;
 use tempart_flusim::{simulate, ClusterConfig, Strategy};
+use tempart_graph::migration_volume;
 use tempart_mesh::{assign_radial, GeneratorConfig, MeshCase};
 use tempart_taskgraph::{
     generate_taskgraph, stats::block_process_map, DomainDecomposition, TaskGraphConfig,
@@ -62,7 +62,10 @@ fn main() {
                 let part = decompose(&mesh, PartitionStrategy::McTl, n_domains, seed);
                 let dd = DomainDecomposition::new(&mesh, &part, n_domains);
                 let g = generate_taskgraph(&mesh, &dd, &TaskGraphConfig::default());
-                (simulate(&g, &cluster, &process_of, Strategy::EagerFifo), part)
+                (
+                    simulate(&g, &cluster, &process_of, Strategy::EagerFifo),
+                    part,
+                )
             })
             .min_by_key(|(s, _)| s.makespan)
             .unwrap();

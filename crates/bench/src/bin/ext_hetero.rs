@@ -30,30 +30,37 @@ fn main() {
     let opts = ExpOptions::from_args();
     let mesh = opts.mesh(MeshCase::Cylinder);
     let n_processes = 16usize;
-    let cores: Vec<usize> = (0..n_processes).map(|p| if p < 8 { 32 } else { 8 }).collect();
+    let cores: Vec<usize> = (0..n_processes)
+        .map(|p| if p < 8 { 32 } else { 8 })
+        .collect();
     let total_cores: usize = cores.iter().sum();
     println!(
         "{}",
         rule("Extension — heterogeneous nodes (8 x 32c + 8 x 8c)")
     );
 
-    let partition_for = |strategy: PartitionStrategy,
-                         n_domains: usize,
-                         targets: Option<Vec<f64>>| {
-        let (w, ncon) = strategy_weights(&mesh, strategy);
-        let g = mesh.to_graph().with_vertex_weights(w, ncon);
-        let mut cfg = PartitionConfig::new(n_domains)
-            .with_ub(if ncon > 1 { 1.10 } else { 1.05 })
-            .with_seed(opts.seed);
-        if let Some(t) = targets {
-            cfg = cfg.with_targets(t);
-        }
-        partition_graph(&g, &cfg)
-    };
+    let partition_for =
+        |strategy: PartitionStrategy, n_domains: usize, targets: Option<Vec<f64>>| {
+            let (w, ncon) = strategy_weights(&mesh, strategy);
+            let g = mesh.to_graph().with_vertex_weights(w, ncon);
+            let mut cfg = PartitionConfig::new(n_domains)
+                .with_ub(if ncon > 1 { 1.10 } else { 1.05 })
+                .with_seed(opts.seed);
+            if let Some(t) = targets {
+                cfg = cfg.with_targets(t);
+            }
+            partition_graph(&g, &cfg)
+        };
     let run = |part: &[u32], n_domains: usize, process_of: &[usize]| {
         let dd = DomainDecomposition::new(&mesh, part, n_domains);
         let graph = generate_taskgraph(&mesh, &dd, &TaskGraphConfig::default());
-        simulate_heterogeneous(&graph, &cores, process_of, Strategy::EagerFifo, &CommModel::FREE)
+        simulate_heterogeneous(
+            &graph,
+            &cores,
+            process_of,
+            Strategy::EagerFifo,
+            &CommModel::FREE,
+        )
     };
 
     let block_map = |n_domains: usize| -> Vec<usize> {

@@ -10,9 +10,7 @@
 
 use tempart_bench::{rule, ExpOptions};
 use tempart_core::report::table;
-use tempart_core::{
-    decompose, decompose_with_repair, simulate_decomposition, PartitionStrategy,
-};
+use tempart_core::{decompose, decompose_with_repair, simulate_decomposition, PartitionStrategy};
 use tempart_flusim::{ClusterConfig, Strategy};
 use tempart_graph::PartitionQuality;
 use tempart_mesh::MeshCase;

@@ -51,13 +51,28 @@ fn main() {
     let ideal_ns = ideal.makespan as f64 * unit_ns;
     let gap = (real.makespan as f64 - ideal_ns).abs() / real.makespan as f64;
 
-    println!("measured  (\"FLUSEPA\") makespan : {:>12} ns", real.makespan);
-    println!("idealized (FLUSIM)    makespan : {:>12.0} ns-equivalent", ideal_ns);
-    println!("variance                      : {}  (paper: ~20%)", pct(gap));
+    println!(
+        "measured  (\"FLUSEPA\") makespan : {:>12} ns",
+        real.makespan
+    );
+    println!(
+        "idealized (FLUSIM)    makespan : {:>12.0} ns-equivalent",
+        ideal_ns
+    );
+    println!(
+        "variance                      : {}  (paper: ~20%)",
+        pct(gap)
+    );
     println!("\nmeasured-replay trace:");
-    println!("{}", ascii_gantt(&measured_graph, &real.segments, 6, real.makespan, 96));
+    println!(
+        "{}",
+        ascii_gantt(&measured_graph, &real.segments, 6, real.makespan, 96)
+    );
     println!("idealized FLUSIM trace:");
-    println!("{}", ascii_gantt(&ideal_graph, &ideal.segments, 6, ideal.makespan, 96));
+    println!(
+        "{}",
+        ascii_gantt(&ideal_graph, &ideal.segments, 6, ideal.makespan, 96)
+    );
     println!(
         "The two traces must show the same qualitative pattern (same idle bands per\n\
          subiteration); the % variance quantifies FLUSIM's idealization error."

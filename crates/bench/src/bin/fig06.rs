@@ -42,7 +42,10 @@ fn main() {
         "processes <5% idle  : {fully_busy} of {n_domains} — idleness persists without any core limit"
     );
     println!("\ncomposite-process Gantt (digit = dominant subiteration, '.' = idle):");
-    println!("{}", ascii_gantt(&graph, &sim.segments, n_domains, sim.makespan, 100));
+    println!(
+        "{}",
+        ascii_gantt(&graph, &sim.segments, n_domains, sim.makespan, 100)
+    );
     println!(
         "Paper's reading: \"MPI processes, even in our ideal configuration, still exhibit\n\
          periods of inactivity\" — the scheduling policy is not the cause."

@@ -78,9 +78,11 @@ fn main() {
         let mut rows = Vec::new();
         for (p, per_s) in loads.load.iter().enumerate() {
             let mut row = vec![format!("P{p}")];
-            row.extend(per_s.iter().map(|&w| {
-                format!("{:>7} {}", w, bar(w as f64, maxcell, 8))
-            }));
+            row.extend(
+                per_s
+                    .iter()
+                    .map(|&w| format!("{:>7} {}", w, bar(w as f64, maxcell, 8))),
+            );
             rows.push(row);
         }
         let mut header: Vec<String> = vec!["proc".into()];

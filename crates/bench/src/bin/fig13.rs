@@ -42,7 +42,10 @@ fn main() {
             sim.makespan,
             sim.idle_fraction(&cluster) * 100.0
         );
-        println!("{}", ascii_gantt(&graph, &sim.segments, 6, sim.makespan, 96));
+        println!(
+            "{}",
+            ascii_gantt(&graph, &sim.segments, 6, sim.makespan, 96)
+        );
         spans.push(sim.makespan);
     }
     let gain = 1.0 - spans[1] as f64 / spans[0] as f64;

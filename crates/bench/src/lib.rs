@@ -34,10 +34,7 @@ impl ExpOptions {
                     i += 2;
                 }
                 "--seed" => {
-                    seed = args
-                        .get(i + 1)
-                        .and_then(|s| s.parse().ok())
-                        .unwrap_or(seed);
+                    seed = args.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or(seed);
                     i += 2;
                 }
                 _ => i += 1,
@@ -83,7 +80,10 @@ pub fn mean(xs: &[f64]) -> f64 {
 
 /// Pretty line for experiment outputs.
 pub fn rule(title: &str) -> String {
-    format!("\n=== {title} {}\n", "=".repeat(64usize.saturating_sub(title.len())))
+    format!(
+        "\n=== {title} {}\n",
+        "=".repeat(64usize.saturating_sub(title.len()))
+    )
 }
 
 /// Label helper combining case and strategy.

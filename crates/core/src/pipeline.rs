@@ -85,8 +85,13 @@ pub fn run_flusim(mesh: &Mesh, config: &PipelineConfig) -> FlusimOutcome {
     let part = decompose(mesh, config.strategy, config.n_domains, config.seed);
     let cell_graph = mesh.to_graph();
     let quality = PartitionQuality::measure(&cell_graph, &part, config.n_domains);
-    let (graph, process_of, sim) =
-        simulate_decomposition(mesh, &part, config.n_domains, &config.cluster, config.scheduling);
+    let (graph, process_of, sim) = simulate_decomposition(
+        mesh,
+        &part,
+        config.n_domains,
+        &config.cluster,
+        config.scheduling,
+    );
 
     // Inter-process communication estimate: edges between cells whose
     // domains sit on different processes.

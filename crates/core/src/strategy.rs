@@ -45,8 +45,12 @@ impl PartitionStrategy {
             PartitionStrategy::ScOc => "SC_OC",
             PartitionStrategy::McTl => "MC_TL",
             PartitionStrategy::DualPhase { .. } => "DUAL_PHASE",
-            PartitionStrategy::SfcOc { curve: Curve::Morton } => "SFC_OC(Z)",
-            PartitionStrategy::SfcOc { curve: Curve::Hilbert } => "SFC_OC(H)",
+            PartitionStrategy::SfcOc {
+                curve: Curve::Morton,
+            } => "SFC_OC(Z)",
+            PartitionStrategy::SfcOc {
+                curve: Curve::Hilbert,
+            } => "SFC_OC(H)",
         }
     }
 }
@@ -94,11 +98,18 @@ fn partition_config(nparts: usize, ncon: usize, seed: u64) -> PartitionConfig {
 ///
 /// Panics if `n_domains` is zero, or (dual-phase) not divisible by
 /// `domains_per_process`.
-pub fn decompose(mesh: &Mesh, strategy: PartitionStrategy, n_domains: usize, seed: u64) -> Vec<PartId> {
+pub fn decompose(
+    mesh: &Mesh,
+    strategy: PartitionStrategy,
+    n_domains: usize,
+    seed: u64,
+) -> Vec<PartId> {
     assert!(n_domains >= 1, "need at least one domain");
     let graph = mesh.to_graph();
     match strategy {
-        PartitionStrategy::DualPhase { domains_per_process } => {
+        PartitionStrategy::DualPhase {
+            domains_per_process,
+        } => {
             assert!(domains_per_process >= 1, "domains_per_process must be >= 1");
             assert_eq!(
                 n_domains % domains_per_process,

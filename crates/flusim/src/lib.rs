@@ -15,6 +15,8 @@ pub mod svg;
 pub mod trace;
 
 pub use cluster::{ClusterConfig, UNBOUNDED_CORES};
-pub use sim::{simulate, simulate_heterogeneous, simulate_with_comm, CommModel, SimResult, Strategy};
+pub use sim::{
+    simulate, simulate_heterogeneous, simulate_with_comm, CommModel, SimResult, Strategy,
+};
 pub use svg::{gantt_svg, write_gantt_svg, SvgOptions};
 pub use trace::{ascii_gantt, segments_csv, Segment};

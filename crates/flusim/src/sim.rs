@@ -184,7 +184,8 @@ pub fn simulate_heterogeneous(
 
     // Per-process ready queue: max-heap over (priority, tiebreak).
     // FIFO: older sequence first; LIFO: newer first.
-    let mut ready: Vec<BinaryHeap<(i64, i64, TaskId)>> = (0..np).map(|_| BinaryHeap::new()).collect();
+    let mut ready: Vec<BinaryHeap<(i64, i64, TaskId)>> =
+        (0..np).map(|_| BinaryHeap::new()).collect();
     let mut seq = 0i64;
     let push_ready = |ready: &mut Vec<BinaryHeap<(i64, i64, TaskId)>>, t: TaskId, seq: &mut i64| {
         let p = process_of[graph.task(t).domain as usize];
@@ -218,15 +219,15 @@ pub fn simulate_heterogeneous(
 
     let mut now = 0u64;
     let launch = |p: usize,
-                      t: TaskId,
-                      now: u64,
-                      events: &mut BinaryHeap<Reverse<(u64, u8, TaskId)>>,
-                      free_cores: &mut [usize],
-                      running: &mut [usize],
-                      active_since: &mut [u64],
-                      busy: &mut [u64],
-                      subiter_work: &mut [Vec<u64>],
-                      segments: &mut Vec<Segment>| {
+                  t: TaskId,
+                  now: u64,
+                  events: &mut BinaryHeap<Reverse<(u64, u8, TaskId)>>,
+                  free_cores: &mut [usize],
+                  running: &mut [usize],
+                  active_since: &mut [u64],
+                  busy: &mut [u64],
+                  subiter_work: &mut [Vec<u64>],
+                  segments: &mut Vec<Segment>| {
         let task = graph.task(t);
         let end = now + task.cost;
         if free_cores[p] != UNBOUNDED_CORES {
@@ -250,7 +251,9 @@ pub fn simulate_heterogeneous(
     // Initial launches.
     for p in 0..np {
         while free_cores[p] > 0 {
-            let Some((_, _, t)) = ready[p].pop() else { break };
+            let Some((_, _, t)) = ready[p].pop() else {
+                break;
+            };
             launch(
                 p,
                 t,
@@ -482,13 +485,7 @@ mod tests {
             }
         }
         let g = TaskGraph::assemble(tasks, preds, 2, 1);
-        let r = simulate_heterogeneous(
-            &g,
-            &[4, 1],
-            &[0, 1],
-            Strategy::EagerFifo,
-            &CommModel::FREE,
-        );
+        let r = simulate_heterogeneous(&g, &[4, 1], &[0, 1], Strategy::EagerFifo, &CommModel::FREE);
         // Process 0 finishes at 3; process 1 serialises to 12.
         assert_eq!(r.makespan, 12);
         assert_eq!(r.busy, vec![12, 12]);

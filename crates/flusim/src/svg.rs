@@ -119,12 +119,21 @@ pub fn write_gantt_svg(
 ) -> std::io::Result<()> {
     std::fs::write(
         path,
-        gantt_svg(graph, segments, n_processes, makespan, title, &SvgOptions::default()),
+        gantt_svg(
+            graph,
+            segments,
+            n_processes,
+            makespan,
+            title,
+            &SvgOptions::default(),
+        ),
     )
 }
 
 fn xml_escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 #[cfg(test)]
@@ -144,8 +153,18 @@ mod tests {
         };
         let g = TaskGraph::assemble(vec![mk(0, 4), mk(1, 4)], vec![vec![], vec![0]], 1, 2);
         let segs = vec![
-            Segment { task: 0, process: 0, start: 0, end: 4 },
-            Segment { task: 1, process: 0, start: 4, end: 8 },
+            Segment {
+                task: 0,
+                process: 0,
+                start: 0,
+                end: 4,
+            },
+            Segment {
+                task: 1,
+                process: 0,
+                start: 4,
+                end: 8,
+            },
         ];
         (g, segs)
     }

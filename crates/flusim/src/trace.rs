@@ -128,8 +128,18 @@ mod tests {
     fn gantt_shows_subiterations() {
         let g = tiny_graph();
         let segments = vec![
-            Segment { task: 0, process: 0, start: 0, end: 4 },
-            Segment { task: 1, process: 0, start: 4, end: 8 },
+            Segment {
+                task: 0,
+                process: 0,
+                start: 0,
+                end: 4,
+            },
+            Segment {
+                task: 1,
+                process: 0,
+                start: 4,
+                end: 8,
+            },
         ];
         let s = ascii_gantt(&g, &segments, 1, 8, 8);
         assert!(s.starts_with("P0  |"));
@@ -141,7 +151,12 @@ mod tests {
     #[test]
     fn gantt_idle_is_dots() {
         let g = tiny_graph();
-        let segments = vec![Segment { task: 0, process: 0, start: 0, end: 4 }];
+        let segments = vec![Segment {
+            task: 0,
+            process: 0,
+            start: 0,
+            end: 4,
+        }];
         let s = ascii_gantt(&g, &segments, 2, 8, 8);
         let lines: Vec<&str> = s.lines().collect();
         assert_eq!(lines.len(), 2);
@@ -151,7 +166,12 @@ mod tests {
     #[test]
     fn csv_roundtrip_shape() {
         let g = tiny_graph();
-        let segments = vec![Segment { task: 0, process: 0, start: 0, end: 4 }];
+        let segments = vec![Segment {
+            task: 0,
+            process: 0,
+            start: 0,
+            end: 4,
+        }];
         let csv = segments_csv(&g, &segments);
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines.len(), 2);

@@ -47,7 +47,10 @@ impl GraphBuilder {
     /// Panics if `u == v` or either endpoint is out of range.
     pub fn add_edge(&mut self, u: u32, v: u32, w: Weight) {
         assert_ne!(u, v, "self-loops are not allowed");
-        assert!((u as usize) < self.nvtx && (v as usize) < self.nvtx, "vertex out of range");
+        assert!(
+            (u as usize) < self.nvtx && (v as usize) < self.nvtx,
+            "vertex out of range"
+        );
         self.adj[u as usize].push((v, w));
         self.adj[v as usize].push((u, w));
     }

@@ -257,13 +257,7 @@ mod tests {
 
     #[test]
     fn validate_rejects_asymmetric() {
-        let g = CsrGraph::from_parts_unchecked(
-            vec![0, 1, 1],
-            vec![1],
-            vec![1],
-            vec![1, 1],
-            1,
-        );
+        let g = CsrGraph::from_parts_unchecked(vec![0, 1, 1], vec![1], vec![1], vec![1, 1], 1);
         assert!(g.validate().is_err());
     }
 

@@ -151,7 +151,11 @@ mod tests {
         let m = tiny();
         let s = cells_csv(&m, None);
         assert_eq!(s.lines().count(), 9);
-        assert!(s.lines().nth(1).unwrap().starts_with("0,0.25,0.25,0.25,0.125,1,0"));
+        assert!(s
+            .lines()
+            .nth(1)
+            .unwrap()
+            .starts_with("0,0.25,0.25,0.25,0.125,1,0"));
     }
 
     #[test]

@@ -23,4 +23,6 @@ pub use generators::{cube_like, cylinder_like, pprime_nozzle_like, GeneratorConf
 pub use io::{cells_csv, to_vtk, write_vtk};
 pub use mesh::{Cell, Face, FaceNeighbor, Mesh};
 pub use octree::{Octree, OctreeConfig};
-pub use temporal::{assign_radial, computation_shares, level_histogram, operating_cost, TemporalScheme};
+pub use temporal::{
+    assign_radial, computation_shares, level_histogram, operating_cost, TemporalScheme,
+};

@@ -165,8 +165,7 @@ impl Octree {
                         for cz in 0..2u32 {
                             for cy in 0..2u32 {
                                 for cx in 0..2u32 {
-                                    let child =
-                                        (ad + 1, 2 * ax + cx, 2 * ay + cy, 2 * az + cz);
+                                    let child = (ad + 1, 2 * ax + cx, 2 * ay + cy, 2 * az + cz);
                                     self.leaves.insert(child, 0);
                                     queue.push(child);
                                 }
@@ -221,7 +220,11 @@ impl Octree {
     ///
     /// Returns `None` at the domain boundary or if only *finer* leaves cover
     /// the region (the caller enumerates those from the finer side).
-    pub fn same_or_coarser_neighbor(&self, key: LeafKey, dir: (i64, i64, i64)) -> Option<(LeafKey, u32)> {
+    pub fn same_or_coarser_neighbor(
+        &self,
+        key: LeafKey,
+        dir: (i64, i64, i64),
+    ) -> Option<(LeafKey, u32)> {
         let (d, x, y, z) = key;
         let n = 1i64 << d;
         let (nx, ny, nz) = (
@@ -269,7 +272,10 @@ mod tests {
 
     #[test]
     fn uniform_tree_has_grid_leaves() {
-        let cfg = OctreeConfig { base_depth: 2, max_depth: 2 };
+        let cfg = OctreeConfig {
+            base_depth: 2,
+            max_depth: 2,
+        };
         let t = Octree::build(&cfg, |_, _, _| false);
         assert_eq!(t.len(), 64);
         assert_eq!(t.deepest_leaf(), 2);
@@ -278,7 +284,10 @@ mod tests {
 
     #[test]
     fn refine_everything_once() {
-        let cfg = OctreeConfig { base_depth: 1, max_depth: 2 };
+        let cfg = OctreeConfig {
+            base_depth: 1,
+            max_depth: 2,
+        };
         let t = Octree::build(&cfg, |_, _, d| d < 2);
         assert_eq!(t.len(), 64);
     }
@@ -286,7 +295,10 @@ mod tests {
     #[test]
     fn corner_refinement_is_balanced() {
         // Refine aggressively near the origin corner only.
-        let cfg = OctreeConfig { base_depth: 2, max_depth: 6 };
+        let cfg = OctreeConfig {
+            base_depth: 2,
+            max_depth: 6,
+        };
         let t = Octree::build(&cfg, |c, _, _| c[0] + c[1] + c[2] < 0.5);
         assert!(t.len() > 64);
         assert!(t.check_balance().is_ok());
@@ -295,7 +307,10 @@ mod tests {
 
     #[test]
     fn neighbor_lookup_same_level() {
-        let cfg = OctreeConfig { base_depth: 1, max_depth: 1 };
+        let cfg = OctreeConfig {
+            base_depth: 1,
+            max_depth: 1,
+        };
         let t = Octree::build(&cfg, |_, _, _| false);
         let key = (1u8, 0u32, 0u32, 0u32);
         let (nk, _) = t.same_or_coarser_neighbor(key, (1, 0, 0)).unwrap();
@@ -306,8 +321,13 @@ mod tests {
     #[test]
     fn neighbor_lookup_coarser() {
         // Refine only the origin octant once.
-        let cfg = OctreeConfig { base_depth: 1, max_depth: 2 };
-        let t = Octree::build(&cfg, |c, _, d| d == 1 && c[0] < 0.5 && c[1] < 0.5 && c[2] < 0.5);
+        let cfg = OctreeConfig {
+            base_depth: 1,
+            max_depth: 2,
+        };
+        let t = Octree::build(&cfg, |c, _, d| {
+            d == 1 && c[0] < 0.5 && c[1] < 0.5 && c[2] < 0.5
+        });
         // A fine leaf at depth 2 adjacent to the coarse neighbour octant.
         let fine = (2u8, 1u32, 0u32, 0u32);
         assert!(t.leaves.contains_key(&fine));
@@ -325,7 +345,10 @@ mod tests {
 
     #[test]
     fn determinism() {
-        let cfg = OctreeConfig { base_depth: 2, max_depth: 5 };
+        let cfg = OctreeConfig {
+            base_depth: 2,
+            max_depth: 5,
+        };
         let f = |c: [f64; 3], _: f64, _: u8| (c[0] - 0.5).abs() < 0.2;
         let a = Octree::build(&cfg, f);
         let b = Octree::build(&cfg, f);
@@ -335,7 +358,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "max_depth < base_depth")]
     fn bad_config_panics() {
-        let cfg = OctreeConfig { base_depth: 3, max_depth: 2 };
+        let cfg = OctreeConfig {
+            base_depth: 3,
+            max_depth: 2,
+        };
         let _ = Octree::build(&cfg, |_, _, _| false);
     }
 }

@@ -24,7 +24,10 @@ impl TemporalScheme {
     /// Panics if `n_levels == 0` or `n_levels > 16`.
     pub fn new(n_levels: u8) -> Self {
         assert!(n_levels >= 1, "need at least one temporal level");
-        assert!(n_levels <= 16, "more than 16 temporal levels is unsupported");
+        assert!(
+            n_levels <= 16,
+            "more than 16 temporal levels is unsupported"
+        );
         Self { n_levels }
     }
 
@@ -42,12 +45,7 @@ impl TemporalScheme {
     /// deepest (finest) cells get τ = 0 and each octave of coarsening
     /// increments τ, saturating at `τmax`.
     pub fn assign(&self, mesh: &mut Mesh) {
-        let deepest = mesh
-            .cells()
-            .iter()
-            .map(|c| c.depth)
-            .max()
-            .unwrap_or(0);
+        let deepest = mesh.cells().iter().map(|c| c.depth).max().unwrap_or(0);
         let tau: Vec<u8> = mesh
             .cells()
             .iter()
@@ -111,10 +109,7 @@ pub fn assign_radial(mesh: &mut Mesh, centre: [f64; 3], radii: &[f64]) {
                 + (c.centroid[1] - centre[1]).powi(2)
                 + (c.centroid[2] - centre[2]).powi(2))
             .sqrt();
-            radii
-                .iter()
-                .position(|&r| d < r)
-                .unwrap_or(radii.len()) as u8
+            radii.iter().position(|&r| d < r).unwrap_or(radii.len()) as u8
         })
         .collect();
     mesh.set_tau(tau, n_levels);
@@ -232,7 +227,10 @@ mod tests {
             max_depth: 4,
         };
         let t = Octree::build(&cfg, |c, _, _| {
-            let d = (c[0] - 0.5).abs().max((c[1] - 0.5).abs()).max((c[2] - 0.5).abs());
+            let d = (c[0] - 0.5)
+                .abs()
+                .max((c[1] - 0.5).abs())
+                .max((c[2] - 0.5).abs());
             d < 0.2
         });
         let mut m = crate::mesh::Mesh::from_octree(&t);
@@ -260,7 +258,13 @@ mod tests {
         for cell in 0..m.n_cells() as u32 {
             let c = m.cells()[cell as usize].centroid;
             let d = ((c[0] - 0.5f64).powi(2) + (c[1] - 0.5).powi(2) + (c[2] - 0.5).powi(2)).sqrt();
-            let expected = if d < 0.2 { 0 } else if d < 0.45 { 1 } else { 2 };
+            let expected = if d < 0.2 {
+                0
+            } else if d < 0.45 {
+                1
+            } else {
+                2
+            };
             assert_eq!(m.cell_tau(cell), expected);
         }
         // Moving the hotspot changes the labels.

@@ -4,9 +4,8 @@ use crate::coarsen::coarsen;
 use crate::initial::{initial_bisection, SideWeights};
 use crate::refine::{fm_refine, project, rebalance};
 use crate::PartitionConfig;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 use tempart_graph::{CsrGraph, PartId, Weight};
+use tempart_testkit::rng::Rng;
 
 /// One multilevel bisection: coarsen, split, uncoarsen with refinement.
 ///
@@ -19,7 +18,7 @@ pub fn multilevel_bisection(
     ub: f64,
     seed: u64,
 ) -> Vec<u8> {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     // Multi-constraint instances need a larger coarsest graph to have enough
     // mixing freedom.
     let target = config.coarsen_to * graph.ncon().max(1);
@@ -98,9 +97,17 @@ pub fn recursive_bisection(graph: &CsrGraph, config: &PartitionConfig) -> Vec<Pa
         Some(t) => t.clone(),
         None => vec![1.0 / config.nparts as f64; config.nparts],
     };
-    split_recursive(graph, config, &fracs, 0, ub_bisect, config.seed, &mut |v, p| {
-        part[v as usize] = p;
-    });
+    split_recursive(
+        graph,
+        config,
+        &fracs,
+        0,
+        ub_bisect,
+        config.seed,
+        &mut |v, p| {
+            part[v as usize] = p;
+        },
+    );
     part
 }
 
@@ -143,9 +150,15 @@ fn split_recursive(
     let (g1, map1) = extract_subgraph(graph, &side, 1);
     let s0 = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
     let s1 = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(2);
-    split_recursive(&g0, config, &fracs[..kl], base, ub_bisect, s0, &mut |v, p| {
-        assign(map0[v as usize], p)
-    });
+    split_recursive(
+        &g0,
+        config,
+        &fracs[..kl],
+        base,
+        ub_bisect,
+        s0,
+        &mut |v, p| assign(map0[v as usize], p),
+    );
     split_recursive(
         &g1,
         config,

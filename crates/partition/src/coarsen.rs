@@ -1,9 +1,7 @@
 //! Coarsening: heavy-edge matching and graph contraction.
 
-use rand::rngs::SmallRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
 use tempart_graph::CsrGraph;
+use tempart_testkit::rng::Rng;
 
 /// A single level of the coarsening hierarchy.
 #[derive(Debug, Clone)]
@@ -20,7 +18,7 @@ pub struct CoarseLevel {
 /// unmatched neighbour connected by the heaviest edge (ties broken by lower
 /// vertex id for determinism). Returns `match_of[v]`, with `match_of[v] == v`
 /// for unmatched vertices.
-pub fn heavy_edge_matching(graph: &CsrGraph, rng: &mut SmallRng) -> Vec<u32> {
+pub fn heavy_edge_matching(graph: &CsrGraph, rng: &mut Rng) -> Vec<u32> {
     let n = graph.nvtx();
     let ncon = graph.ncon();
     // Dominant weight class per vertex; multi-constraint matching prefers
@@ -39,7 +37,7 @@ pub fn heavy_edge_matching(graph: &CsrGraph, rng: &mut SmallRng) -> Vec<u32> {
     };
     let mut match_of: Vec<u32> = (0..n as u32).collect();
     let mut order: Vec<u32> = (0..n as u32).collect();
-    order.shuffle(rng);
+    rng.shuffle(&mut order);
     let mut matched = vec![false; n];
     for &v in &order {
         if matched[v as usize] {
@@ -55,9 +53,7 @@ pub fn heavy_edge_matching(graph: &CsrGraph, rng: &mut SmallRng) -> Vec<u32> {
             let cand = (same, w, u);
             let better = match best {
                 None => true,
-                Some((bs, bw, bu)) => {
-                    (same, w) > (bs, bw) || (same == bs && w == bw && u < bu)
-                }
+                Some((bs, bw, bu)) => (same, w) > (bs, bw) || (same == bs && w == bw && u < bu),
             };
             if better {
                 best = Some(cand);
@@ -187,7 +183,7 @@ impl Hierarchy {
 /// Coarsens `graph` until it has at most `target_nvtx` vertices or matching
 /// stops making progress (shrink factor under 10%).
 pub fn coarsen(graph: &CsrGraph, target_nvtx: usize, seed: u64) -> Hierarchy {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut levels: Vec<CoarseLevel> = Vec::new();
     let mut current = graph.clone();
     while current.nvtx() > target_nvtx {
@@ -211,7 +207,7 @@ mod tests {
     #[test]
     fn matching_is_valid() {
         let g = grid_graph(8, 8);
-        let mut rng = SmallRng::seed_from_u64(7);
+        let mut rng = Rng::seed_from_u64(7);
         let m = heavy_edge_matching(&g, &mut rng);
         for v in 0..g.nvtx() as u32 {
             let u = m[v as usize];
@@ -228,7 +224,7 @@ mod tests {
     #[test]
     fn contraction_conserves_weight() {
         let g = grid_graph(8, 8);
-        let mut rng = SmallRng::seed_from_u64(3);
+        let mut rng = Rng::seed_from_u64(3);
         let m = heavy_edge_matching(&g, &mut rng);
         let lvl = contract(&g, &m);
         assert!(lvl.graph.validate().is_ok());
@@ -245,7 +241,7 @@ mod tests {
         // Edge weight across any coarse split equals the fine-edge weight sum:
         // check total edge weight only drops by internal (matched) edges.
         let g = grid_graph(6, 6);
-        let mut rng = SmallRng::seed_from_u64(11);
+        let mut rng = Rng::seed_from_u64(11);
         let m = heavy_edge_matching(&g, &mut rng);
         let internal: i64 = (0..g.nvtx() as u32)
             .filter(|&v| m[v as usize] > v)
@@ -259,7 +255,10 @@ mod tests {
             })
             .sum();
         let lvl = contract(&g, &m);
-        assert_eq!(lvl.graph.total_edge_weight(), g.total_edge_weight() - internal);
+        assert_eq!(
+            lvl.graph.total_edge_weight(),
+            g.total_edge_weight() - internal
+        );
     }
 
     #[test]
@@ -270,7 +269,7 @@ mod tests {
             vwgt[v * 2 + (v % 2)] = 2;
         }
         let g2 = g.with_vertex_weights(vwgt, 2);
-        let mut rng = SmallRng::seed_from_u64(5);
+        let mut rng = Rng::seed_from_u64(5);
         let m = heavy_edge_matching(&g2, &mut rng);
         let lvl = contract(&g2, &m);
         assert_eq!(lvl.graph.total_weights(), g2.total_weights());
@@ -281,7 +280,11 @@ mod tests {
     fn hierarchy_reaches_target() {
         let g = grid_graph(32, 32);
         let h = coarsen(&g, 64, 42);
-        assert!(h.coarsest(&g).nvtx() <= 130, "coarsest {}", h.coarsest(&g).nvtx());
+        assert!(
+            h.coarsest(&g).nvtx() <= 130,
+            "coarsest {}",
+            h.coarsest(&g).nvtx()
+        );
         assert!(!h.levels.is_empty());
         // Monotone shrink.
         let mut prev = g.nvtx();

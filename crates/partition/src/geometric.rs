@@ -171,8 +171,8 @@ mod tests {
             let mut max_jump = 0.0f64;
             for w in idx.windows(2) {
                 let (a, b) = (pts[w[0]], pts[w[1]]);
-                let d = ((a[0] - b[0]).powi(2) + (a[1] - b[1]).powi(2) + (a[2] - b[2]).powi(2))
-                    .sqrt();
+                let d =
+                    ((a[0] - b[0]).powi(2) + (a[1] - b[1]).powi(2) + (a[2] - b[2]).powi(2)).sqrt();
                 max_jump = max_jump.max(d);
             }
             max_jump
@@ -213,9 +213,7 @@ mod tests {
 
     #[test]
     fn sfc_handles_skewed_weights() {
-        let centroids: Vec<[f64; 3]> = (0..100)
-            .map(|i| [i as f64 / 100.0, 0.5, 0.5])
-            .collect();
+        let centroids: Vec<[f64; 3]> = (0..100).map(|i| [i as f64 / 100.0, 0.5, 0.5]).collect();
         let mut weights = vec![1u64; 100];
         weights[0] = 100; // one huge cell
         let part = sfc_partition(&centroids, &weights, 4, Curve::Morton);

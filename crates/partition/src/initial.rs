@@ -1,8 +1,7 @@
 //! Initial bisection of the coarsest graph: greedy graph growing (GGGP).
 
-use rand::rngs::SmallRng;
-use rand::Rng;
 use tempart_graph::CsrGraph;
+use tempart_testkit::rng::Rng;
 
 /// Per-side, per-constraint weight bookkeeping for a bisection.
 #[derive(Debug, Clone)]
@@ -118,7 +117,7 @@ pub fn bisection_cut(graph: &CsrGraph, side: &[u8]) -> i64 {
 /// overshoot a constraint target), growth restarts from a fresh admissible
 /// seed — this is what makes multi-constraint one-hot instances solvable and
 /// is also why MC_TL domains may come out disconnected, as the paper notes.
-pub fn grow_bisection(graph: &CsrGraph, frac0: f64, rng: &mut SmallRng) -> Bisection {
+pub fn grow_bisection(graph: &CsrGraph, frac0: f64, rng: &mut Rng) -> Bisection {
     let n = graph.nvtx();
     let ncon = graph.ncon();
     let mut side = vec![1u8; n];
@@ -130,10 +129,7 @@ pub fn grow_bisection(graph: &CsrGraph, frac0: f64, rng: &mut SmallRng) -> Bisec
     let mut heap: std::collections::BinaryHeap<(i64, u32)> = std::collections::BinaryHeap::new();
     let mut gain = vec![0i64; n];
     for v in 0..n as u32 {
-        gain[v as usize] = -graph
-            .edge_weights(v)
-            .map(i64::from)
-            .sum::<i64>();
+        gain[v as usize] = -graph.edge_weights(v).map(i64::from).sum::<i64>();
     }
 
     let admissible = |weights: &SideWeights, vw: &[u32]| -> bool {
@@ -187,7 +183,11 @@ pub fn grow_bisection(graph: &CsrGraph, frac0: f64, rng: &mut SmallRng) -> Bisec
 
     let cut = bisection_cut(graph, &side);
     let max_norm = weights.max_norm();
-    Bisection { side, cut, max_norm }
+    Bisection {
+        side,
+        cut,
+        max_norm,
+    }
 }
 
 /// Runs `tries` growth attempts and keeps the best: balanced attempts beat
@@ -197,7 +197,7 @@ pub fn initial_bisection(
     frac0: f64,
     tries: usize,
     ub: f64,
-    rng: &mut SmallRng,
+    rng: &mut Rng,
 ) -> Bisection {
     let mut best: Option<Bisection> = None;
     for _ in 0..tries.max(1) {
@@ -212,8 +212,7 @@ pub fn initial_bisection(
                     (false, true) => false,
                     (true, true) => b.cut < cur.cut,
                     (false, false) => {
-                        b.max_norm < cur.max_norm
-                            || (b.max_norm == cur.max_norm && b.cut < cur.cut)
+                        b.max_norm < cur.max_norm || (b.max_norm == cur.max_norm && b.cut < cur.cut)
                     }
                 }
             }
@@ -228,13 +227,12 @@ pub fn initial_bisection(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
     use tempart_graph::builder::grid_graph;
 
     #[test]
     fn grow_splits_grid_evenly() {
         let g = grid_graph(10, 10);
-        let mut rng = SmallRng::seed_from_u64(1);
+        let mut rng = Rng::seed_from_u64(1);
         let b = initial_bisection(&g, 0.5, 8, 1.05, &mut rng);
         assert!(b.max_norm <= 1.1, "norm {}", b.max_norm);
         let n0 = b.side.iter().filter(|&&s| s == 0).count();
@@ -245,7 +243,7 @@ mod tests {
     #[test]
     fn asymmetric_fraction() {
         let g = grid_graph(12, 12);
-        let mut rng = SmallRng::seed_from_u64(2);
+        let mut rng = Rng::seed_from_u64(2);
         let b = initial_bisection(&g, 1.0 / 3.0, 8, 1.1, &mut rng);
         let n0 = b.side.iter().filter(|&&s| s == 0).count();
         // Expect roughly 48 of 144 vertices on side 0.
@@ -261,7 +259,7 @@ mod tests {
             vwgt[v * 2 + usize::from(v % 8 >= 4)] = 1;
         }
         let g2 = g.with_vertex_weights(vwgt, 2);
-        let mut rng = SmallRng::seed_from_u64(3);
+        let mut rng = Rng::seed_from_u64(3);
         let b = initial_bisection(&g2, 0.5, 8, 1.2, &mut rng);
         assert!(b.max_norm <= 1.35, "norm {}", b.max_norm);
     }

@@ -4,10 +4,8 @@
 
 use crate::coarsen::coarsen;
 use crate::PartitionConfig;
-use rand::rngs::SmallRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
 use tempart_graph::{CsrGraph, PartId};
+use tempart_testkit::rng::Rng;
 
 /// Greedy k-way boundary refinement.
 ///
@@ -24,7 +22,7 @@ pub fn kway_refine(graph: &CsrGraph, part: &mut [PartId], config: &PartitionConf
     if n == 0 || k <= 1 {
         return 0;
     }
-    let mut rng = SmallRng::seed_from_u64(config.seed ^ 0x4B57_4159);
+    let mut rng = Rng::seed_from_u64(config.seed ^ 0x4B57_4159);
     let totals = graph.total_weights();
     // allowance[p*ncon + c]
     let mut pw = vec![0i64; k * ncon];
@@ -48,7 +46,7 @@ pub fn kway_refine(graph: &CsrGraph, part: &mut [PartId], config: &PartitionConf
     let mut touched: Vec<usize> = Vec::with_capacity(8);
 
     for _pass in 0..config.refine_passes.max(1) {
-        order.shuffle(&mut rng);
+        rng.shuffle(&mut order);
         let mut pass_moves = 0usize;
         for &v in &order {
             let pv = part[v as usize] as usize;
@@ -82,8 +80,7 @@ pub fn kway_refine(graph: &CsrGraph, part: &mut [PartId], config: &PartitionConf
                     // Feasibility: target part stays within allowance.
                     let fits = (0..ncon).all(|c| {
                         vw[c] == 0
-                            || (pw[p * ncon + c] + i64::from(vw[c])) as f64
-                                <= allowance[c].max(1.0)
+                            || (pw[p * ncon + c] + i64::from(vw[c])) as f64 <= allowance[c].max(1.0)
                     });
                     if fits {
                         let better = match best {
@@ -184,8 +181,7 @@ pub fn kway_rebalance(graph: &CsrGraph, part: &mut [PartId], config: &PartitionC
                     internal += i64::from(w);
                 } else {
                     let fits = (0..ncon).all(|c| {
-                        vw[c] == 0
-                            || (pw[pu * ncon + c] + i64::from(vw[c])) as f64 <= allowance[c]
+                        vw[c] == 0 || (pw[pu * ncon + c] + i64::from(vw[c])) as f64 <= allowance[c]
                     });
                     if fits && best_target.is_none_or(|(bw, _)| i64::from(w) > bw) {
                         best_target = Some((i64::from(w), pu));
@@ -209,8 +205,7 @@ pub fn kway_rebalance(graph: &CsrGraph, part: &mut [PartId], config: &PartitionC
                 .filter(|&p| p != wp)
                 .filter(|&p| {
                     (0..ncon).all(|c| {
-                        vw[c] == 0
-                            || (pw[p * ncon + c] + i64::from(vw[c])) as f64 <= allowance[c]
+                        vw[c] == 0 || (pw[p * ncon + c] + i64::from(vw[c])) as f64 <= allowance[c]
                     })
                 })
                 .min_by_key(|&p| pw[p * ncon + wc])

@@ -133,7 +133,10 @@ impl PartitionConfig {
         assert!(self.initial_tries >= 1, "initial_tries must be >= 1");
         if let Some(t) = &self.target_fracs {
             assert_eq!(t.len(), self.nparts, "one target fraction per part");
-            assert!(t.iter().all(|&f| f > 0.0), "target fractions must be positive");
+            assert!(
+                t.iter().all(|&f| f > 0.0),
+                "target fractions must be positive"
+            );
             let sum: f64 = t.iter().sum();
             assert!((sum - 1.0).abs() < 1e-6, "target fractions must sum to 1");
         }

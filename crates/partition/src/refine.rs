@@ -12,13 +12,7 @@ use tempart_graph::CsrGraph;
 /// they do not worsen the balance beyond `ub` (or beyond the current
 /// violation, if the bisection is already out of tolerance — so refinement
 /// doubles as a balancing pass).
-pub fn fm_refine(
-    graph: &CsrGraph,
-    side: &mut [u8],
-    frac0: f64,
-    ub: f64,
-    max_passes: usize,
-) -> i64 {
+pub fn fm_refine(graph: &CsrGraph, side: &mut [u8], frac0: f64, ub: f64, max_passes: usize) -> i64 {
     let n = graph.nvtx();
     let mut cut = bisection_cut(graph, side);
     if n == 0 {

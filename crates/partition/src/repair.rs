@@ -133,9 +133,8 @@ pub fn repair_contiguity(
         let mut targets: Vec<usize> = (0..k).filter(|&d| conn[d] > 0).collect();
         targets.sort_by_key(|&d| std::cmp::Reverse(conn[d]));
         let chosen = targets.into_iter().find(|&d| {
-            (0..ncon).all(|c| {
-                fw[c] == 0 || (dw[d * ncon + c] + fw[c]) as f64 <= allowance[c].max(1.0)
-            })
+            (0..ncon)
+                .all(|c| fw[c] == 0 || (dw[d * ncon + c] + fw[c]) as f64 <= allowance[c].max(1.0))
         });
         match chosen {
             Some(d) => {

@@ -89,7 +89,7 @@ where
 
     // Build the group fabric; worker deques move into threads.
     let mut groups: Vec<Group> = Vec::with_capacity(config.n_groups);
-    let mut deques: Vec<Vec<crossbeam::deque::Worker<TaskId>>> = Vec::with_capacity(config.n_groups);
+    let mut deques: Vec<Vec<crate::groups::Worker>> = Vec::with_capacity(config.n_groups);
     for _ in 0..config.n_groups {
         let (g, w) = Group::new(config.workers_per_group);
         groups.push(g);
@@ -257,7 +257,11 @@ mod tests {
         let report = execute(&g, &cfg, &[0, 1], |_, _| {});
         for s in &report.segments {
             let dom = g.task(s.task).domain;
-            assert_eq!(s.group, dom, "task of domain {dom} ran on group {}", s.group);
+            assert_eq!(
+                s.group, dom,
+                "task of domain {dom} ran on group {}",
+                s.group
+            );
         }
     }
 

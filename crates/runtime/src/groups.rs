@@ -1,22 +1,118 @@
 //! Process-group structure: per-group injectors and in-group stealing.
+//!
+//! Built on std primitives only (`Mutex<VecDeque>` + `Arc`), replacing the
+//! previous `crossbeam::deque` fabric so the workspace stays dependency-free.
+//! The scheduling semantics are preserved exactly:
+//!
+//! * **Owner pop is LIFO** — a worker pops the task it most recently pushed
+//!   (its just-released successor), keeping the hot cache lines hot;
+//! * **Stealing is FIFO** — thieves take the *oldest* task from a victim's
+//!   deque, which tends to be the root of the largest untouched subtree;
+//! * **The injector is FIFO** — newly-ready cross-group tasks are consumed
+//!   in arrival order.
+//!
+//! Under the task granularities this runtime executes (finite-volume cell
+//! blocks, ≥ tens of microseconds each) a per-deque mutex is not a
+//! measurable bottleneck: each task acquires O(1) uncontended locks, and
+//! contention only appears when workers are starving anyway.
 
-use crossbeam::deque::{Injector, Steal, Stealer, Worker};
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
 use tempart_taskgraph::TaskId;
+
+/// The shared FIFO inbox of a group; newly-ready tasks land here when the
+/// releasing worker belongs to a different group.
+#[derive(Debug, Default)]
+pub struct Injector {
+    queue: Mutex<VecDeque<TaskId>>,
+}
+
+impl Injector {
+    /// Creates an empty injector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enqueues a ready task (FIFO order).
+    pub fn push(&self, t: TaskId) {
+        self.queue.lock().expect("injector poisoned").push_back(t);
+    }
+
+    /// Dequeues the oldest task, if any.
+    pub fn pop(&self) -> Option<TaskId> {
+        self.queue.lock().expect("injector poisoned").pop_front()
+    }
+
+    /// Number of queued tasks (diagnostics only; racy by nature).
+    pub fn len(&self) -> usize {
+        self.queue.lock().expect("injector poisoned").len()
+    }
+
+    /// Whether the injector is empty (diagnostics only; racy by nature).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The owner-side handle of one worker's deque. Moves into the worker
+/// thread; the matching [`Stealer`]s stay in the [`Group`].
+#[derive(Debug, Clone)]
+pub struct Worker {
+    deque: Arc<Mutex<VecDeque<TaskId>>>,
+}
+
+impl Worker {
+    fn new() -> Self {
+        Self {
+            deque: Arc::new(Mutex::new(VecDeque::new())),
+        }
+    }
+
+    /// Pushes a task onto the owner's end (most-recently-pushed pops first).
+    pub fn push(&self, t: TaskId) {
+        self.deque.lock().expect("deque poisoned").push_back(t);
+    }
+
+    /// Pops the most recently pushed task (LIFO).
+    pub fn pop(&self) -> Option<TaskId> {
+        self.deque.lock().expect("deque poisoned").pop_back()
+    }
+
+    /// The thief-side handle of this deque.
+    pub fn stealer(&self) -> Stealer {
+        Stealer {
+            deque: Arc::clone(&self.deque),
+        }
+    }
+}
+
+/// The thief-side handle of a worker's deque: takes the *oldest* task.
+#[derive(Debug, Clone)]
+pub struct Stealer {
+    deque: Arc<Mutex<VecDeque<TaskId>>>,
+}
+
+impl Stealer {
+    /// Steals the oldest task from the victim's deque (FIFO).
+    pub fn steal(&self) -> Option<TaskId> {
+        self.deque.lock().expect("deque poisoned").pop_front()
+    }
+}
 
 /// The scheduling fabric of one process group: a shared injector plus one
 /// work-stealing deque per worker thread of the group.
 pub struct Group {
     /// Global inbox of the group; newly-ready tasks land here.
-    pub injector: Injector<TaskId>,
+    pub injector: Injector,
     /// Stealers for all worker deques of this group.
-    pub stealers: Vec<Stealer<TaskId>>,
+    pub stealers: Vec<Stealer>,
 }
 
 impl Group {
     /// Creates the group fabric, returning the group and the worker-local
     /// deques (to be moved into the worker threads).
-    pub fn new(n_workers: usize) -> (Self, Vec<Worker<TaskId>>) {
-        let workers: Vec<Worker<TaskId>> = (0..n_workers).map(|_| Worker::new_lifo()).collect();
+    pub fn new(n_workers: usize) -> (Self, Vec<Worker>) {
+        let workers: Vec<Worker> = (0..n_workers).map(|_| Worker::new()).collect();
         let stealers = workers.iter().map(Worker::stealer).collect();
         (
             Self {
@@ -27,29 +123,22 @@ impl Group {
         )
     }
 
-    /// Finds work for the worker owning `local`: local deque first, then the
-    /// group injector, then stealing from in-group siblings.
-    pub fn find_task(&self, local: &Worker<TaskId>, self_index: usize) -> Option<TaskId> {
+    /// Finds work for the worker owning `local`: local deque first (LIFO),
+    /// then the group injector (FIFO), then stealing from in-group siblings
+    /// (FIFO from each victim).
+    pub fn find_task(&self, local: &Worker, self_index: usize) -> Option<TaskId> {
         if let Some(t) = local.pop() {
             return Some(t);
         }
-        loop {
-            match self.injector.steal_batch_and_pop(local) {
-                Steal::Success(t) => return Some(t),
-                Steal::Empty => break,
-                Steal::Retry => continue,
-            }
+        if let Some(t) = self.injector.pop() {
+            return Some(t);
         }
         for (i, s) in self.stealers.iter().enumerate() {
             if i == self_index {
                 continue;
             }
-            loop {
-                match s.steal() {
-                    Steal::Success(t) => return Some(t),
-                    Steal::Empty => break,
-                    Steal::Retry => continue,
-                }
+            if let Some(t) = s.steal() {
+                return Some(t);
             }
         }
         None
@@ -66,11 +155,9 @@ mod tests {
         g.injector.push(7);
         g.injector.push(8);
         let t = g.find_task(&workers[0], 0).unwrap();
-        assert!(t == 7 || t == 8);
-        // The batch-steal may have moved the second task into worker 0's
-        // local deque; worker 1 must still find it via stealing.
+        assert_eq!(t, 7, "injector is FIFO");
         let t2 = g.find_task(&workers[1], 1).unwrap();
-        assert_ne!(t, t2);
+        assert_eq!(t2, 8);
         assert!(g.find_task(&workers[1], 1).is_none());
     }
 
@@ -82,5 +169,41 @@ mod tests {
         assert_eq!(g.find_task(&workers[0], 0), Some(1));
         assert_eq!(g.find_task(&workers[0], 0), Some(2));
         assert_eq!(g.find_task(&workers[0], 0), None);
+    }
+
+    #[test]
+    fn owner_pops_lifo() {
+        let (_, workers) = Group::new(1);
+        let w = &workers[0];
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(w.pop(), Some(3));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), Some(1));
+        assert_eq!(w.pop(), None);
+    }
+
+    #[test]
+    fn thief_steals_fifo() {
+        let (g, workers) = Group::new(2);
+        workers[0].push(1);
+        workers[0].push(2);
+        workers[0].push(3);
+        // Worker 1 has nothing local and the injector is empty: it must
+        // steal the *oldest* task of worker 0.
+        assert_eq!(g.find_task(&workers[1], 1), Some(1));
+        // Owner still pops its newest first.
+        assert_eq!(workers[0].pop(), Some(3));
+        assert_eq!(g.find_task(&workers[1], 1), Some(2));
+    }
+
+    #[test]
+    fn steal_skips_self_and_visits_all_victims() {
+        let (g, workers) = Group::new(3);
+        workers[2].push(42);
+        // Worker 1 must reach worker 2's deque even with worker 0 empty.
+        assert_eq!(g.find_task(&workers[1], 1), Some(42));
+        assert!(g.find_task(&workers[1], 1).is_none());
     }
 }

@@ -23,8 +23,8 @@ pub mod timestep;
 pub mod viscous;
 
 pub use flux::rusanov;
-pub use monitor::{FlowStats, Monitor};
 pub use kernels::{CellStage, SharedArray};
+pub use monitor::{FlowStats, Monitor};
 pub use solver::{blast_initial, Solver, SolverConfig, TimeIntegration};
 pub use state::{EulerState, Primitive, GAMMA};
 pub use timestep::stable_dt;

@@ -118,7 +118,12 @@ impl Monitor {
         {
             out.push_str(&format!(
                 "{i},{r},{},{},{},{},{},{}\n",
-                s.totals[0], s.totals[4], s.kinetic_energy, s.min_density, s.max_density, s.max_mach
+                s.totals[0],
+                s.totals[4],
+                s.kinetic_energy,
+                s.min_density,
+                s.max_density,
+                s.max_mach
             ));
         }
         out
@@ -149,7 +154,10 @@ mod tests {
             Primitive::at_rest(1.0, 1.0)
         });
         let stats = FlowStats::measure(&s, &m);
-        assert!((stats.totals[0] - 1.0).abs() < 1e-12, "unit mass in unit box");
+        assert!(
+            (stats.totals[0] - 1.0).abs() < 1e-12,
+            "unit mass in unit box"
+        );
         assert!(stats.kinetic_energy.abs() < 1e-15);
         assert!((stats.min_density - 1.0).abs() < 1e-12);
         assert!((stats.max_density - 1.0).abs() < 1e-12);
@@ -177,7 +185,10 @@ mod tests {
         let h = &mon.residual_history;
         let early: f64 = h[1..4].iter().sum();
         let late: f64 = h[h.len() - 3..].iter().sum();
-        assert!(late < early, "residual should decay: early {early}, late {late}");
+        assert!(
+            late < early,
+            "residual should decay: early {early}, late {late}"
+        );
         assert!(!mon.converged(1e-12, 3), "not converged this fast");
         let csv = mon.history_csv();
         assert_eq!(csv.lines().count(), h.len() + 1);

@@ -1,9 +1,9 @@
 //! The iteration driver: task-graph execution of the adaptive scheme.
 
 use crate::kernels::{cell_task, face_task, CellStage, SharedArray, SolverArrays};
-use crate::viscous::Viscosity;
 use crate::state::{EulerState, Primitive};
 use crate::timestep::stable_dt;
+use crate::viscous::Viscosity;
 use tempart_graph::PartId;
 use tempart_mesh::Mesh;
 use tempart_runtime::{execute, ExecReport, RuntimeConfig};
@@ -239,7 +239,8 @@ fn viscous_dt(mesh: &Mesh, u: &[[f64; 5]], visc: &Viscosity) -> f64 {
 /// high-pressure sphere — a blast-wave setup that exercises all flux paths.
 pub fn blast_initial(centre: [f64; 3], radius: f64) -> impl Fn([f64; 3]) -> Primitive {
     move |c| {
-        let d2 = (c[0] - centre[0]).powi(2) + (c[1] - centre[1]).powi(2) + (c[2] - centre[2]).powi(2);
+        let d2 =
+            (c[0] - centre[0]).powi(2) + (c[1] - centre[1]).powi(2) + (c[2] - centre[2]).powi(2);
         if d2 < radius * radius {
             Primitive::at_rest(2.0, 5.0)
         } else {
@@ -378,8 +379,14 @@ mod tests {
             heun.run_iteration_serial();
         }
         let after = heun.totals();
-        assert!((after[0] - before[0]).abs() < 1e-11 * before[0].abs(), "mass");
-        assert!((after[4] - before[4]).abs() < 1e-11 * before[4].abs(), "energy");
+        assert!(
+            (after[0] - before[0]).abs() < 1e-11 * before[0].abs(),
+            "mass"
+        );
+        assert!(
+            (after[4] - before[4]).abs() < 1e-11 * before[4].abs(),
+            "energy"
+        );
         assert!(heun.state().is_physical());
     }
 
@@ -396,7 +403,11 @@ mod tests {
             p: 1.0,
         };
         let run = |integration, cfl: f64, iters: usize| -> Vec<[f64; 5]> {
-            let cfg = SolverConfig { cfl, integration, viscosity: None };
+            let cfg = SolverConfig {
+                cfl,
+                integration,
+                viscosity: None,
+            };
             let mut s = Solver::new(&m, &part, 1, cfg, init);
             for _ in 0..iters {
                 s.run_iteration_serial();

@@ -121,10 +121,9 @@ mod tests {
 
     #[test]
     fn totals_weighted_by_volume() {
-        let s = EulerState::init(
-            [[0.0, 0.0, 0.0], [1.0, 0.0, 0.0]].into_iter(),
-            |_| Primitive::at_rest(2.0, 1.0),
-        );
+        let s = EulerState::init([[0.0, 0.0, 0.0], [1.0, 0.0, 0.0]].into_iter(), |_| {
+            Primitive::at_rest(2.0, 1.0)
+        });
         let t = s.totals([1.0, 3.0].into_iter());
         assert!((t[0] - 8.0).abs() < 1e-14);
         assert!(s.is_physical());

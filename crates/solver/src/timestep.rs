@@ -11,17 +11,11 @@ pub fn stable_dt(mesh: &Mesh, u: &[[f64; 5]], cfl: f64) -> f64 {
     assert_eq!(u.len(), mesh.n_cells(), "one state per cell");
     assert!(cfl > 0.0, "CFL must be positive");
     let mut dt = f64::INFINITY;
-    let deepest = mesh
-        .cells()
-        .iter()
-        .map(|c| c.depth)
-        .max()
-        .unwrap_or(0);
+    let deepest = mesh.cells().iter().map(|c| c.depth).max().unwrap_or(0);
     for (cell, state) in mesh.cells().iter().zip(u) {
         let pr = to_primitive(state);
-        let speed =
-            (pr.vel[0] * pr.vel[0] + pr.vel[1] * pr.vel[1] + pr.vel[2] * pr.vel[2]).sqrt()
-                + pr.sound_speed();
+        let speed = (pr.vel[0] * pr.vel[0] + pr.vel[1] * pr.vel[1] + pr.vel[2] * pr.vel[2]).sqrt()
+            + pr.sound_speed();
         let h = cell.volume.cbrt();
         // Normalise to the finest level: a τ-cell is 2^τ octaves coarser, so
         // its own stable step is 2^τ larger; dt here is the τ=0 step.

@@ -23,10 +23,7 @@ pub struct Viscosity {
 impl Viscosity {
     /// Air-like defaults at a laminar-friendly Reynolds number.
     pub fn air(mu: f64) -> Self {
-        Self {
-            mu,
-            prandtl: 0.72,
-        }
+        Self { mu, prandtl: 0.72 }
     }
 
     /// Heat conductivity coefficient.

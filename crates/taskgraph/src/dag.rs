@@ -182,7 +182,12 @@ impl TaskGraph {
         let mut finish = vec![0u64; self.tasks.len()];
         let mut best = 0u64;
         for t in 0..self.tasks.len() {
-            let start = self.preds(t as TaskId).iter().map(|&p| finish[p as usize]).max().unwrap_or(0);
+            let start = self
+                .preds(t as TaskId)
+                .iter()
+                .map(|&p| finish[p as usize])
+                .max()
+                .unwrap_or(0);
             finish[t] = start + self.tasks[t].cost;
             best = best.max(finish[t]);
         }

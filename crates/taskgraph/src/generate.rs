@@ -86,118 +86,113 @@ pub fn generate_taskgraph(
         let top = scheme.max_active_level(s);
         for tau in (0..=top).rev() {
             for stage in 0..config.stages {
-            for pf in phase_face_ext.iter_mut() {
-                *pf = NONE;
-            }
-            for pf in phase_face_int.iter_mut() {
-                *pf = NONE;
-            }
-            // Faces first, then cells (Algorithm 1 line 3); external before
-            // internal so boundary data ships as early as possible.
-            for kind in TaskKind::ALL {
-                for d in 0..nd as u32 {
-                    let class = if kind.is_external() {
-                        ObjectClass::External
-                    } else {
-                        ObjectClass::Internal
-                    };
-                    let n_objects = if kind.is_face() {
-                        dd.faces_of(d, tau, class).len()
-                    } else {
-                        dd.cells_of(d, tau, class).len()
-                    };
-                    if n_objects == 0 {
-                        continue;
-                    }
-                    let unit = if kind.is_face() {
-                        config.face_unit
-                    } else {
-                        config.cell_unit
-                    };
-                    let task = Task {
-                        subiter: s,
-                        tau,
-                        stage,
-                        domain: d,
-                        kind,
-                        n_objects: n_objects as u32,
-                        cost: n_objects as u64 * unit,
-                    };
-                    let deps = match kind {
-                        TaskKind::FaceExternal => {
-                            // Reads own cells (written by either of the
-                            // domain's cell-task kinds) + neighbours'
-                            // boundary cells.
-                            let mut v = vec![
-                                last_cell_int[d as usize],
-                                last_cell_ext[d as usize],
-                            ];
-                            for &n in dd.neighbors_of(d) {
-                                v.push(last_cell_ext[n as usize]);
+                for pf in phase_face_ext.iter_mut() {
+                    *pf = NONE;
+                }
+                for pf in phase_face_int.iter_mut() {
+                    *pf = NONE;
+                }
+                // Faces first, then cells (Algorithm 1 line 3); external before
+                // internal so boundary data ships as early as possible.
+                for kind in TaskKind::ALL {
+                    for d in 0..nd as u32 {
+                        let class = if kind.is_external() {
+                            ObjectClass::External
+                        } else {
+                            ObjectClass::Internal
+                        };
+                        let n_objects = if kind.is_face() {
+                            dd.faces_of(d, tau, class).len()
+                        } else {
+                            dd.cells_of(d, tau, class).len()
+                        };
+                        if n_objects == 0 {
+                            continue;
+                        }
+                        let unit = if kind.is_face() {
+                            config.face_unit
+                        } else {
+                            config.cell_unit
+                        };
+                        let task = Task {
+                            subiter: s,
+                            tau,
+                            stage,
+                            domain: d,
+                            kind,
+                            n_objects: n_objects as u32,
+                            cost: n_objects as u64 * unit,
+                        };
+                        let deps = match kind {
+                            TaskKind::FaceExternal => {
+                                // Reads own cells (written by either of the
+                                // domain's cell-task kinds) + neighbours'
+                                // boundary cells.
+                                let mut v =
+                                    vec![last_cell_int[d as usize], last_cell_ext[d as usize]];
+                                for &n in dd.neighbors_of(d) {
+                                    v.push(last_cell_ext[n as usize]);
+                                }
+                                v
                             }
-                            v
-                        }
-                        TaskKind::FaceInternal => vec![
-                            last_cell_int[d as usize],
-                            last_cell_ext[d as usize],
-                        ],
-                        TaskKind::CellExternal => {
-                            // Consumes this phase's fluxes — its own domain's
-                            // and those of neighbour-owned boundary faces
-                            // (every FaceExternal task of the phase precedes
-                            // cell tasks in the kind sweep, so the ids are
-                            // known) — and must wait for neighbours that are
-                            // still reading our boundary cells
-                            // (write-after-read via their older face tasks).
-                            let mut v = vec![
-                                phase_face_ext[d as usize],
-                                phase_face_int[d as usize],
-                            ];
-                            if v.iter().all(|&x| x == NONE) {
-                                v.push(last_cell_int[d as usize]);
-                                v.push(last_cell_ext[d as usize]);
+                            TaskKind::FaceInternal => {
+                                vec![last_cell_int[d as usize], last_cell_ext[d as usize]]
                             }
-                            for &n in dd.neighbors_of(d) {
-                                v.push(phase_face_ext[n as usize]);
-                                v.push(last_face_ext[n as usize]);
+                            TaskKind::CellExternal => {
+                                // Consumes this phase's fluxes — its own domain's
+                                // and those of neighbour-owned boundary faces
+                                // (every FaceExternal task of the phase precedes
+                                // cell tasks in the kind sweep, so the ids are
+                                // known) — and must wait for neighbours that are
+                                // still reading our boundary cells
+                                // (write-after-read via their older face tasks).
+                                let mut v =
+                                    vec![phase_face_ext[d as usize], phase_face_int[d as usize]];
+                                if v.iter().all(|&x| x == NONE) {
+                                    v.push(last_cell_int[d as usize]);
+                                    v.push(last_cell_ext[d as usize]);
+                                }
+                                for &n in dd.neighbors_of(d) {
+                                    v.push(phase_face_ext[n as usize]);
+                                    v.push(last_face_ext[n as usize]);
+                                }
+                                v
                             }
-                            v
-                        }
-                        TaskKind::CellInternal => {
-                            let mut v = vec![phase_face_int[d as usize]];
-                            if v.iter().all(|&x| x == NONE) {
-                                v.push(last_cell_int[d as usize]);
-                                v.push(last_cell_ext[d as usize]);
+                            TaskKind::CellInternal => {
+                                let mut v = vec![phase_face_int[d as usize]];
+                                if v.iter().all(|&x| x == NONE) {
+                                    v.push(last_cell_int[d as usize]);
+                                    v.push(last_cell_ext[d as usize]);
+                                }
+                                v
                             }
-                            v
-                        }
-                    };
-                    let id = push(&mut tasks, &mut preds, task, deps);
-                    match kind {
-                        TaskKind::FaceExternal => {
-                            phase_face_ext[d as usize] = id;
-                        }
-                        TaskKind::FaceInternal => {
-                            phase_face_int[d as usize] = id;
-                        }
-                        TaskKind::CellExternal => {
-                            last_cell_ext[d as usize] = id;
-                        }
-                        TaskKind::CellInternal => {
-                            last_cell_int[d as usize] = id;
+                        };
+                        let id = push(&mut tasks, &mut preds, task, deps);
+                        match kind {
+                            TaskKind::FaceExternal => {
+                                phase_face_ext[d as usize] = id;
+                            }
+                            TaskKind::FaceInternal => {
+                                phase_face_int[d as usize] = id;
+                            }
+                            TaskKind::CellExternal => {
+                                last_cell_ext[d as usize] = id;
+                            }
+                            TaskKind::CellInternal => {
+                                last_cell_int[d as usize] = id;
+                            }
                         }
                     }
+                    // Update external-face markers after the whole kind sweep so
+                    // same-phase cell tasks of neighbours see *this* phase's
+                    // external faces via `phase_face_ext`, while `last_face_ext`
+                    // keeps meaning "previous phases".
                 }
-                // Update external-face markers after the whole kind sweep so
-                // same-phase cell tasks of neighbours see *this* phase's
-                // external faces via `phase_face_ext`, while `last_face_ext`
-                // keeps meaning "previous phases".
-            }
-            for d in 0..nd {
-                if phase_face_ext[d] != NONE {
-                    last_face_ext[d] = phase_face_ext[d];
+                for d in 0..nd {
+                    if phase_face_ext[d] != NONE {
+                        last_face_ext[d] = phase_face_ext[d];
+                    }
                 }
-            }
             }
         }
     }

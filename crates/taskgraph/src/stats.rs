@@ -133,7 +133,9 @@ impl SubiterationLoads {
 pub fn block_process_map(n_domains: usize, n_processes: usize) -> Vec<usize> {
     assert!(n_processes >= 1, "need at least one process");
     let per = n_domains.div_ceil(n_processes);
-    (0..n_domains).map(|d| (d / per).min(n_processes - 1)).collect()
+    (0..n_domains)
+        .map(|d| (d / per).min(n_processes - 1))
+        .collect()
 }
 
 #[cfg(test)]

@@ -1,0 +1,539 @@
+//! Deterministic property-based testing with bounded shrinking.
+//!
+//! A std-only replacement for the slice of `proptest` this workspace used:
+//!
+//! * **Fixed-seed case generation** — every test names its suite seed; case
+//!   `i` draws from `Rng::seed_from_u64(SplitMix64::mix(seed ^ i))`, so a
+//!   failure reproduces byte-for-byte on any machine, with no persistence
+//!   files or OS entropy involved.
+//! * **Strategies** — numeric ranges, booleans, tuples, vectors and
+//!   `prop_map` combinators implement [`Strategy`]: a generator plus a
+//!   bounded shrinker.
+//! * **Shrinking** — on failure the harness greedily walks shrink candidates
+//!   (numerics toward the range start, vectors toward shorter prefixes),
+//!   capped at [`PropConfig::max_shrink`] evaluations, then reports the
+//!   original and minimised inputs.
+//! * **[`proptest!`](crate::proptest) macro** — `fn name(x in 0usize..10, ..)
+//!   { .. }` syntax close enough to `proptest` that the workspace's suites
+//!   ported with their structure intact.
+//!
+//! Inside a property body use [`prop_assert!`](crate::prop_assert) /
+//! [`prop_assert_eq!`](crate::prop_assert_eq) for checks; panics from the
+//! code under test are caught and treated as failures too.
+
+use crate::rng::{Rng, SplitMix64};
+use std::fmt::Debug;
+use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Configuration of one property-test run.
+#[derive(Debug, Clone, Copy)]
+pub struct PropConfig {
+    /// Number of generated cases.
+    pub cases: u32,
+    /// Suite seed; case seeds derive from it deterministically.
+    pub seed: u64,
+    /// Maximum number of shrink-candidate evaluations after a failure.
+    pub max_shrink: u32,
+}
+
+impl Default for PropConfig {
+    fn default() -> Self {
+        Self {
+            cases: 64,
+            seed: 0x7E57_5EED,
+            max_shrink: 400,
+        }
+    }
+}
+
+/// A value generator with a bounded shrinker.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value: Clone + Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut Rng) -> Self::Value;
+
+    /// Candidate simplifications of a failing value, "simplest" first.
+    /// Returning an empty vector opts out of shrinking.
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+}
+
+/// Extension combinators for strategies.
+pub trait StrategyExt: Strategy + Sized {
+    /// Maps generated values through `f` (no shrinking through the map).
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        U: Clone + Debug,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<S: Strategy> StrategyExt for S {}
+
+/// See [`StrategyExt::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    U: Clone + Debug,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn generate(&self, rng: &mut Rng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! impl_range_strategy_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut Rng) -> $t {
+                rng.gen_range(self.clone())
+            }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                let mut out = Vec::new();
+                let (lo, v) = (self.start, *value);
+                if v > lo {
+                    out.push(lo); // simplest: the range minimum
+                    let mid = lo + (v - lo) / 2;
+                    if mid != lo && mid != v {
+                        out.push(mid);
+                    }
+                    if v - 1 != lo && (out.is_empty() || *out.last().unwrap() != v - 1) {
+                        out.push(v - 1);
+                    }
+                }
+                out
+            }
+        }
+    )*};
+}
+impl_range_strategy_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut Rng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+
+    fn shrink(&self, value: &f64) -> Vec<f64> {
+        let mut out = Vec::new();
+        if *value > self.start {
+            out.push(self.start);
+            let mid = self.start + (*value - self.start) / 2.0;
+            if mid > self.start && mid < *value {
+                out.push(mid);
+            }
+        }
+        out
+    }
+}
+
+/// Uniform boolean strategy (the `any::<bool>()` analogue).
+#[derive(Debug, Clone, Copy)]
+pub struct Bools;
+
+/// Uniform boolean strategy (the `any::<bool>()` analogue).
+pub fn bools() -> Bools {
+    Bools
+}
+
+impl Strategy for Bools {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut Rng) -> bool {
+        rng.gen_bool()
+    }
+
+    fn shrink(&self, value: &bool) -> Vec<bool> {
+        if *value {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+/// A strategy generating vectors of `elem`-generated values with a length
+/// drawn from `len` (the `proptest::collection::vec` analogue).
+pub fn vec_of<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+    assert!(len.start < len.end, "empty length range");
+    VecStrategy { elem, len }
+}
+
+/// See [`vec_of`].
+pub struct VecStrategy<S> {
+    elem: S,
+    len: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut Rng) -> Vec<S::Value> {
+        let n = rng.gen_range(self.len.clone());
+        (0..n).map(|_| self.elem.generate(rng)).collect()
+    }
+
+    fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+        let mut out = Vec::new();
+        let min = self.len.start;
+        // Shorter prefixes first: empty-as-allowed, half, len-1.
+        if value.len() > min {
+            out.push(value[..min].to_vec());
+            let half = min + (value.len() - min) / 2;
+            if half > min && half < value.len() {
+                out.push(value[..half].to_vec());
+            }
+            out.push(value[..value.len() - 1].to_vec());
+        }
+        // Element-wise simplification (bounded: first shrink of each slot).
+        for (i, v) in value.iter().enumerate().take(16) {
+            for s in self.elem.shrink(v).into_iter().take(1) {
+                let mut copy = value.clone();
+                copy[i] = s;
+                out.push(copy);
+            }
+        }
+        out
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident / $idx:tt),+);)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut Rng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for s in self.$idx.shrink(&value.$idx) {
+                        let mut copy = value.clone();
+                        copy.$idx = s;
+                        out.push(copy);
+                    }
+                )+
+                out
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A/0);
+    (A/0, B/1);
+    (A/0, B/1, C/2);
+    (A/0, B/1, C/2, D/3);
+    (A/0, B/1, C/2, D/3, E/4);
+    (A/0, B/1, C/2, D/3, E/4, F/5);
+    (A/0, B/1, C/2, D/3, E/4, F/5, G/6);
+    (A/0, B/1, C/2, D/3, E/4, F/5, G/6, H/7);
+}
+
+/// Runs one test attempt, converting panics into `Err`.
+fn run_one<V, F>(test: &F, value: V) -> Result<(), String>
+where
+    F: Fn(V) -> Result<(), String>,
+{
+    match catch_unwind(AssertUnwindSafe(|| test(value))) {
+        Ok(r) => r,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+                .unwrap_or_else(|| "panic with non-string payload".to_string());
+            Err(format!("panic: {msg}"))
+        }
+    }
+}
+
+/// Drives `config.cases` generated cases of `strat` through `test`,
+/// shrinking and reporting on the first failure.
+///
+/// # Panics
+///
+/// Panics (failing the enclosing `#[test]`) with a reproduction report if
+/// any case fails.
+pub fn run_cases<S, F>(name: &str, config: PropConfig, strat: &S, test: F)
+where
+    S: Strategy,
+    F: Fn(S::Value) -> Result<(), String>,
+{
+    for case in 0..config.cases {
+        let case_seed = SplitMix64::mix(config.seed ^ u64::from(case));
+        let mut rng = Rng::seed_from_u64(case_seed);
+        let value = strat.generate(&mut rng);
+        let Err(first_err) = run_one(&test, value.clone()) else {
+            continue;
+        };
+
+        // Greedy bounded shrinking. Suppress the default panic hook so the
+        // candidate evaluations don't spam backtraces.
+        let saved_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let mut best = value.clone();
+        let mut best_err = first_err.clone();
+        let mut evals = 0u32;
+        'outer: loop {
+            for cand in strat.shrink(&best) {
+                if evals >= config.max_shrink {
+                    break 'outer;
+                }
+                evals += 1;
+                if let Err(e) = run_one(&test, cand.clone()) {
+                    best = cand;
+                    best_err = e;
+                    continue 'outer;
+                }
+            }
+            break;
+        }
+        std::panic::set_hook(saved_hook);
+
+        panic!(
+            "property `{name}` failed at case {case}/{cases} \
+             (suite seed {seed:#x}, case seed {case_seed:#x})\n\
+             original input: {value:?}\n\
+             original error: {first_err}\n\
+             minimal input ({evals} shrink evals): {best:?}\n\
+             minimal error: {best_err}",
+            cases = config.cases,
+            seed = config.seed,
+        );
+    }
+}
+
+/// Declares deterministic property tests with `proptest`-style syntax.
+///
+/// ```
+/// tempart_testkit::proptest! {
+///     #![config(cases = 16, seed = 0xC0FFEE)]
+///
+///     fn addition_commutes(a in 0u32..1000, b in 0u32..1000) {
+///         tempart_testkit::prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![config(cases = $cases:expr, seed = $seed:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            #[test]
+            fn $name() {
+                #[allow(unused_imports)]
+                use $crate::prop::StrategyExt as _;
+                let strat = ($($strat,)+);
+                let config = $crate::prop::PropConfig {
+                    cases: $cases,
+                    seed: $seed,
+                    ..Default::default()
+                };
+                $crate::prop::run_cases(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    config,
+                    &strat,
+                    |($($arg,)+)| {
+                        $body
+                        Ok(())
+                    },
+                );
+            }
+        )*
+    };
+}
+
+/// `assert!` for property bodies: fails the case (triggering shrinking)
+/// instead of unwinding, with an optional format message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!(
+                "assertion failed: {} ({}:{})",
+                stringify!($cond),
+                file!(),
+                line!()
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// `assert_eq!` for property bodies.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return Err(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?} ({}:{})",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r,
+                file!(),
+                line!()
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return Err(format!($($fmt)+));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let strat = (0usize..100, vec_of(0u32..10, 0..8));
+        let cfg = PropConfig::default();
+        let mk = |case: u32| {
+            let mut rng = Rng::seed_from_u64(SplitMix64::mix(cfg.seed ^ u64::from(case)));
+            strat.generate(&mut rng)
+        };
+        for case in 0..20 {
+            assert_eq!(mk(case), mk(case));
+        }
+    }
+
+    #[test]
+    fn passing_property_passes() {
+        run_cases(
+            "tautology",
+            PropConfig {
+                cases: 50,
+                ..Default::default()
+            },
+            &(0u64..1000),
+            |x| {
+                prop_assert!(x < 1000);
+                Ok(())
+            },
+        );
+    }
+
+    #[test]
+    fn failing_property_shrinks_to_boundary() {
+        // x >= 500 fails; shrinking should land exactly on 500.
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            run_cases(
+                "le-500",
+                PropConfig {
+                    cases: 64,
+                    seed: 1,
+                    max_shrink: 400,
+                },
+                &(0u64..1000),
+                |x| {
+                    prop_assert!(x < 500, "x = {x}");
+                    Ok(())
+                },
+            );
+        }));
+        let err = result.expect_err("property must fail");
+        let msg = err.downcast_ref::<String>().unwrap();
+        assert!(msg.contains("minimal input"), "{msg}");
+        assert!(msg.contains("500"), "should shrink to 500: {msg}");
+    }
+
+    #[test]
+    fn panics_are_caught_and_shrunk() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            run_cases(
+                "no-panics",
+                PropConfig {
+                    cases: 64,
+                    seed: 2,
+                    max_shrink: 200,
+                },
+                &vec_of(0u32..100, 0..30),
+                |v| {
+                    #[allow(clippy::unnecessary_operation)]
+                    if v.len() > 4 {
+                        panic!("too long: {}", v.len());
+                    }
+                    Ok(())
+                },
+            );
+        }));
+        let err = result.expect_err("property must fail");
+        let msg = err.downcast_ref::<String>().unwrap();
+        assert!(msg.contains("panic: too long"), "{msg}");
+    }
+
+    #[test]
+    fn vec_strategy_respects_length_bounds() {
+        let strat = vec_of(0u32..5, 2..6);
+        let mut rng = Rng::seed_from_u64(3);
+        for _ in 0..200 {
+            let v = strat.generate(&mut rng);
+            assert!((2..6).contains(&v.len()));
+        }
+        // Shrinks never go below the minimum length.
+        let v = strat.generate(&mut rng);
+        for s in strat.shrink(&v) {
+            assert!(s.len() >= 2);
+        }
+    }
+
+    #[test]
+    fn prop_map_transforms() {
+        let strat = (0usize..6).prop_map(|i| {
+            let mut n = [0.0f64; 3];
+            n[i / 2] = if i % 2 == 0 { 1.0 } else { -1.0 };
+            n
+        });
+        let mut rng = Rng::seed_from_u64(4);
+        for _ in 0..50 {
+            let n = strat.generate(&mut rng);
+            let norm: f64 = n.iter().map(|x| x * x).sum();
+            assert!((norm - 1.0).abs() < 1e-12);
+        }
+    }
+
+    proptest! {
+        #![config(cases = 32, seed = 0xDECAF)]
+
+        fn macro_smoke(a in 0i64..50, b in 0i64..50, flip in bools()) {
+            let (x, y) = if flip { (a, b) } else { (b, a) };
+            prop_assert_eq!(x + y, a + b);
+            prop_assert!(x * y <= 49 * 49);
+        }
+    }
+}

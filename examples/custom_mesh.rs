@@ -20,8 +20,8 @@ fn main() {
         max_depth: 7,
     };
     let tree = Octree::build(&cfg, |c, _, d| {
-        let r = ((c[0] - body[0]).powi(2) + (c[1] - body[1]).powi(2) + (c[2] - body[2]).powi(2))
-            .sqrt();
+        let r =
+            ((c[0] - body[0]).powi(2) + (c[1] - body[1]).powi(2) + (c[2] - body[2]).powi(2)).sqrt();
         let dist_to_front = (r - shock_radius).abs();
         // Tighter bands refine deeper.
         match d {

@@ -30,7 +30,10 @@ fn main() {
         &mesh,
         &part,
         n_domains,
-        SolverConfig { cfl: 0.4, ..SolverConfig::default() },
+        SolverConfig {
+            cfl: 0.4,
+            ..SolverConfig::default()
+        },
         blast_initial([0.2, 0.5, 0.5], 0.1),
     );
     println!(
@@ -46,9 +49,7 @@ fn main() {
         let report = solver.run_iteration(&runtime, &group_of);
         println!(
             "iteration {it}: {} tasks in {:?}, simulated time t = {:.5}",
-            report.executed,
-            report.wall,
-            solver.time
+            report.executed, report.wall, solver.time
         );
     }
     let after = solver.totals();
@@ -59,7 +60,11 @@ fn main() {
     );
     println!(
         "flow is {}; peak density {:.3}",
-        if state.is_physical() { "physical" } else { "UNPHYSICAL" },
+        if state.is_physical() {
+            "physical"
+        } else {
+            "UNPHYSICAL"
+        },
         state
             .u
             .iter()

@@ -37,10 +37,7 @@ fn main() {
             let out = run_flusim(&mesh, &cfg);
             let dd = DomainDecomposition::new(&mesh, &out.part, 16);
             let costs = DomainLevelCosts::measure(&dd);
-            let worst_level = costs
-                .level_imbalances()
-                .into_iter()
-                .fold(1.0f64, f64::max);
+            let worst_level = costs.level_imbalances().into_iter().fold(1.0f64, f64::max);
             rows.push(vec![
                 strategy.label().to_string(),
                 out.makespan().to_string(),

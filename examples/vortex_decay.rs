@@ -11,9 +11,7 @@
 use std::f64::consts::PI;
 use tempart::core_api::{decompose, PartitionStrategy};
 use tempart::mesh::{GeneratorConfig, MeshCase};
-use tempart::solver::{
-    Monitor, Primitive, Solver, SolverConfig, TimeIntegration, Viscosity,
-};
+use tempart::solver::{Monitor, Primitive, Solver, SolverConfig, TimeIntegration, Viscosity};
 
 fn main() {
     let mesh = MeshCase::Cube.generate(&GeneratorConfig { base_depth: 4 });

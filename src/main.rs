@@ -286,7 +286,10 @@ fn cmd_partition(o: &Options) -> Result<(), String> {
             ),
         )
     } else {
-        (decompose(&mesh, o.strategy, o.domains, o.seed), String::new())
+        (
+            decompose(&mesh, o.strategy, o.domains, o.seed),
+            String::new(),
+        )
     };
     let g = mesh.to_graph();
     let q = PartitionQuality::measure(&g, &part, o.domains);
@@ -372,7 +375,13 @@ fn cmd_simulate(o: &Options) -> Result<(), String> {
     if o.gantt {
         println!(
             "{}",
-            ascii_gantt(&out.graph, &out.sim.segments, o.processes, out.sim.makespan, 100)
+            ascii_gantt(
+                &out.graph,
+                &out.sim.segments,
+                o.processes,
+                out.sim.makespan,
+                100
+            )
         );
     }
     Ok(())

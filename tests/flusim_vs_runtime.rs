@@ -12,7 +12,11 @@ use tempart::taskgraph::{
     generate_taskgraph, stats::block_process_map, DomainDecomposition, TaskGraphConfig,
 };
 
-fn setup() -> (tempart::mesh::Mesh, tempart::taskgraph::TaskGraph, Vec<usize>) {
+fn setup() -> (
+    tempart::mesh::Mesh,
+    tempart::taskgraph::TaskGraph,
+    Vec<usize>,
+) {
     let mesh = MeshCase::Cube.generate(&GeneratorConfig { base_depth: 3 });
     let part = decompose(&mesh, PartitionStrategy::McTl, 4, 11);
     let dd = DomainDecomposition::new(&mesh, &part, 4);

@@ -1,13 +1,18 @@
 //! Property-based tests over the whole stack: random graphs through the
 //! partitioner, random meshes through task-graph generation and simulation.
+//!
+//! Ported from `proptest` to the in-tree `tempart_testkit` harness with the
+//! same case counts; the suite seed is explicit, so a failing case
+//! reproduces byte-for-byte on any machine.
 
-use proptest::prelude::*;
 use tempart::graph::{edge_cut, GraphBuilder, PartitionQuality};
 use tempart::mesh::{Mesh, Octree, OctreeConfig, TemporalScheme};
 use tempart::partition::{partition_graph, PartitionConfig};
 use tempart::taskgraph::{
     generate_taskgraph, stats::block_process_map, DomainDecomposition, TaskGraphConfig,
 };
+use tempart_testkit::prop::{bools, vec_of};
+use tempart_testkit::{prop_assert, prop_assert_eq, proptest};
 
 /// Builds a random connected graph: a spanning path plus extra random edges.
 fn random_graph(n: usize, extra: &[(usize, usize)], weights: &[u32]) -> tempart::graph::CsrGraph {
@@ -44,13 +49,12 @@ fn random_mesh(r1: bool, r2: bool, levels: u8) -> Mesh {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+    #![config(cases = 24, seed = 0x7E57_0001)]
 
-    #[test]
     fn partition_covers_every_vertex_exactly_once(
         n in 8usize..120,
-        extra in proptest::collection::vec((0usize..200, 0usize..200), 0..40),
-        weights in proptest::collection::vec(1u32..9, 0..120),
+        extra in vec_of((0usize..200, 0usize..200), 0..40),
+        weights in vec_of(1u32..9, 0..120),
         k in 2usize..7,
         seed in 0u64..1000,
     ) {
@@ -65,10 +69,9 @@ proptest! {
         prop_assert!(used.iter().all(|&u| u));
     }
 
-    #[test]
     fn partition_balance_within_reasonable_bounds(
         n in 40usize..150,
-        extra in proptest::collection::vec((0usize..300, 0usize..300), 0..60),
+        extra in vec_of((0usize..300, 0usize..300), 0..60),
         k in 2usize..5,
         seed in 0u64..1000,
     ) {
@@ -82,10 +85,9 @@ proptest! {
         prop_assert!(q.comm_volume >= q.edge_cut.min(1) - 1);
     }
 
-    #[test]
     fn refined_cut_never_negative_and_metrics_agree(
         n in 10usize..80,
-        extra in proptest::collection::vec((0usize..160, 0usize..160), 0..30),
+        extra in vec_of((0usize..160, 0usize..160), 0..30),
         seed in 0u64..500,
     ) {
         let g = random_graph(n, &extra, &[]);
@@ -95,10 +97,9 @@ proptest! {
         prop_assert!(cut <= g.total_edge_weight());
     }
 
-    #[test]
     fn taskgraph_invariants_on_random_meshes(
-        r1 in any::<bool>(),
-        r2 in any::<bool>(),
+        r1 in bools(),
+        r2 in bools(),
         levels in 1u8..4,
         k in 1usize..5,
         seed in 0u64..200,
@@ -132,10 +133,9 @@ proptest! {
         }
     }
 
-    #[test]
     fn simulation_conserves_work_and_bounds_makespan(
-        r1 in any::<bool>(),
-        r2 in any::<bool>(),
+        r1 in bools(),
+        r2 in bools(),
         levels in 1u8..4,
         k in 1usize..5,
         np in 1usize..4,

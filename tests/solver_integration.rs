@@ -84,7 +84,10 @@ fn long_run_remains_stable() {
         &mesh,
         &part,
         2,
-        SolverConfig { cfl: 0.3, ..SolverConfig::default() },
+        SolverConfig {
+            cfl: 0.3,
+            ..SolverConfig::default()
+        },
         blast_initial([0.5, 0.5, 0.5], 0.25),
     );
     let before = solver.totals();
@@ -125,7 +128,11 @@ fn navier_stokes_dissipates_kinetic_energy() {
         for _ in 0..6 {
             s.run_iteration_serial();
         }
-        (kinetic(&s.state(), &mesh), s.state().is_physical(), s.totals())
+        (
+            kinetic(&s.state(), &mesh),
+            s.state().is_physical(),
+            s.totals(),
+        )
     };
     let (ke_euler, phys_e, _) = run(None);
     let (ke_ns, phys_ns, totals_ns) = run(Some(Viscosity::air(5e-3)));
