@@ -32,4 +32,20 @@ cargo test -q --offline
 echo "== workspace tests =="
 cargo test -q --offline --workspace
 
+echo "== bench gate (hot-path regression check) =="
+# Short-sample wall-clock runs of the two hot-path suites, compared against
+# the committed BENCH_partitioner.json / BENCH_flusim.json at the repo root;
+# the run exits non-zero if any median regresses by more than
+# TEMPART_BENCH_TOLERANCE (default +15%). Skippable on noisy or throttled
+# machines with CI_SKIP_BENCH=1; re-baseline deliberate changes with
+# TEMPART_BENCH_BASELINE=write and commit the JSON.
+if [[ "${CI_SKIP_BENCH:-0}" == "1" ]]; then
+    echo "skipped (CI_SKIP_BENCH=1)"
+else
+    TEMPART_BENCH_SAMPLES="${TEMPART_BENCH_SAMPLES:-5}" TEMPART_BENCH_BASELINE=check \
+        cargo bench --offline -p tempart-bench --bench partitioner
+    TEMPART_BENCH_SAMPLES="${TEMPART_BENCH_SAMPLES:-5}" TEMPART_BENCH_BASELINE=check \
+        cargo bench --offline -p tempart-bench --bench flusim
+fi
+
 echo "CI green."

@@ -6,7 +6,10 @@
 use std::hint::black_box;
 use tempart_core::{strategy_weights, PartitionStrategy};
 use tempart_mesh::{cylinder_like, GeneratorConfig};
-use tempart_partition::{coarsen::coarsen, partition_graph, PartitionConfig, Scheme};
+use tempart_partition::{
+    coarsen::coarsen, partition_graph, partition_graph_with, PartitionConfig, PartitionWorkspace,
+    Scheme,
+};
 use tempart_testkit::bench::Bencher;
 
 fn bench_strategies(b: &mut Bencher) {
@@ -40,6 +43,28 @@ fn bench_schemes(b: &mut Bencher) {
     }
 }
 
+/// The dynamic-repartitioning shape: one long-lived [`PartitionWorkspace`]
+/// threaded through every call, so all scratch (gain buckets, match arrays,
+/// pooled coarse graphs) is warm — the steady-state cost of re-running the
+/// partitioner inside a time loop.
+fn bench_workspace_reuse(b: &mut Bencher) {
+    let mesh = cylinder_like(&GeneratorConfig { base_depth: 4 });
+    let graph = mesh.to_graph();
+    b.set_samples(10);
+    for strategy in [PartitionStrategy::ScOc, PartitionStrategy::McTl] {
+        let (w, ncon) = strategy_weights(&mesh, strategy);
+        let g = graph.with_vertex_weights(w, ncon);
+        let mut ws = PartitionWorkspace::new();
+        let cfg = PartitionConfig::new(16).with_ub(if ncon > 1 { 1.10 } else { 1.05 });
+        // Warm the arenas once outside the measured region.
+        let _ = partition_graph_with(&g, &cfg, &mut ws);
+        b.bench(
+            &format!("partition/reuse-warm/{}", strategy.label()),
+            || black_box(partition_graph_with(black_box(&g), &cfg, &mut ws)),
+        );
+    }
+}
+
 fn bench_coarsening(b: &mut Bencher) {
     let mesh = cylinder_like(&GeneratorConfig { base_depth: 4 });
     let graph = mesh.to_graph();
@@ -52,6 +77,7 @@ fn main() {
     let mut b = Bencher::new("partitioner");
     bench_strategies(&mut b);
     bench_schemes(&mut b);
+    bench_workspace_reuse(&mut b);
     bench_coarsening(&mut b);
     b.finish();
 }

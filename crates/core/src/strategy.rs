@@ -146,10 +146,13 @@ pub fn decompose_with_repair(
     let mut part = decompose(mesh, strategy, n_domains, seed);
     let (w, ncon) = strategy_weights(mesh, strategy);
     let g = mesh.to_graph().with_vertex_weights(w, ncon);
-    // Repair uses a slightly looser allowance than the partitioner so that
-    // near-tolerance domains can still absorb small fragments.
+    // Repair uses a looser allowance than the partitioner so that
+    // near-tolerance domains can still absorb small fragments: contiguity is
+    // worth a little balance slack (the paper flags disconnected domains as
+    // the dominant partitioner artifact). Multi-constraint levels with few
+    // cells are integer-quantised, so they need the most headroom.
     let cfg = PartitionConfig {
-        ubvec: vec![if ncon > 1 { 1.15 } else { 1.08 }],
+        ubvec: vec![if ncon > 1 { 1.25 } else { 1.08 }],
         ..PartitionConfig::new(n_domains)
     };
     let report = repair_contiguity(&g, &mut part, &cfg);

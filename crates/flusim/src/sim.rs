@@ -184,10 +184,34 @@ pub fn simulate_heterogeneous(
 
     // Per-process ready queue: max-heap over (priority, tiebreak).
     // FIFO: older sequence first; LIFO: newer first.
-    let mut ready: Vec<BinaryHeap<(i64, i64, TaskId)>> =
-        (0..np).map(|_| BinaryHeap::new()).collect();
+    //
+    // Heaps are pre-sized to the number of tasks mapped to each process —
+    // a task enters its process's queue at most once, so the queue length
+    // can never exceed that count and pushes never reallocate inside the
+    // event loop.
+    let mut tasks_on: Vec<usize> = vec![0; np];
+    for task in graph.tasks() {
+        tasks_on[process_of[task.domain as usize]] += 1;
+    }
+    let mut ready: Vec<BinaryHeap<(i64, i64, TaskId)>> = tasks_on
+        .iter()
+        .map(|&c| BinaryHeap::with_capacity(c))
+        .collect();
     let mut seq = 0i64;
-    let push_ready = |ready: &mut Vec<BinaryHeap<(i64, i64, TaskId)>>, t: TaskId, seq: &mut i64| {
+    // Dirty set of processes whose launch capacity may have changed since
+    // the last refill: a core was freed, or a task was pushed onto their
+    // ready queue. Between refills every process satisfies
+    // `free_cores[p] == 0 || ready[p].is_empty()`, so draining only the
+    // dirty processes (in ascending id order, matching the historical full
+    // `0..np` sweep) is behaviour-identical while costing O(affected)
+    // rather than O(np) per event.
+    let mut dirty: Vec<usize> = Vec::with_capacity(np);
+    let mut is_dirty = vec![false; np];
+    let push_ready = |ready: &mut Vec<BinaryHeap<(i64, i64, TaskId)>>,
+                      t: TaskId,
+                      seq: &mut i64,
+                      dirty: &mut Vec<usize>,
+                      is_dirty: &mut [bool]| {
         let p = process_of[graph.task(t).domain as usize];
         let tie = match strategy {
             Strategy::EagerLifo => *seq,
@@ -195,16 +219,24 @@ pub fn simulate_heterogeneous(
         };
         ready[p].push((priority[t as usize], tie, t));
         *seq += 1;
+        if !is_dirty[p] {
+            is_dirty[p] = true;
+            dirty.push(p);
+        }
     };
 
     for t in 0..n as TaskId {
         if indegree[t as usize] == 0 {
-            push_ready(&mut ready, t, &mut seq);
+            push_ready(&mut ready, t, &mut seq, &mut dirty, &mut is_dirty);
         }
     }
 
     // Event queue: tag 0 = task completion, tag 1 = delayed readiness.
-    let mut events: BinaryHeap<Reverse<(u64, u8, TaskId)>> = BinaryHeap::new();
+    // Any task owns at most one outstanding event at a time (a tag-1
+    // readiness before it runs, or a tag-0 completion while it runs), so
+    // the heap never holds more than `n` entries and a capacity of `n`
+    // keeps the loop free of reallocation.
+    let mut events: BinaryHeap<Reverse<(u64, u8, TaskId)>> = BinaryHeap::with_capacity(n);
     // Earliest-start constraint accumulated from cross-process messages.
     let mut ready_at = vec![0u64; n];
     let mut free_cores: Vec<usize> = cores.to_vec();
@@ -248,7 +280,9 @@ pub fn simulate_heterogeneous(
         events.push(Reverse((end, 0u8, t)));
     };
 
-    // Initial launches.
+    // Initial launches: a full sweep, after which every process satisfies
+    // the refill invariant (no free core, or nothing ready), so the dirty
+    // marks from the seeding pushes can be discarded.
     for p in 0..np {
         while free_cores[p] > 0 {
             let Some((_, _, t)) = ready[p].pop() else {
@@ -268,18 +302,31 @@ pub fn simulate_heterogeneous(
             );
         }
     }
+    dirty.clear();
+    is_dirty.fill(false);
+
+    // Steady state begins: every container below is at its peak capacity
+    // (events ≤ n, ready[p] ≤ tasks_on[p], dirty ≤ np, segments ≤ n), so
+    // the event loop performs no heap allocation. Verified whenever the
+    // counting test allocator is installed (see testkit::alloc).
+    #[cfg(debug_assertions)]
+    let allocs_at_steady_state = tempart_testkit::alloc::allocation_count();
 
     let mut done = 0usize;
     while let Some(Reverse((time, tag, t))) = events.pop() {
         now = time;
         if tag == 1 {
             // Delayed readiness: the task's messages have now all arrived.
-            push_ready(&mut ready, t, &mut seq);
+            push_ready(&mut ready, t, &mut seq, &mut dirty, &mut is_dirty);
         } else {
             done += 1;
             let p = process_of[graph.task(t).domain as usize];
             if free_cores[p] != UNBOUNDED_CORES {
                 free_cores[p] += 1;
+            }
+            if !is_dirty[p] {
+                is_dirty[p] = true;
+                dirty.push(p);
             }
             running[p] -= 1;
             if running[p] == 0 {
@@ -297,14 +344,19 @@ pub fn simulate_heterogeneous(
                     if ready_at[s as usize] > now {
                         events.push(Reverse((ready_at[s as usize], 1u8, s)));
                     } else {
-                        push_ready(&mut ready, s, &mut seq);
+                        push_ready(&mut ready, s, &mut seq, &mut dirty, &mut is_dirty);
                     }
                 }
             }
         }
-        // Fill freed capacity everywhere (newly ready tasks may belong to
-        // other processes whose cores are free).
-        for q in 0..np {
+        // Fill freed capacity on the processes this event touched. Ascending
+        // id order replicates the historical full `0..np` sweep; untouched
+        // processes still satisfy `free == 0 || ready empty` from the end of
+        // the previous refill, so skipping them cannot change behaviour.
+        // Launching never marks new processes dirty (it only pushes
+        // completion events), so draining the snapshot is complete.
+        dirty.sort_unstable();
+        for &q in &dirty {
             while free_cores[q] > 0 && !ready[q].is_empty() {
                 let (_, _, nt) = ready[q].pop().unwrap();
                 launch(
@@ -320,9 +372,17 @@ pub fn simulate_heterogeneous(
                     &mut segments,
                 );
             }
+            is_dirty[q] = false;
         }
+        dirty.clear();
     }
     assert_eq!(done, n, "deadlock: {} of {n} tasks executed", done);
+    #[cfg(debug_assertions)]
+    debug_assert_eq!(
+        tempart_testkit::alloc::allocation_count(),
+        allocs_at_steady_state,
+        "simulator event loop allocated on the heap"
+    );
 
     SimResult {
         makespan: now,

@@ -1,0 +1,113 @@
+//! Zero-allocation contract for the simulator's event loop, measured with
+//! the testkit counting allocator installed as this binary's global
+//! allocator. `simulate_heterogeneous` snapshots the thread's allocation
+//! count once steady state begins (after setup and the initial launches)
+//! and `debug_assert`s it unchanged when the last event drains — running
+//! any simulation in this binary therefore *is* the verification. The
+//! explicit assertions below additionally pin down that the pre-sizing
+//! arithmetic (events ≤ n, ready[p] ≤ tasks on p) covers adversarial
+//! shapes: wide fan-out, cross-process chains with comm delays, and
+//! heterogeneous core counts.
+
+use tempart_flusim::{simulate_with_comm, ClusterConfig, CommModel, Strategy};
+use tempart_taskgraph::{Task, TaskGraph, TaskId, TaskKind};
+use tempart_testkit::alloc::CountingAllocator;
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+fn mk_task(domain: u32, cost: u64, subiter: u32) -> Task {
+    Task {
+        subiter,
+        tau: 0,
+        stage: 0,
+        domain,
+        kind: TaskKind::CellInternal,
+        n_objects: cost as u32,
+        cost,
+    }
+}
+
+/// Layered DAG: `layers` ranks of `width` tasks across `nd` domains, each
+/// task depending on two tasks of the previous rank — plenty of same-time
+/// completions, cross-process edges and refill churn.
+fn layered(layers: usize, width: usize, nd: u32) -> TaskGraph {
+    let mut tasks = Vec::new();
+    let mut preds: Vec<Vec<TaskId>> = Vec::new();
+    for l in 0..layers {
+        for w in 0..width {
+            let id = tasks.len();
+            tasks.push(mk_task(
+                ((l * width + w) as u32) % nd,
+                1 + ((l * 7 + w * 13) % 5) as u64,
+                (l % 3) as u32,
+            ));
+            if l == 0 {
+                preds.push(vec![]);
+            } else {
+                let base = id - width;
+                preds.push(vec![
+                    base as TaskId,
+                    (base - (base % width) + (w + 1) % width) as TaskId,
+                ]);
+            }
+        }
+    }
+    TaskGraph::assemble(tasks, preds, nd as usize, 3)
+}
+
+#[test]
+fn event_loop_is_allocation_free_on_layered_dag() {
+    let g = layered(24, 32, 12);
+    let process_of: Vec<usize> = (0..12).map(|d| d % 4).collect();
+    for strat in [
+        Strategy::EagerFifo,
+        Strategy::EagerLifo,
+        Strategy::CriticalPathFirst,
+        Strategy::SmallestFirst,
+    ] {
+        let r = simulate_with_comm(
+            &g,
+            &ClusterConfig::new(4, 2),
+            &process_of,
+            strat,
+            &CommModel::FREE,
+        );
+        assert_eq!(r.total_executed(), g.total_cost());
+    }
+}
+
+#[test]
+fn event_loop_is_allocation_free_with_comm_delays() {
+    // Comm delays exercise the tag-1 (delayed readiness) event path, whose
+    // re-push must also stay within the pre-sized heaps.
+    let g = layered(16, 24, 8);
+    let process_of: Vec<usize> = (0..8).map(|d| d % 4).collect();
+    let comm = CommModel {
+        latency: 3,
+        cost_per_object: 1,
+    };
+    let r = simulate_with_comm(
+        &g,
+        &ClusterConfig::new(4, 2),
+        &process_of,
+        Strategy::EagerFifo,
+        &comm,
+    );
+    assert_eq!(r.total_executed(), g.total_cost());
+}
+
+#[test]
+fn event_loop_is_allocation_free_on_heterogeneous_cores() {
+    let g = layered(12, 16, 6);
+    let process_of: Vec<usize> = (0..6).map(|d| d % 3).collect();
+    let r = tempart_flusim::simulate_heterogeneous(
+        &g,
+        &[1, 4, 2],
+        &process_of,
+        Strategy::CriticalPathFirst,
+        &CommModel::FREE,
+    );
+    assert_eq!(r.total_executed(), g.total_cost());
+    assert!(r.makespan >= g.critical_path());
+}

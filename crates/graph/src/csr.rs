@@ -208,6 +208,16 @@ impl CsrGraph {
         self.adjwgt.iter().map(|&w| i64::from(w)).sum::<i64>() / 2
     }
 
+    /// Decomposes the graph into its raw CSR arrays
+    /// `(xadj, adjncy, adjwgt, vwgt, ncon)`.
+    ///
+    /// The inverse of [`Self::from_parts_unchecked`]; hot paths (the
+    /// partitioner's workspace pools) use it to recycle a dead graph's
+    /// buffers instead of dropping and re-allocating them.
+    pub fn into_parts(self) -> (Vec<usize>, Vec<u32>, Vec<Weight>, Vec<Weight>, usize) {
+        (self.xadj, self.adjncy, self.adjwgt, self.vwgt, self.ncon)
+    }
+
     /// Replaces the vertex weights, e.g. to re-weight the same topology for a
     /// different partitioning strategy.
     ///

@@ -1,13 +1,21 @@
 //! Multilevel bisection and the recursive-bisection k-way driver.
+//!
+//! Everything below [`recursive_bisection_ws`] is workspace-backed: the
+//! coarsening hierarchy, extracted subgraphs, side vectors and projection
+//! buffers all cycle through the [`PartitionWorkspace`] pools, and the
+//! recursion is ordered so each subgraph is recycled as soon as its subtree
+//! finishes — the peak number of live subgraphs is O(tree depth), not O(k),
+//! and a warm workspace partitions without touching the allocator.
 
-use crate::coarsen::coarsen;
-use crate::initial::{initial_bisection, SideWeights};
-use crate::refine::{fm_refine, project, rebalance};
-use crate::PartitionConfig;
-use tempart_graph::{CsrGraph, PartId, Weight};
+use crate::coarsen::{coarsen_ws, Hierarchy};
+use crate::initial::{initial_bisection_into, SideWeights};
+use crate::refine::{fm_refine_ws, project_into, rebalance_ws};
+use crate::{PartitionConfig, PartitionWorkspace};
+use tempart_graph::{CsrGraph, PartId};
 use tempart_testkit::rng::Rng;
 
-/// One multilevel bisection: coarsen, split, uncoarsen with refinement.
+/// One multilevel bisection: coarsen, split, uncoarsen with refinement
+/// (allocating wrapper around [`multilevel_bisection_ws`]).
 ///
 /// `frac0` is the share of every constraint's total weight that side 0
 /// should receive. Returns the 0/1 side per vertex.
@@ -18,44 +26,98 @@ pub fn multilevel_bisection(
     ub: f64,
     seed: u64,
 ) -> Vec<u8> {
+    multilevel_bisection_ws(
+        graph,
+        frac0,
+        config,
+        ub,
+        seed,
+        &mut PartitionWorkspace::new(),
+    )
+}
+
+/// Workspace-backed [`multilevel_bisection`]. The returned side vector comes
+/// from the workspace's buffer pool; hand it back with `ws.give_u8` when
+/// done to keep the buffer in circulation.
+pub fn multilevel_bisection_ws(
+    graph: &CsrGraph,
+    frac0: f64,
+    config: &PartitionConfig,
+    ub: f64,
+    seed: u64,
+    ws: &mut PartitionWorkspace,
+) -> Vec<u8> {
     let mut rng = Rng::seed_from_u64(seed);
     // Multi-constraint instances need a larger coarsest graph to have enough
     // mixing freedom.
     let target = config.coarsen_to * graph.ncon().max(1);
-    let hierarchy = coarsen(graph, target, seed ^ 0x9E37_79B9_7F4A_7C15);
+    let hierarchy: Hierarchy = coarsen_ws(graph, target, seed ^ 0x9E37_79B9_7F4A_7C15, ws);
     let coarsest = hierarchy.coarsest(graph);
 
-    let mut side = initial_bisection(coarsest, frac0, config.initial_tries, ub, &mut rng).side;
-    rebalance(coarsest, &mut side, frac0, ub);
-    fm_refine(coarsest, &mut side, frac0, ub, config.refine_passes);
+    let mut side = ws.take_u8();
+    let _ = initial_bisection_into(
+        coarsest,
+        frac0,
+        config.initial_tries,
+        ub,
+        &mut rng,
+        ws,
+        &mut side,
+    );
+    rebalance_ws(coarsest, &mut side, frac0, ub, ws);
+    fm_refine_ws(coarsest, &mut side, frac0, ub, config.refine_passes, ws);
 
     // Walk the hierarchy back up: the projection target of levels[i] is
     // levels[i-1].graph (or the original graph for i == 0). An explicit
     // rebalance pass precedes FM at every level: projection and coarse moves
     // can leave per-constraint violations that boundary-seeded FM cannot
     // reach (especially for one-hot multi-constraint instances).
+    let mut fine = ws.take_u8();
     for i in (0..hierarchy.levels.len()).rev() {
         let fine_graph = if i == 0 {
             graph
         } else {
             &hierarchy.levels[i - 1].graph
         };
-        side = project(&hierarchy.levels[i].fine_to_coarse, &side);
-        rebalance(fine_graph, &mut side, frac0, ub);
-        fm_refine(fine_graph, &mut side, frac0, ub, config.refine_passes);
+        project_into(&hierarchy.levels[i].fine_to_coarse, &side, &mut fine);
+        std::mem::swap(&mut side, &mut fine);
+        rebalance_ws(fine_graph, &mut side, frac0, ub, ws);
+        fm_refine_ws(fine_graph, &mut side, frac0, ub, config.refine_passes, ws);
     }
+    ws.give_u8(fine);
+    ws.give_hierarchy(hierarchy);
     side
 }
 
-/// Extracts the induced subgraph of the vertices with `side[v] == which`.
+/// Extracts the induced subgraph of the vertices with `side[v] == which`
+/// (allocating wrapper around [`extract_subgraph_ws`]).
 ///
 /// Returns the subgraph and the mapping from sub-vertex index to original
 /// vertex index.
 pub fn extract_subgraph(graph: &CsrGraph, side: &[u8], which: u8) -> (CsrGraph, Vec<u32>) {
+    extract_subgraph_ws(graph, side, which, &mut PartitionWorkspace::new())
+}
+
+/// Workspace-backed [`extract_subgraph`]: the subgraph's CSR arrays and the
+/// index map come from the workspace pools (recycle them with
+/// `ws.give_graph` / `ws.give_u32`), the original→sub map lives in the
+/// `to_sub` arena.
+pub fn extract_subgraph_ws(
+    graph: &CsrGraph,
+    side: &[u8],
+    which: u8,
+    ws: &mut PartitionWorkspace,
+) -> (CsrGraph, Vec<u32>) {
     let n = graph.nvtx();
     let ncon = graph.ncon();
-    let mut to_sub = vec![u32::MAX; n];
-    let mut to_orig: Vec<u32> = Vec::new();
+    let mut to_orig = ws.take_u32();
+    let mut xadj = ws.take_usize();
+    let mut adjncy = ws.take_u32();
+    let mut adjwgt = ws.take_u32();
+    let mut vwgt = ws.take_u32();
+    let to_sub = &mut ws.to_sub;
+    to_sub.clear();
+    to_sub.resize(n, u32::MAX);
     for v in 0..n {
         if side[v] == which {
             to_sub[v] = to_orig.len() as u32;
@@ -63,11 +125,9 @@ pub fn extract_subgraph(graph: &CsrGraph, side: &[u8], which: u8) -> (CsrGraph, 
         }
     }
     let ns = to_orig.len();
-    let mut xadj = Vec::with_capacity(ns + 1);
+    xadj.reserve(ns + 1);
     xadj.push(0usize);
-    let mut adjncy = Vec::new();
-    let mut adjwgt: Vec<Weight> = Vec::new();
-    let mut vwgt = Vec::with_capacity(ns * ncon);
+    vwgt.reserve(ns * ncon);
     for &ov in &to_orig {
         for (u, w) in graph.neighbors(ov).zip(graph.edge_weights(ov)) {
             if to_sub[u as usize] != u32::MAX {
@@ -84,8 +144,18 @@ pub fn extract_subgraph(graph: &CsrGraph, side: &[u8], which: u8) -> (CsrGraph, 
     )
 }
 
-/// Recursive bisection into `config.nparts` parts.
+/// Recursive bisection into `config.nparts` parts (allocating wrapper
+/// around [`recursive_bisection_ws`]).
 pub fn recursive_bisection(graph: &CsrGraph, config: &PartitionConfig) -> Vec<PartId> {
+    recursive_bisection_ws(graph, config, &mut PartitionWorkspace::new())
+}
+
+/// Workspace-backed [`recursive_bisection`].
+pub fn recursive_bisection_ws(
+    graph: &CsrGraph,
+    config: &PartitionConfig,
+    ws: &mut PartitionWorkspace,
+) -> Vec<PartId> {
     let mut part = vec![0 as PartId; graph.nvtx()];
     // Balance errors compound multiplicatively down the bisection tree, so
     // each bisection gets the per-level share of the global tolerance:
@@ -93,17 +163,24 @@ pub fn recursive_bisection(graph: &CsrGraph, config: &PartitionConfig) -> Vec<Pa
     let ub = config.ubvec.iter().copied().fold(1.0f64, f64::max);
     let levels = (config.nparts as f64).log2().ceil().max(1.0);
     let ub_bisect = ub.powf(1.0 / levels).max(1.001);
-    let fracs: Vec<f64> = match &config.target_fracs {
-        Some(t) => t.clone(),
-        None => vec![1.0 / config.nparts as f64; config.nparts],
+    // Uniform targets are only materialised when the config carries none;
+    // explicit targets are borrowed, never cloned.
+    let uniform;
+    let fracs: &[f64] = match &config.target_fracs {
+        Some(t) => t,
+        None => {
+            uniform = vec![1.0 / config.nparts as f64; config.nparts];
+            &uniform
+        }
     };
     split_recursive(
         graph,
         config,
-        &fracs,
+        fracs,
         0,
         ub_bisect,
         config.seed,
+        ws,
         &mut |v, p| {
             part[v as usize] = p;
         },
@@ -115,7 +192,11 @@ pub fn recursive_bisection(graph: &CsrGraph, config: &PartitionConfig) -> Vec<Pa
 /// `base` through the `assign(original_vertex, part)` callback.
 ///
 /// `graph` vertices are identified via an implicit identity map at the top
-/// call; recursion passes explicit maps through closures.
+/// call; recursion passes explicit maps through closures. The recursion is
+/// depth-first with eager reclamation: the left subgraph is extracted,
+/// recursed into and recycled into the workspace pools *before* the right
+/// subgraph is built, so sibling subtrees reuse each other's buffers.
+#[allow(clippy::too_many_arguments)]
 fn split_recursive(
     graph: &CsrGraph,
     config: &PartitionConfig,
@@ -123,6 +204,7 @@ fn split_recursive(
     base: PartId,
     ub_bisect: f64,
     seed: u64,
+    ws: &mut PartitionWorkspace,
     assign: &mut dyn FnMut(u32, PartId),
 ) {
     let k = fracs.len();
@@ -140,16 +222,15 @@ fn split_recursive(
     let frac0 = left / total;
     let side = if graph.nvtx() <= k {
         // Degenerate: fewer vertices than parts; round-robin split.
-        (0..graph.nvtx())
-            .map(|v| u8::from(v % k >= kl))
-            .collect::<Vec<u8>>()
+        let mut s = ws.take_u8();
+        s.extend((0..graph.nvtx()).map(|v| u8::from(v % k >= kl)));
+        s
     } else {
-        multilevel_bisection(graph, frac0, config, ub_bisect, seed)
+        multilevel_bisection_ws(graph, frac0, config, ub_bisect, seed, ws)
     };
-    let (g0, map0) = extract_subgraph(graph, &side, 0);
-    let (g1, map1) = extract_subgraph(graph, &side, 1);
     let s0 = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
     let s1 = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(2);
+    let (g0, map0) = extract_subgraph_ws(graph, &side, 0, ws);
     split_recursive(
         &g0,
         config,
@@ -157,8 +238,13 @@ fn split_recursive(
         base,
         ub_bisect,
         s0,
+        ws,
         &mut |v, p| assign(map0[v as usize], p),
     );
+    ws.give_graph(g0);
+    ws.give_u32(map0);
+    let (g1, map1) = extract_subgraph_ws(graph, &side, 1, ws);
+    ws.give_u8(side);
     split_recursive(
         &g1,
         config,
@@ -166,8 +252,11 @@ fn split_recursive(
         base + kl as PartId,
         ub_bisect,
         s1,
+        ws,
         &mut |v, p| assign(map1[v as usize], p),
     );
+    ws.give_graph(g1);
+    ws.give_u32(map1);
 }
 
 /// Reports the worst normalised side load of a bisection (test helper).
@@ -206,6 +295,22 @@ mod tests {
             assert_eq!(side[ov as usize], 0, "mapped vertex on wrong side");
             assert_eq!(sub.vertex_weights(sv as u32), g.vertex_weights(ov));
         }
+    }
+
+    #[test]
+    fn extract_with_warm_workspace_matches_fresh() {
+        let g = grid_graph(9, 7);
+        let side: Vec<u8> = (0..63).map(|v| u8::from(v % 3 == 0)).collect();
+        let mut ws = PartitionWorkspace::new();
+        // Warm the pools with an unrelated extraction first.
+        let (w0, wm0) = extract_subgraph_ws(&g, &side, 0, &mut ws);
+        ws.give_graph(w0);
+        ws.give_u32(wm0);
+        let (a, am) = extract_subgraph_ws(&g, &side, 1, &mut ws);
+        let (b, bm) = extract_subgraph(&g, &side, 1);
+        assert_eq!(a, b);
+        assert_eq!(am, bm);
+        assert!(a.validate().is_ok());
     }
 
     #[test]

@@ -1,5 +1,13 @@
 //! Coarsening: heavy-edge matching and graph contraction.
+//!
+//! All stages are workspace-backed: matching scratch, member lists,
+//! stamp/slot accumulators and the coarse CSR arrays themselves come from
+//! the [`PartitionWorkspace`](crate::PartitionWorkspace) arenas/pools, so a
+//! warm workspace coarsens without touching the allocator. Each level's
+//! graph is built exactly once and **moved** into the hierarchy — the old
+//! per-level `CsrGraph` clone is gone.
 
+use crate::PartitionWorkspace;
 use tempart_graph::CsrGraph;
 use tempart_testkit::rng::Rng;
 
@@ -19,6 +27,14 @@ pub struct CoarseLevel {
 /// vertex id for determinism). Returns `match_of[v]`, with `match_of[v] == v`
 /// for unmatched vertices.
 pub fn heavy_edge_matching(graph: &CsrGraph, rng: &mut Rng) -> Vec<u32> {
+    let mut ws = PartitionWorkspace::new();
+    heavy_edge_matching_ws(graph, rng, &mut ws);
+    std::mem::take(&mut ws.match_of)
+}
+
+/// Workspace-backed [`heavy_edge_matching`]: the result lands in
+/// `ws.match_of` (valid until the next matching call).
+pub(crate) fn heavy_edge_matching_ws(graph: &CsrGraph, rng: &mut Rng, ws: &mut PartitionWorkspace) {
     let n = graph.nvtx();
     let ncon = graph.ncon();
     // Dominant weight class per vertex; multi-constraint matching prefers
@@ -35,11 +51,17 @@ pub fn heavy_edge_matching(graph: &CsrGraph, rng: &mut Rng) -> Vec<u32> {
         }
         best
     };
-    let mut match_of: Vec<u32> = (0..n as u32).collect();
-    let mut order: Vec<u32> = (0..n as u32).collect();
-    rng.shuffle(&mut order);
-    let mut matched = vec![false; n];
-    for &v in &order {
+    let match_of = &mut ws.match_of;
+    match_of.clear();
+    match_of.extend(0..n as u32);
+    let order = &mut ws.order;
+    order.clear();
+    order.extend(0..n as u32);
+    rng.shuffle(order);
+    let matched = &mut ws.matched;
+    matched.clear();
+    matched.resize(n, false);
+    for &v in order.iter() {
         if matched[v as usize] {
             continue;
         }
@@ -66,7 +88,6 @@ pub fn heavy_edge_matching(graph: &CsrGraph, rng: &mut Rng) -> Vec<u32> {
             match_of[u as usize] = v;
         }
     }
-    match_of
 }
 
 /// Contracts `graph` along `match_of`, producing the coarse level.
@@ -75,9 +96,21 @@ pub fn heavy_edge_matching(graph: &CsrGraph, rng: &mut Rng) -> Vec<u32> {
 /// component-wise sum; parallel edges merge by summing weights; edges inside
 /// a pair disappear.
 pub fn contract(graph: &CsrGraph, match_of: &[u32]) -> CoarseLevel {
+    let mut ws = PartitionWorkspace::new();
+    contract_ws(graph, match_of, &mut ws)
+}
+
+/// Workspace-backed [`contract`]: coarse CSR arrays and the projection map
+/// come from the workspace pools, scratch from its arenas.
+pub(crate) fn contract_ws(
+    graph: &CsrGraph,
+    match_of: &[u32],
+    ws: &mut PartitionWorkspace,
+) -> CoarseLevel {
     let n = graph.nvtx();
     let ncon = graph.ncon();
-    let mut fine_to_coarse = vec![u32::MAX; n];
+    let mut fine_to_coarse = ws.take_u32();
+    fine_to_coarse.resize(n, u32::MAX);
     let mut next = 0u32;
     for v in 0..n as u32 {
         if fine_to_coarse[v as usize] != u32::MAX {
@@ -93,7 +126,8 @@ pub fn contract(graph: &CsrGraph, match_of: &[u32]) -> CoarseLevel {
     let nc = next as usize;
 
     // Coarse vertex weights.
-    let mut vwgt = vec![0u32; nc * ncon];
+    let mut vwgt = ws.take_u32();
+    vwgt.resize(nc * ncon, 0);
     for (v, &cv) in fine_to_coarse.iter().enumerate() {
         let cv = cv as usize;
         let fw = graph.vertex_weights(v as u32);
@@ -104,29 +138,41 @@ pub fn contract(graph: &CsrGraph, match_of: &[u32]) -> CoarseLevel {
 
     // Coarse adjacency: accumulate per coarse vertex with a dense scratch map
     // (coarse-neighbour -> weight), reset between vertices via a stamp array.
-    let mut xadj = Vec::with_capacity(nc + 1);
-    let mut adjncy: Vec<u32> = Vec::with_capacity(graph.adjncy().len() / 2);
-    let mut adjwgt: Vec<u32> = Vec::with_capacity(graph.adjncy().len() / 2);
+    let mut xadj = ws.take_usize();
+    xadj.reserve(nc + 1);
+    let mut adjncy = ws.take_u32();
+    let mut adjwgt = ws.take_u32();
     xadj.push(0usize);
 
     // For each coarse vertex, the list of fine vertices mapping to it.
-    let mut members_off = vec![0usize; nc + 1];
+    let members_off = &mut ws.members_off;
+    members_off.clear();
+    members_off.resize(nc + 1, 0);
     for v in 0..n {
         members_off[fine_to_coarse[v] as usize + 1] += 1;
     }
     for i in 0..nc {
         members_off[i + 1] += members_off[i];
     }
-    let mut members = vec![0u32; n];
-    let mut cursor = members_off.clone();
+    let members = &mut ws.members;
+    members.clear();
+    members.resize(n, 0);
+    let cursor = &mut ws.cursor;
+    cursor.clear();
+    cursor.extend_from_slice(members_off);
     for v in 0..n as u32 {
         let cv = fine_to_coarse[v as usize] as usize;
         members[cursor[cv]] = v;
         cursor[cv] += 1;
     }
 
-    let mut stamp = vec![u32::MAX; nc];
-    let mut slot = vec![0usize; nc];
+    let stamp = &mut ws.stamp;
+    stamp.clear();
+    stamp.resize(nc, u32::MAX);
+    let slot = &mut ws.slot;
+    slot.clear();
+    slot.resize(nc, 0);
+    let pairs = &mut ws.pairs;
     for cv in 0..nc {
         let start = adjncy.len();
         for &v in &members[members_off[cv]..members_off[cv + 1]] {
@@ -146,13 +192,15 @@ pub fn contract(graph: &CsrGraph, match_of: &[u32]) -> CoarseLevel {
             }
         }
         // Deterministic ordering of the coarse adjacency list.
-        let mut pairs: Vec<(u32, u32)> = adjncy[start..]
-            .iter()
-            .copied()
-            .zip(adjwgt[start..].iter().copied())
-            .collect();
+        pairs.clear();
+        pairs.extend(
+            adjncy[start..]
+                .iter()
+                .copied()
+                .zip(adjwgt[start..].iter().copied()),
+        );
         pairs.sort_unstable_by_key(|&(u, _)| u);
-        for (i, (u, w)) in pairs.into_iter().enumerate() {
+        for (i, &(u, w)) in pairs.iter().enumerate() {
             adjncy[start + i] = u;
             adjwgt[start + i] = w;
         }
@@ -183,17 +231,38 @@ impl Hierarchy {
 /// Coarsens `graph` until it has at most `target_nvtx` vertices or matching
 /// stops making progress (shrink factor under 10%).
 pub fn coarsen(graph: &CsrGraph, target_nvtx: usize, seed: u64) -> Hierarchy {
+    coarsen_ws(graph, target_nvtx, seed, &mut PartitionWorkspace::new())
+}
+
+/// Workspace-backed [`coarsen`]. Each level's graph is built once (into
+/// pooled buffers) and moved into the hierarchy — never cloned; the next
+/// level reads it through `levels.last()`. Recycle the returned hierarchy
+/// with the workspace when done to keep the buffers in circulation.
+pub fn coarsen_ws(
+    graph: &CsrGraph,
+    target_nvtx: usize,
+    seed: u64,
+    ws: &mut PartitionWorkspace,
+) -> Hierarchy {
     let mut rng = Rng::seed_from_u64(seed);
-    let mut levels: Vec<CoarseLevel> = Vec::new();
-    let mut current = graph.clone();
-    while current.nvtx() > target_nvtx {
-        let m = heavy_edge_matching(&current, &mut rng);
-        let level = contract(&current, &m);
-        let shrink = level.graph.nvtx() as f64 / current.nvtx() as f64;
+    let mut levels: Vec<CoarseLevel> = ws.take_levels();
+    loop {
+        let (cur_nvtx, level) = {
+            let current = levels.last().map_or(graph, |l| &l.graph);
+            if current.nvtx() <= target_nvtx {
+                break;
+            }
+            heavy_edge_matching_ws(current, &mut rng, ws);
+            let match_of = std::mem::take(&mut ws.match_of);
+            let level = contract_ws(current, &match_of, ws);
+            ws.match_of = match_of;
+            (current.nvtx(), level)
+        };
+        let shrink = level.graph.nvtx() as f64 / cur_nvtx as f64;
         if shrink > 0.92 {
+            ws.give_level(level);
             break; // mostly unmatched: contracting further is useless
         }
-        current = level.graph.clone();
         levels.push(level);
     }
     Hierarchy { levels }
@@ -300,5 +369,23 @@ mod tests {
         let h = coarsen(&g, 100, 1);
         assert!(h.levels.is_empty());
         assert_eq!(h.coarsest(&g).nvtx(), 16);
+    }
+
+    #[test]
+    fn workspace_coarsen_matches_fresh() {
+        // Same seed, shared vs fresh workspace: identical hierarchies.
+        let g = grid_graph(24, 24);
+        let mut ws = PartitionWorkspace::new();
+        let a = coarsen_ws(&g, 64, 9, &mut ws);
+        let b = coarsen_ws(&g, 64, 9, &mut ws); // warm reuse
+        let c = coarsen(&g, 64, 9); // fresh
+        assert_eq!(a.levels.len(), b.levels.len());
+        assert_eq!(a.levels.len(), c.levels.len());
+        for ((la, lb), lc) in a.levels.iter().zip(&b.levels).zip(&c.levels) {
+            assert_eq!(la.fine_to_coarse, lb.fine_to_coarse);
+            assert_eq!(la.graph, lb.graph);
+            assert_eq!(la.fine_to_coarse, lc.fine_to_coarse);
+            assert_eq!(la.graph, lc.graph);
+        }
     }
 }

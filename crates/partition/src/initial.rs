@@ -4,7 +4,7 @@ use tempart_graph::CsrGraph;
 use tempart_testkit::rng::Rng;
 
 /// Per-side, per-constraint weight bookkeeping for a bisection.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct SideWeights {
     /// `w[side][c]`.
     pub w: [Vec<i64>; 2],
@@ -17,18 +17,35 @@ pub struct SideWeights {
 impl SideWeights {
     /// Initialises from a 0/1 assignment.
     pub fn measure(graph: &CsrGraph, side: &[u8], frac0: f64) -> Self {
+        let mut s = Self::default();
+        s.remeasure(graph, side, frac0);
+        s
+    }
+
+    /// Re-initialises in place from a 0/1 assignment, reusing the existing
+    /// buffers — allocation-free once `ncon` capacity exists (the workspace
+    /// path; every hot caller goes through this).
+    pub fn remeasure(&mut self, graph: &CsrGraph, side: &[u8], frac0: f64) {
         let ncon = graph.ncon();
-        let total = graph.total_weights();
-        let mut w = [vec![0i64; ncon], vec![0i64; ncon]];
+        for s in &mut self.w {
+            s.clear();
+            s.resize(ncon, 0);
+        }
+        self.total.clear();
+        self.total.resize(ncon, 0);
         for (v, &sv) in side.iter().enumerate() {
             let s = sv as usize;
             let vw = graph.vertex_weights(v as u32);
             for c in 0..ncon {
-                w[s][c] += i64::from(vw[c]);
+                self.w[s][c] += i64::from(vw[c]);
             }
         }
-        let target0 = total.iter().map(|&t| t as f64 * frac0).collect();
-        Self { w, target0, total }
+        self.target0.clear();
+        for c in 0..ncon {
+            let t = self.w[0][c] + self.w[1][c];
+            self.total[c] = t;
+            self.target0.push(t as f64 * frac0);
+        }
     }
 
     /// Target weight of `side` for constraint `c`.
@@ -118,16 +135,43 @@ pub fn bisection_cut(graph: &CsrGraph, side: &[u8]) -> i64 {
 /// seed — this is what makes multi-constraint one-hot instances solvable and
 /// is also why MC_TL domains may come out disconnected, as the paper notes.
 pub fn grow_bisection(graph: &CsrGraph, frac0: f64, rng: &mut Rng) -> Bisection {
+    let mut ws = crate::PartitionWorkspace::new();
+    let mut side = Vec::new();
+    let (cut, max_norm) = grow_bisection_ws(graph, frac0, rng, &mut ws, &mut side);
+    Bisection {
+        side,
+        cut,
+        max_norm,
+    }
+}
+
+/// Workspace-backed [`grow_bisection`]: writes the attempt into `side`
+/// (resized to `nvtx`) and returns `(cut, max_norm)`. Allocation-free once
+/// the workspace and `side` have warm capacity.
+pub(crate) fn grow_bisection_ws(
+    graph: &CsrGraph,
+    frac0: f64,
+    rng: &mut Rng,
+    ws: &mut crate::PartitionWorkspace,
+    side: &mut Vec<u8>,
+) -> (i64, f64) {
     let n = graph.nvtx();
     let ncon = graph.ncon();
-    let mut side = vec![1u8; n];
-    let mut weights = SideWeights::measure(graph, &side, frac0);
+    side.clear();
+    side.resize(n, 1);
+    let weights = &mut ws.side_weights;
+    weights.remeasure(graph, side, frac0);
 
     // gain[v] = (edge weight to side 0) - (edge weight to side 1); grow picks
     // the admissible frontier vertex with the largest gain.
-    let mut in0 = vec![false; n];
-    let mut heap: std::collections::BinaryHeap<(i64, u32)> = std::collections::BinaryHeap::new();
-    let mut gain = vec![0i64; n];
+    let in0 = &mut ws.grow_in0;
+    in0.clear();
+    in0.resize(n, false);
+    let heap = &mut ws.grow_heap;
+    heap.clear();
+    let gain = &mut ws.gain;
+    gain.clear();
+    gain.resize(n, 0);
     for v in 0..n as u32 {
         gain[v as usize] = -graph.edge_weights(v).map(i64::from).sum::<i64>();
     }
@@ -140,14 +184,14 @@ pub fn grow_bisection(graph: &CsrGraph, frac0: f64, rng: &mut Rng) -> Bisection 
     };
 
     let mut moved = 0usize;
-    while !done(&weights) && moved < n {
+    while !done(weights) && moved < n {
         // Pop until a valid admissible frontier vertex is found.
         let mut pick: Option<u32> = None;
         while let Some((g, v)) = heap.pop() {
             if in0[v as usize] || g != gain[v as usize] {
                 continue; // stale entry
             }
-            if admissible(&weights, graph.vertex_weights(v)) {
+            if admissible(weights, graph.vertex_weights(v)) {
                 pick = Some(v);
                 break;
             }
@@ -162,7 +206,7 @@ pub fn grow_bisection(graph: &CsrGraph, frac0: f64, rng: &mut Rng) -> Bisection 
                 let start = rng.gen_range(0..n);
                 let found = (0..n)
                     .map(|i| ((start + i) % n) as u32)
-                    .find(|&v| !in0[v as usize] && admissible(&weights, graph.vertex_weights(v)));
+                    .find(|&v| !in0[v as usize] && admissible(weights, graph.vertex_weights(v)));
                 match found {
                     Some(v) => v,
                     None => break, // nothing admissible anywhere: stop
@@ -181,13 +225,7 @@ pub fn grow_bisection(graph: &CsrGraph, frac0: f64, rng: &mut Rng) -> Bisection 
         }
     }
 
-    let cut = bisection_cut(graph, &side);
-    let max_norm = weights.max_norm();
-    Bisection {
-        side,
-        cut,
-        max_norm,
-    }
+    (bisection_cut(graph, side), weights.max_norm())
 }
 
 /// Runs `tries` growth attempts and keeps the best: balanced attempts beat
@@ -199,29 +237,55 @@ pub fn initial_bisection(
     ub: f64,
     rng: &mut Rng,
 ) -> Bisection {
-    let mut best: Option<Bisection> = None;
+    let mut ws = crate::PartitionWorkspace::new();
+    let mut best = Vec::new();
+    let (cut, max_norm) = initial_bisection_into(graph, frac0, tries, ub, rng, &mut ws, &mut best);
+    Bisection {
+        side: best,
+        cut,
+        max_norm,
+    }
+}
+
+/// Workspace-backed [`initial_bisection`]: writes the winning attempt into
+/// `best` and returns its `(cut, max_norm)`. Identical selection logic, no
+/// per-try allocation once warm.
+pub(crate) fn initial_bisection_into(
+    graph: &CsrGraph,
+    frac0: f64,
+    tries: usize,
+    ub: f64,
+    rng: &mut Rng,
+    ws: &mut crate::PartitionWorkspace,
+    best: &mut Vec<u8>,
+) -> (i64, f64) {
+    let mut cur = std::mem::take(&mut ws.grow_side);
+    let mut best_cut = 0i64;
+    let mut best_norm = f64::INFINITY;
+    let mut have_best = false;
     for _ in 0..tries.max(1) {
-        let b = grow_bisection(graph, frac0, rng);
-        let better = match &best {
-            None => true,
-            Some(cur) => {
-                let b_ok = b.max_norm <= ub;
-                let c_ok = cur.max_norm <= ub;
-                match (b_ok, c_ok) {
-                    (true, false) => true,
-                    (false, true) => false,
-                    (true, true) => b.cut < cur.cut,
-                    (false, false) => {
-                        b.max_norm < cur.max_norm || (b.max_norm == cur.max_norm && b.cut < cur.cut)
-                    }
-                }
+        let (cut, norm) = grow_bisection_ws(graph, frac0, rng, ws, &mut cur);
+        let better = if !have_best {
+            true
+        } else {
+            let b_ok = norm <= ub;
+            let c_ok = best_norm <= ub;
+            match (b_ok, c_ok) {
+                (true, false) => true,
+                (false, true) => false,
+                (true, true) => cut < best_cut,
+                (false, false) => norm < best_norm || (norm == best_norm && cut < best_cut),
             }
         };
         if better {
-            best = Some(b);
+            std::mem::swap(best, &mut cur);
+            best_cut = cut;
+            best_norm = norm;
+            have_best = true;
         }
     }
-    best.expect("at least one attempt")
+    ws.grow_side = cur;
+    (best_cut, best_norm)
 }
 
 #[cfg(test)]

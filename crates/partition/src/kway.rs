@@ -1,11 +1,36 @@
 //! Direct k-way partitioning: greedy k-way refinement, and the full
 //! multilevel k-way scheme (the `METIS_PartGraphKway` analogue: coarsen the
 //! whole graph once, split the coarsest graph, refine during uncoarsening).
+//!
+//! All entry points have `_ws` variants drawing part-weight tables, visit
+//! orders, connection scratch and projection buffers from the
+//! [`PartitionWorkspace`](crate::PartitionWorkspace); the plain functions are
+//! allocating wrappers kept for API stability.
 
-use crate::coarsen::coarsen;
-use crate::PartitionConfig;
+use crate::coarsen::coarsen_ws;
+use crate::{PartitionConfig, PartitionWorkspace};
 use tempart_graph::{CsrGraph, PartId};
 use tempart_testkit::rng::Rng;
+
+/// Fills `tot` with the per-constraint weight totals of `graph` (the
+/// allocation-free sibling of [`CsrGraph::total_weights`]).
+fn total_weights_into(graph: &CsrGraph, tot: &mut Vec<i64>) {
+    let ncon = graph.ncon();
+    tot.clear();
+    tot.resize(ncon, 0);
+    let vwgt = graph.vwgt();
+    for v in 0..graph.nvtx() {
+        for (c, t) in tot.iter_mut().enumerate() {
+            *t += i64::from(vwgt[v * ncon + c]);
+        }
+    }
+}
+
+/// Greedy k-way boundary refinement (allocating wrapper around
+/// [`kway_refine_ws`]).
+pub fn kway_refine(graph: &CsrGraph, part: &mut [PartId], config: &PartitionConfig) -> usize {
+    kway_refine_ws(graph, part, config, &mut PartitionWorkspace::new())
+}
 
 /// Greedy k-way boundary refinement.
 ///
@@ -15,7 +40,12 @@ use tempart_testkit::rng::Rng;
 /// (average × `ub`) and does not empty the source part.
 ///
 /// Returns the number of moves applied.
-pub fn kway_refine(graph: &CsrGraph, part: &mut [PartId], config: &PartitionConfig) -> usize {
+pub fn kway_refine_ws(
+    graph: &CsrGraph,
+    part: &mut [PartId],
+    config: &PartitionConfig,
+    ws: &mut PartitionWorkspace,
+) -> usize {
     let n = graph.nvtx();
     let k = config.nparts;
     let ncon = graph.ncon();
@@ -23,10 +53,15 @@ pub fn kway_refine(graph: &CsrGraph, part: &mut [PartId], config: &PartitionConf
         return 0;
     }
     let mut rng = Rng::seed_from_u64(config.seed ^ 0x4B57_4159);
-    let totals = graph.total_weights();
-    // allowance[p*ncon + c]
-    let mut pw = vec![0i64; k * ncon];
-    let mut psize = vec![0usize; k];
+    total_weights_into(graph, &mut ws.kw_tot);
+    // allowance[c]; pw[p*ncon + c].
+    let totals = &mut ws.kw_tot;
+    let pw = &mut ws.kw_pw;
+    pw.clear();
+    pw.resize(k * ncon, 0);
+    let psize = &mut ws.kw_psize;
+    psize.clear();
+    psize.resize(k, 0);
     for (v, &p) in part.iter().enumerate() {
         let p = p as usize;
         psize[p] += 1;
@@ -35,20 +70,30 @@ pub fn kway_refine(graph: &CsrGraph, part: &mut [PartId], config: &PartitionConf
             pw[p * ncon + c] += i64::from(vw[c]);
         }
     }
-    let allowance: Vec<f64> = (0..ncon)
-        .map(|c| totals[c] as f64 / k as f64 * config.ub(c))
-        .collect();
+    let allowance = &mut ws.kw_allow;
+    allowance.clear();
+    allowance.extend((0..ncon).map(|c| totals[c] as f64 / k as f64 * config.ub(c)));
 
-    let mut order: Vec<u32> = (0..n as u32).collect();
+    let order = &mut ws.order;
+    order.clear();
+    order.extend(0..n as u32);
     let mut moves = 0usize;
     // Scratch: per-part connection weight for the current vertex.
-    let mut conn = vec![0i64; k];
-    let mut touched: Vec<usize> = Vec::with_capacity(8);
+    let conn = &mut ws.kw_conn;
+    conn.clear();
+    conn.resize(k, 0);
+    // `touched` can hold at most one entry per part.
+    let touched = &mut ws.kw_touched;
+    touched.clear();
+    touched.reserve(k);
+
+    #[cfg(debug_assertions)]
+    let allocs_at_loop_entry = tempart_testkit::alloc::allocation_count();
 
     for _pass in 0..config.refine_passes.max(1) {
-        rng.shuffle(&mut order);
+        rng.shuffle(order);
         let mut pass_moves = 0usize;
-        for &v in &order {
+        for &v in order.iter() {
             let pv = part[v as usize] as usize;
             if psize[pv] <= 1 {
                 continue;
@@ -69,7 +114,7 @@ pub fn kway_refine(graph: &CsrGraph, part: &mut [PartId], config: &PartitionConf
                 let internal = conn[pv];
                 let vw = graph.vertex_weights(v);
                 let mut best: Option<(i64, usize)> = None;
-                for &p in &touched {
+                for &p in touched.iter() {
                     if p == pv {
                         continue;
                     }
@@ -103,7 +148,7 @@ pub fn kway_refine(graph: &CsrGraph, part: &mut [PartId], config: &PartitionConf
                     pass_moves += 1;
                 }
             }
-            for &p in &touched {
+            for &p in touched.iter() {
                 conn[p] = 0;
             }
         }
@@ -112,7 +157,20 @@ pub fn kway_refine(graph: &CsrGraph, part: &mut [PartId], config: &PartitionConf
             break;
         }
     }
+
+    #[cfg(debug_assertions)]
+    debug_assert_eq!(
+        tempart_testkit::alloc::allocation_count(),
+        allocs_at_loop_entry,
+        "k-way refinement sweep allocated on the heap"
+    );
     moves
+}
+
+/// K-way balance restoration (allocating wrapper around
+/// [`kway_rebalance_ws`]).
+pub fn kway_rebalance(graph: &CsrGraph, part: &mut [PartId], config: &PartitionConfig) -> usize {
+    kway_rebalance_ws(graph, part, config, &mut PartitionWorkspace::new())
 }
 
 /// K-way balance restoration: while some `(part, constraint)` load exceeds
@@ -123,24 +181,32 @@ pub fn kway_refine(graph: &CsrGraph, part: &mut [PartId], config: &PartitionConf
 /// imbalanced (greedy refinement only ever takes positive-gain moves).
 ///
 /// Returns the number of moves applied.
-pub fn kway_rebalance(graph: &CsrGraph, part: &mut [PartId], config: &PartitionConfig) -> usize {
+pub fn kway_rebalance_ws(
+    graph: &CsrGraph,
+    part: &mut [PartId],
+    config: &PartitionConfig,
+    ws: &mut PartitionWorkspace,
+) -> usize {
     let n = graph.nvtx();
     let k = config.nparts;
     let ncon = graph.ncon();
     if n == 0 || k <= 1 {
         return 0;
     }
-    let totals = graph.total_weights();
-    let mut pw = vec![0i64; k * ncon];
+    total_weights_into(graph, &mut ws.kw_tot);
+    let totals = &mut ws.kw_tot;
+    let pw = &mut ws.kw_pw;
+    pw.clear();
+    pw.resize(k * ncon, 0);
     for (v, &p) in part.iter().enumerate() {
         let vw = graph.vertex_weights(v as u32);
         for c in 0..ncon {
             pw[p as usize * ncon + c] += i64::from(vw[c]);
         }
     }
-    let allowance: Vec<f64> = (0..ncon)
-        .map(|c| (totals[c] as f64 / k as f64 * config.ub(c)).max(1.0))
-        .collect();
+    let allowance = &mut ws.kw_allow;
+    allowance.clear();
+    allowance.extend((0..ncon).map(|c| (totals[c] as f64 / k as f64 * config.ub(c)).max(1.0)));
 
     let mut moves = 0usize;
     while moves < n {
@@ -223,6 +289,12 @@ pub fn kway_rebalance(graph: &CsrGraph, part: &mut [PartId], config: &PartitionC
     moves
 }
 
+/// Full multilevel k-way partitioning (allocating wrapper around
+/// [`multilevel_kway_ws`]).
+pub fn multilevel_kway(graph: &CsrGraph, config: &PartitionConfig) -> Vec<PartId> {
+    multilevel_kway_ws(graph, config, &mut PartitionWorkspace::new())
+}
+
 /// Full multilevel k-way partitioning: one global coarsening pass, an
 /// initial k-way split of the coarsest graph by recursive bisection, then
 /// greedy k-way refinement at every uncoarsening level.
@@ -231,20 +303,25 @@ pub fn kway_rebalance(graph: &CsrGraph, part: &mut [PartId], config: &PartitionC
 /// quality (the paper found RB better on its meshes) for a single coarsening
 /// hierarchy — the classic quality/speed trade-off METIS exposes as its two
 /// entry points.
-pub fn multilevel_kway(graph: &CsrGraph, config: &PartitionConfig) -> Vec<PartId> {
+pub fn multilevel_kway_ws(
+    graph: &CsrGraph,
+    config: &PartitionConfig,
+    ws: &mut PartitionWorkspace,
+) -> Vec<PartId> {
     let k = config.nparts;
     if k <= 1 || graph.nvtx() <= 1 {
         return vec![0; graph.nvtx()];
     }
     // Keep the coarsest graph large enough to seat k parts comfortably.
     let target = (config.coarsen_to * graph.ncon().max(1)).max(8 * k);
-    let hierarchy = coarsen(graph, target, config.seed ^ 0x6B77_6179);
+    let hierarchy = coarsen_ws(graph, target, config.seed ^ 0x6B77_6179, ws);
     let coarsest = hierarchy.coarsest(graph);
 
-    let mut part = crate::bisect::recursive_bisection(coarsest, config);
-    kway_rebalance(coarsest, &mut part, config);
-    kway_refine(coarsest, &mut part, config);
+    let mut part = crate::bisect::recursive_bisection_ws(coarsest, config, ws);
+    kway_rebalance_ws(coarsest, &mut part, config, ws);
+    kway_refine_ws(coarsest, &mut part, config, ws);
 
+    let mut fine: Vec<PartId> = ws.take_u32();
     for i in (0..hierarchy.levels.len()).rev() {
         let fine_graph = if i == 0 {
             graph
@@ -253,10 +330,14 @@ pub fn multilevel_kway(graph: &CsrGraph, config: &PartitionConfig) -> Vec<PartId
         };
         // Project: each fine vertex inherits its coarse image's part.
         let map = &hierarchy.levels[i].fine_to_coarse;
-        part = map.iter().map(|&cv| part[cv as usize]).collect();
-        kway_rebalance(fine_graph, &mut part, config);
-        kway_refine(fine_graph, &mut part, config);
+        fine.clear();
+        fine.extend(map.iter().map(|&cv| part[cv as usize]));
+        std::mem::swap(&mut part, &mut fine);
+        kway_rebalance_ws(fine_graph, &mut part, config, ws);
+        kway_refine_ws(fine_graph, &mut part, config, ws);
     }
+    ws.give_u32(fine);
+    ws.give_hierarchy(hierarchy);
     part
 }
 
@@ -340,6 +421,24 @@ mod tests {
         let cfg = PartitionConfig::new(4).with_ub(1.15);
         let part = multilevel_kway(&g2, &cfg);
         assert!(max_imbalance(&g2, &part, 4) <= 1.5);
+    }
+
+    #[test]
+    fn kway_refine_shared_workspace_matches_fresh() {
+        let g = grid_graph(16, 16);
+        let cfg = PartitionConfig::new(4).with_ub(1.15);
+        let start: Vec<PartId> = (0..256u64)
+            .map(|v| ((v.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) % 4) as PartId)
+            .collect();
+        let mut ws = PartitionWorkspace::new();
+        let mut a = start.clone();
+        kway_refine_ws(&g, &mut a, &cfg, &mut ws); // warm-up
+        let mut b = start.clone();
+        kway_refine_ws(&g, &mut b, &cfg, &mut ws); // warm reuse
+        let mut c = start.clone();
+        kway_refine(&g, &mut c, &cfg); // fresh
+        assert_eq!(a, b);
+        assert_eq!(a, c);
     }
 
     #[test]

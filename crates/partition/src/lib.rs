@@ -25,12 +25,14 @@ pub mod initial;
 pub mod kway;
 pub mod refine;
 pub mod repair;
+pub mod workspace;
 
 use tempart_graph::{CsrGraph, PartId};
 
 pub use geometric::{hilbert_index, morton_index, sfc_partition, Curve};
 pub use kway::{kway_rebalance, multilevel_kway};
 pub use repair::{repair_contiguity, RepairReport};
+pub use workspace::{GainBuckets, PartitionWorkspace};
 
 /// Which k-way scheme to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -148,22 +150,45 @@ impl PartitionConfig {
 /// Returns one part id per vertex. Every part id in `0..nparts` is used
 /// unless the graph has fewer vertices than parts.
 ///
+/// Allocating convenience wrapper around [`partition_graph_with`]; callers
+/// that partition in a loop (dynamic repartitioning) should hold a
+/// [`PartitionWorkspace`] and use the `_with` variant — repeated calls are
+/// then allocation-free after warm-up.
+///
 /// # Panics
 ///
 /// Panics on invalid configuration (see [`PartitionConfig`]).
 pub fn partition_graph(graph: &CsrGraph, config: &PartitionConfig) -> Vec<PartId> {
+    partition_graph_with(graph, config, &mut PartitionWorkspace::new())
+}
+
+/// Partitions `graph` into `config.nparts` parts using caller-provided
+/// scratch memory.
+///
+/// The workspace carries **capacity, not state**: results are bit-identical
+/// to [`partition_graph`] for the same inputs regardless of what the
+/// workspace was previously used for (covered by `tests/workspace_reuse.rs`).
+///
+/// # Panics
+///
+/// Panics on invalid configuration (see [`PartitionConfig`]).
+pub fn partition_graph_with(
+    graph: &CsrGraph,
+    config: &PartitionConfig,
+    ws: &mut PartitionWorkspace,
+) -> Vec<PartId> {
     config.validate(graph);
     if config.nparts == 1 || graph.nvtx() <= 1 {
         return vec![0; graph.nvtx()];
     }
     match config.scheme {
-        Scheme::RecursiveBisection => bisect::recursive_bisection(graph, config),
+        Scheme::RecursiveBisection => bisect::recursive_bisection_ws(graph, config, ws),
         Scheme::KWayRefined => {
-            let mut part = bisect::recursive_bisection(graph, config);
-            kway::kway_refine(graph, &mut part, config);
+            let mut part = bisect::recursive_bisection_ws(graph, config, ws);
+            kway::kway_refine_ws(graph, &mut part, config, ws);
             part
         }
-        Scheme::MultilevelKWay => kway::multilevel_kway(graph, config),
+        Scheme::MultilevelKWay => kway::multilevel_kway_ws(graph, config, ws),
     }
 }
 

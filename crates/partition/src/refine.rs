@@ -1,8 +1,41 @@
 //! Fiduccia–Mattheyses boundary refinement for bisections.
+//!
+//! The selection structure is the classic FM **bounded-gain bucket list**
+//! ([`GainBuckets`](crate::workspace::GainBuckets)): doubly linked lists
+//! indexed by gain, O(1) on every neighbour-gain change, best-feasible
+//! extraction by walking buckets downward. It replaces the previous
+//! lazy-deletion `BinaryHeap`, which flooded itself with stale entries (one
+//! per neighbour-gain change) and re-sorted them for nothing. All scratch
+//! lives in the [`PartitionWorkspace`](crate::PartitionWorkspace); after the
+//! workspace is warm, `fm_refine_ws` and `rebalance_ws` perform **zero heap
+//! allocations** — enforced by a debug-assert on the testkit counting
+//! allocator around the move loops.
 
-use crate::initial::{bisection_cut, SideWeights};
-use std::collections::BinaryHeap;
+use crate::initial::bisection_cut;
+use crate::PartitionWorkspace;
 use tempart_graph::CsrGraph;
+
+/// Largest |gain| any vertex can reach: the maximum incident edge-weight sum.
+fn max_abs_gain(graph: &CsrGraph) -> i64 {
+    let mut m = 1i64;
+    for v in 0..graph.nvtx() as u32 {
+        m = m.max(graph.edge_weights(v).map(i64::from).sum());
+    }
+    m
+}
+
+/// One FM refinement driver for a 0/1 bisection (allocating wrapper around
+/// [`fm_refine_ws`]; prefer the workspace variant in loops).
+pub fn fm_refine(graph: &CsrGraph, side: &mut [u8], frac0: f64, ub: f64, max_passes: usize) -> i64 {
+    fm_refine_ws(
+        graph,
+        side,
+        frac0,
+        ub,
+        max_passes,
+        &mut PartitionWorkspace::new(),
+    )
+}
 
 /// One FM refinement driver for a 0/1 bisection.
 ///
@@ -12,18 +45,50 @@ use tempart_graph::CsrGraph;
 /// they do not worsen the balance beyond `ub` (or beyond the current
 /// violation, if the bisection is already out of tolerance — so refinement
 /// doubles as a balancing pass).
-pub fn fm_refine(graph: &CsrGraph, side: &mut [u8], frac0: f64, ub: f64, max_passes: usize) -> i64 {
+///
+/// Tie-breaks among equal gains follow the bucket order documented at
+/// [`GainBuckets`](crate::workspace::GainBuckets) (deterministic for a fixed
+/// seed).
+pub fn fm_refine_ws(
+    graph: &CsrGraph,
+    side: &mut [u8],
+    frac0: f64,
+    ub: f64,
+    max_passes: usize,
+    ws: &mut PartitionWorkspace,
+) -> i64 {
     let n = graph.nvtx();
     let mut cut = bisection_cut(graph, side);
     if n == 0 {
         return cut;
     }
-    let mut weights = SideWeights::measure(graph, side, frac0);
+    // --- setup: the only region allowed to allocate (cold buffers) ---
+    ws.side_weights.remeasure(graph, side, frac0);
+    ws.buckets.ensure(n, max_abs_gain(graph));
+    ws.gain.clear();
+    ws.gain.resize(n, 0);
+    ws.locked.clear();
+    ws.locked.resize(n, false);
+    ws.history.clear();
+    ws.history.reserve(n);
+    let gain = &mut ws.gain;
+    let locked = &mut ws.locked;
+    let history = &mut ws.history;
+    let buckets = &mut ws.buckets;
+    let weights = &mut ws.side_weights;
+
+    // Zero-allocation contract for the pass/move loops, checked against the
+    // testkit counting allocator when a test binary installs it.
+    #[cfg(debug_assertions)]
+    let allocs_at_loop_entry = tempart_testkit::alloc::allocation_count();
 
     for _pass in 0..max_passes {
-        // gain[v] = cut reduction if v moves to the other side.
-        let mut gain = vec![0i64; n];
-        let mut boundary = Vec::new();
+        // gain[v] = cut reduction if v moves to the other side. Seed the
+        // buckets with boundary vertices only (classic FM): interior
+        // vertices enter when a neighbour's move pulls them to the frontier.
+        buckets.clear();
+        locked.fill(false);
+        history.clear();
         for v in 0..n as u32 {
             let sv = side[v as usize];
             let mut g = 0i64;
@@ -38,60 +103,36 @@ pub fn fm_refine(graph: &CsrGraph, side: &mut [u8], frac0: f64, ub: f64, max_pas
             }
             gain[v as usize] = g;
             if on_boundary {
-                boundary.push(v);
+                buckets.insert(v, g);
             }
         }
-        // Seed with boundary vertices only (classic FM): interior vertices
-        // enter the heap when a neighbour's move pulls them to the frontier.
-        let mut heap: BinaryHeap<(i64, u32)> = boundary
-            .into_iter()
-            .map(|v| (gain[v as usize], v))
-            .collect();
-        let mut locked = vec![false; n];
 
         // Applied moves this pass, with running cut for the rollback.
-        let mut history: Vec<u32> = Vec::new();
         let mut running = cut;
         let mut best_cut = cut;
         let mut best_norm = weights.max_norm();
         let mut best_len = 0usize;
-        let mut stash: Vec<(i64, u32)> = Vec::new();
         // Hill-climbing fuel: stop the pass after this many consecutive
         // non-improving moves (bounds the tail without hurting quality).
         let fuel_limit = 64 + n / 16;
         let mut fuel = fuel_limit;
 
         loop {
-            // Pick the best feasible move.
-            let mut chosen: Option<u32> = None;
-            while let Some((g, v)) = heap.pop() {
-                if locked[v as usize] || g != gain[v as usize] {
-                    continue;
-                }
+            // Best feasible move: walk buckets downward, skipping (but
+            // keeping) candidates that would break the balance — they are
+            // retried after the next applied move shifts the weights. The
+            // scan bound mirrors the old implementation's stash limit.
+            let chosen = buckets.pop_best(256, |v, _g| {
                 let cur_norm = weights.max_norm();
-                let vw = graph.vertex_weights(v);
-                let after = weights.max_norm_after(vw, side[v as usize] as usize);
-                let feasible = after <= ub.max(cur_norm) + 1e-12;
-                if feasible {
-                    chosen = Some(v);
-                    break;
-                }
-                stash.push((g, v));
-                // Don't let a wall of infeasible candidates dominate the
-                // pass: they are retried after the next applied move anyway.
-                if stash.len() > 256 {
-                    break;
-                }
-            }
+                let after =
+                    weights.max_norm_after(graph.vertex_weights(v), side[v as usize] as usize);
+                after <= ub.max(cur_norm) + 1e-12
+            });
             let Some(v) = chosen else {
-                // Nothing feasible right now; the stash is only worth
-                // retrying after a move changes the balance, so stop.
+                // Nothing feasible right now; candidates only become
+                // feasible after a move changes the balance, so stop.
                 break;
             };
-            // Infeasible candidates may become feasible after this move.
-            for e in stash.drain(..) {
-                heap.push(e);
-            }
 
             // Apply the move.
             let from = side[v as usize] as usize;
@@ -100,7 +141,7 @@ pub fn fm_refine(graph: &CsrGraph, side: &mut [u8], frac0: f64, ub: f64, max_pas
             locked[v as usize] = true;
             running -= gain[v as usize];
             history.push(v);
-            // Update neighbour gains.
+            // Update neighbour gains: O(1) per neighbour in the buckets.
             for (u, w) in graph.neighbors(v).zip(graph.edge_weights(v)) {
                 if locked[u as usize] {
                     continue;
@@ -111,7 +152,8 @@ pub fn fm_refine(graph: &CsrGraph, side: &mut [u8], frac0: f64, ub: f64, max_pas
                 } else {
                     gain[u as usize] += 2 * i64::from(w);
                 }
-                heap.push((gain[u as usize], u));
+                // Re-rank u (pulling interior vertices onto the frontier).
+                buckets.update(u, gain[u as usize]);
             }
             gain[v as usize] = -gain[v as usize];
 
@@ -144,7 +186,20 @@ pub fn fm_refine(graph: &CsrGraph, side: &mut [u8], frac0: f64, ub: f64, max_pas
             break;
         }
     }
+
+    #[cfg(debug_assertions)]
+    debug_assert_eq!(
+        tempart_testkit::alloc::allocation_count(),
+        allocs_at_loop_entry,
+        "FM inner loop allocated on the heap"
+    );
     cut
+}
+
+/// Restores balance of a bisection that violates the tolerance (allocating
+/// wrapper around [`rebalance_ws`]).
+pub fn rebalance(graph: &CsrGraph, side: &mut [u8], frac0: f64, ub: f64) -> usize {
+    rebalance_ws(graph, side, frac0, ub, &mut PartitionWorkspace::new())
 }
 
 /// Restores balance of a bisection that violates the tolerance.
@@ -152,31 +207,53 @@ pub fn fm_refine(graph: &CsrGraph, side: &mut [u8], frac0: f64, ub: f64, max_pas
 /// While some `(side, constraint)` load exceeds `ub`, the pass moves the
 /// best-gain vertex that reduces that worst load (a vertex on the overloaded
 /// side with positive weight in the overloaded constraint) to the other
-/// side. Unlike FM this is allowed to scan the whole vertex set, so it can
-/// fix violations buried in the interior — the case multi-constraint one-hot
-/// instances hit constantly.
+/// side. Candidates live in an **overloaded-side gain-bucket index**
+/// (`ws.rb_buckets`), built once per `(side, constraint)` violation episode
+/// and maintained incrementally, so each applied move costs O(deg) — the
+/// previous implementation rescanned all `n` vertices per move. Interior
+/// vertices are still reachable (the index holds *every* carrier on the
+/// overloaded side, not just the boundary) — the case multi-constraint
+/// one-hot instances hit constantly.
 ///
 /// Returns the number of moves applied.
-pub fn rebalance(graph: &CsrGraph, side: &mut [u8], frac0: f64, ub: f64) -> usize {
+pub fn rebalance_ws(
+    graph: &CsrGraph,
+    side: &mut [u8],
+    frac0: f64,
+    ub: f64,
+    ws: &mut PartitionWorkspace,
+) -> usize {
     let n = graph.nvtx();
     if n == 0 {
         return 0;
     }
     let ncon = graph.ncon();
-    let mut weights = SideWeights::measure(graph, side, frac0);
+    ws.side_weights.remeasure(graph, side, frac0);
+    ws.rb_buckets.ensure(n, max_abs_gain(graph));
+    ws.gain.clear();
+    ws.gain.resize(n, 0);
+    let weights = &mut ws.side_weights;
+    let buckets = &mut ws.rb_buckets;
+    let gain = &mut ws.gain;
+
+    #[cfg(debug_assertions)]
+    let allocs_at_loop_entry = tempart_testkit::alloc::allocation_count();
+
     let mut moves = 0usize;
+    // The (side, constraint) the candidate index is currently built for.
+    let mut indexed_for: Option<(usize, usize)> = None;
     // Upper bound on useful moves: each strictly reduces the overloaded
     // (side, constraint) weight, so n is a hard cap; in practice a handful
     // suffice after projection.
     while moves < n {
         // Find the worst (side, constraint).
-        let (mut ws, mut wc, mut wn) = (0usize, 0usize, 0.0f64);
+        let (mut wsd, mut wc, mut wn) = (0usize, 0usize, 0.0f64);
         for s in 0..2 {
             for c in 0..ncon {
                 let norm = weights.norm(s, c);
                 if norm > wn {
                     wn = norm;
-                    ws = s;
+                    wsd = s;
                     wc = c;
                 }
             }
@@ -184,38 +261,59 @@ pub fn rebalance(graph: &CsrGraph, side: &mut [u8], frac0: f64, ub: f64) -> usiz
         if wn <= ub + 1e-12 {
             break;
         }
-        // Best-gain movable vertex: on side `ws`, carrying constraint `wc`,
-        // whose departure does not make the *other* side worse than `wn`.
-        let mut best: Option<(i64, u32)> = None;
-        for v in 0..n as u32 {
-            if side[v as usize] as usize != ws {
-                continue;
-            }
-            let vw = graph.vertex_weights(v);
-            if vw[wc] == 0 {
-                continue;
-            }
-            let after = weights.max_norm_after(vw, ws);
-            if after >= wn - 1e-12 {
-                continue; // would just shift the violation
-            }
-            let mut g = 0i64;
-            for (u, w) in graph.neighbors(v).zip(graph.edge_weights(v)) {
-                if side[u as usize] as usize == ws {
-                    g -= i64::from(w);
-                } else {
-                    g += i64::from(w);
+        if indexed_for != Some((wsd, wc)) {
+            // (Re)build the candidate index: every vertex on side `wsd`
+            // carrying constraint `wc`, keyed by cut gain. Ascending-id
+            // insertion keeps this deterministic (see GainBuckets docs).
+            buckets.clear();
+            for v in 0..n as u32 {
+                if side[v as usize] as usize != wsd {
+                    continue;
                 }
+                if graph.vertex_weights(v)[wc] == 0 {
+                    continue;
+                }
+                let mut g = 0i64;
+                for (u, w) in graph.neighbors(v).zip(graph.edge_weights(v)) {
+                    if side[u as usize] as usize == wsd {
+                        g -= i64::from(w);
+                    } else {
+                        g += i64::from(w);
+                    }
+                }
+                gain[v as usize] = g;
+                buckets.insert(v, g);
             }
-            if best.is_none_or(|(bg, _)| g > bg) {
-                best = Some((g, v));
-            }
+            indexed_for = Some((wsd, wc));
         }
-        let Some((_, v)) = best else { break };
-        weights.apply(graph.vertex_weights(v), ws);
+        // Best-gain movable vertex whose departure does not make the *other*
+        // side worse than `wn` (otherwise the move just shifts the
+        // violation). Infeasible candidates stay indexed — they may become
+        // feasible as `wn` drops.
+        let chosen = buckets.pop_best(n, |v, _g| {
+            let after = weights.max_norm_after(graph.vertex_weights(v), wsd);
+            after < wn - 1e-12
+        });
+        let Some(v) = chosen else { break };
+        weights.apply(graph.vertex_weights(v), wsd);
         side[v as usize] = 1 - side[v as usize];
         moves += 1;
+        // O(deg) incremental maintenance: every still-indexed neighbour sat
+        // on side `wsd` with v, so its edge to v flipped internal→external.
+        for (u, w) in graph.neighbors(v).zip(graph.edge_weights(v)) {
+            if buckets.contains(u) {
+                gain[u as usize] += 2 * i64::from(w);
+                buckets.update(u, gain[u as usize]);
+            }
+        }
     }
+
+    #[cfg(debug_assertions)]
+    debug_assert_eq!(
+        tempart_testkit::alloc::allocation_count(),
+        allocs_at_loop_entry,
+        "rebalance move loop allocated on the heap"
+    );
     moves
 }
 
@@ -228,9 +326,16 @@ pub fn project(fine_to_coarse: &[u32], coarse_side: &[u8]) -> Vec<u8> {
         .collect()
 }
 
+/// Allocation-free [`project`]: writes into `out` (cleared first).
+pub(crate) fn project_into(fine_to_coarse: &[u32], coarse_side: &[u8], out: &mut Vec<u8>) {
+    out.clear();
+    out.extend(fine_to_coarse.iter().map(|&cv| coarse_side[cv as usize]));
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::initial::SideWeights;
     use tempart_graph::builder::grid_graph;
     use tempart_graph::GraphBuilder;
 
@@ -285,9 +390,61 @@ mod tests {
     }
 
     #[test]
+    fn refine_shared_workspace_is_stateless() {
+        // Same input through one warm workspace twice == fresh workspace.
+        let g = grid_graph(12, 12);
+        let start: Vec<u8> = (0..144).map(|v| (v % 2) as u8).collect();
+        let mut ws = PartitionWorkspace::new();
+        let mut a = start.clone();
+        let ca = fm_refine_ws(&g, &mut a, 0.5, 1.05, 6, &mut ws);
+        let mut b = start.clone();
+        let cb = fm_refine_ws(&g, &mut b, 0.5, 1.05, 6, &mut ws);
+        let mut c = start.clone();
+        let cc = fm_refine(&g, &mut c, 0.5, 1.05, 6);
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+        assert_eq!(ca, cb);
+        assert_eq!(ca, cc);
+    }
+
+    #[test]
+    fn rebalance_fixes_violation_without_full_scans() {
+        let g = grid_graph(10, 10);
+        let mut side = vec![0u8; 100];
+        let moves = rebalance(&g, &mut side, 0.5, 1.10);
+        assert!(moves > 0);
+        let w = SideWeights::measure(&g, &side, 0.5);
+        assert!(w.max_norm() <= 1.10 + 1e-9, "norm {}", w.max_norm());
+    }
+
+    #[test]
+    fn rebalance_multiconstraint_interior() {
+        // One-hot classes in vertical halves (c0: cols 0-3, c1: cols 4-7);
+        // the bisection boundary sits between cols 5 and 6, so every c0
+        // carrier is *interior* — unreachable by boundary-seeded FM — and
+        // c0 is fully on side 0 (norm 2.0) while c1 is balanced. The
+        // rebalance candidate index holds all carriers, not just the
+        // boundary, so it must fix this.
+        let g = grid_graph(8, 8);
+        let mut vwgt = vec![0u32; 64 * 2];
+        for v in 0..64 {
+            vwgt[v * 2 + usize::from(v % 8 >= 4)] = 1;
+        }
+        let g2 = g.with_vertex_weights(vwgt, 2);
+        let mut side: Vec<u8> = (0..64).map(|v| u8::from(v % 8 >= 6)).collect();
+        let moves = rebalance(&g2, &mut side, 0.5, 1.25);
+        assert!(moves > 0);
+        let w = SideWeights::measure(&g2, &side, 0.5);
+        assert!(w.max_norm() <= 1.25 + 1e-9, "norm {}", w.max_norm());
+    }
+
+    #[test]
     fn project_maps_sides() {
         let side = project(&[0, 0, 1, 2, 2], &[1, 0, 1]);
         assert_eq!(side, vec![1, 1, 0, 1, 1]);
+        let mut out = Vec::new();
+        project_into(&[0, 0, 1, 2, 2], &[1, 0, 1], &mut out);
+        assert_eq!(out, side);
     }
 
     #[test]

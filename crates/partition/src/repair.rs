@@ -80,14 +80,35 @@ pub fn repair_contiguity(
     let allowance: Vec<f64> = (0..ncon)
         .map(|c| totals[c] as f64 / k as f64 * config.ub(c))
         .collect();
+    // Per-constraint ceiling for move targets: the configured allowance, or
+    // the current worst domain load when the partition already exceeds it.
+    // Contiguity repair must not be vetoed by pre-existing imbalance it did
+    // not cause — but it may never make the worst load worse either (targets
+    // stay at or below the initial per-constraint maximum).
+    let ceiling: Vec<f64> = (0..ncon)
+        .map(|c| {
+            let worst = (0..k).map(|d| dw[d * ncon + c]).max().unwrap_or(0);
+            allowance[c].max(1.0).max(worst as f64)
+        })
+        .collect();
 
-    // Per domain, the heaviest fragment stays.
+    // Per domain, the heaviest fragment stays. Weight is summed over *all*
+    // constraints: for one-hot multi-constraint instances (MC_TL) this is the
+    // cell count, whereas ranking by the first constraint alone would keep
+    // whichever fragment happens to hold the most level-0 cells — possibly a
+    // sliver — and try to migrate the domain's actual bulk.
     let frag_weight = |members: &[u32]| -> i64 {
         members
             .iter()
-            .map(|&v| i64::from(graph.vertex_weights(v)[0]))
+            .map(|&v| {
+                graph
+                    .vertex_weights(v)
+                    .iter()
+                    .map(|&x| i64::from(x))
+                    .sum::<i64>()
+            })
             .sum::<i64>()
-            .max(members.len() as i64) // all-zero first constraint: use size
+            .max(members.len() as i64) // all-zero weights: use size
     };
     let mut keep = vec![false; frags.len()];
     let mut best_per_domain: Vec<Option<(i64, u32)>> = vec![None; k];
@@ -133,8 +154,7 @@ pub fn repair_contiguity(
         let mut targets: Vec<usize> = (0..k).filter(|&d| conn[d] > 0).collect();
         targets.sort_by_key(|&d| std::cmp::Reverse(conn[d]));
         let chosen = targets.into_iter().find(|&d| {
-            (0..ncon)
-                .all(|c| fw[c] == 0 || (dw[d * ncon + c] + fw[c]) as f64 <= allowance[c].max(1.0))
+            (0..ncon).all(|c| fw[c] == 0 || (dw[d * ncon + c] + fw[c]) as f64 <= ceiling[c])
         });
         match chosen {
             Some(d) => {

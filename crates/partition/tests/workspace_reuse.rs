@@ -1,0 +1,137 @@
+//! Workspace-reuse equivalence: `partition_graph_with` on a *warm* (shared,
+//! previously used) [`PartitionWorkspace`] must produce bit-identical part
+//! vectors to `partition_graph` with a fresh workspace. The workspace is a
+//! capacity cache, never state: stale arena contents, pooled buffers from
+//! other graphs, and recycled coarse hierarchies must all be invisible in
+//! the output.
+
+use tempart_graph::builder::{grid_graph, GraphBuilder};
+use tempart_graph::CsrGraph;
+use tempart_partition::{
+    partition_graph, partition_graph_with, PartitionConfig, PartitionWorkspace, Scheme,
+};
+use tempart_testkit::prop::vec_of;
+use tempart_testkit::{prop_assert_eq, proptest};
+
+/// A graded multi-constraint grid: one-hot temporal-level weights (the
+/// MC_TL shape), level chosen by column band.
+fn graded_mc_grid(nx: usize, ny: usize, nlevels: usize) -> CsrGraph {
+    let n = nx * ny;
+    let mut b = GraphBuilder::new(n, nlevels);
+    let idx = |x: usize, y: usize| (y * nx + x) as u32;
+    let mut w = vec![0u32; nlevels];
+    for y in 0..ny {
+        for x in 0..nx {
+            if x + 1 < nx {
+                b.add_edge(idx(x, y), idx(x + 1, y), 1);
+            }
+            if y + 1 < ny {
+                b.add_edge(idx(x, y), idx(x, y + 1), 1);
+            }
+            let level = (x * nlevels) / nx;
+            w.iter_mut().for_each(|e| *e = 0);
+            w[level] = 1;
+            b.set_vertex_weights(idx(x, y), &w);
+        }
+    }
+    b.build()
+}
+
+/// Random connected graph: spanning path plus extra edges.
+fn random_graph(n: usize, extra: &[(usize, usize)], weights: &[u32]) -> CsrGraph {
+    let mut b = GraphBuilder::new(n, 1);
+    for v in 1..n {
+        b.add_edge((v - 1) as u32, v as u32, 1);
+    }
+    for &(a, bb) in extra {
+        let (a, bb) = (a % n, bb % n);
+        if a != bb {
+            b.add_edge(a as u32, bb as u32, 1);
+        }
+    }
+    for (v, &w) in weights.iter().take(n).enumerate() {
+        b.set_vertex_weights(v as u32, &[w.max(1)]);
+    }
+    b.build()
+}
+
+#[test]
+fn shared_workspace_is_bit_identical_across_schemes_and_graphs() {
+    // One workspace threaded through every call, in an order chosen so each
+    // call sees arenas sized (and dirtied) by a *different* graph and
+    // scheme than its own.
+    let graphs: Vec<CsrGraph> = vec![
+        grid_graph(24, 24),
+        graded_mc_grid(32, 16, 4),
+        grid_graph(7, 5),
+        graded_mc_grid(12, 12, 2),
+    ];
+    let schemes = [
+        Scheme::RecursiveBisection,
+        Scheme::KWayRefined,
+        Scheme::MultilevelKWay,
+    ];
+    let mut ws = PartitionWorkspace::new();
+    for pass in 0..2 {
+        for (gi, g) in graphs.iter().enumerate() {
+            for (si, &scheme) in schemes.iter().enumerate() {
+                let k = [2, 3, 5, 8][(gi + si + pass) % 4];
+                let cfg = PartitionConfig::new(k)
+                    .with_seed(0xC0FFEE ^ (gi as u64) << 8 ^ si as u64)
+                    .with_ub(1.2)
+                    .with_scheme(scheme);
+                let fresh = partition_graph(g, &cfg);
+                let warm = partition_graph_with(g, &cfg, &mut ws);
+                assert_eq!(
+                    fresh, warm,
+                    "graph {gi}, {scheme:?}, k={k}, pass {pass}: warm workspace diverged"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn workspace_survives_degenerate_inputs_between_real_ones() {
+    // Tiny/degenerate graphs between real ones must not corrupt the pools.
+    let mut ws = PartitionWorkspace::new();
+    let big = grid_graph(20, 20);
+    let cfg = PartitionConfig::new(4).with_seed(7);
+    let reference = partition_graph(&big, &cfg);
+    assert_eq!(partition_graph_with(&big, &cfg, &mut ws), reference);
+    // Single vertex, k > n, one part.
+    let tiny = grid_graph(1, 1);
+    let _ = partition_graph_with(&tiny, &PartitionConfig::new(1), &mut ws);
+    let path = grid_graph(3, 1);
+    let _ = partition_graph_with(&path, &PartitionConfig::new(8).with_ub(4.0), &mut ws);
+    // The big instance must still come out bit-identical.
+    assert_eq!(partition_graph_with(&big, &cfg, &mut ws), reference);
+}
+
+proptest! {
+    #![config(cases = 32, seed = 0x5EED_0003)]
+
+    fn warm_workspace_matches_fresh_on_random_graphs(
+        n in 8usize..140,
+        extra in vec_of((0usize..300, 0usize..300), 0..50),
+        weights in vec_of(1u32..9, 0..140),
+        k in 2usize..7,
+        seed in 0u64..1000,
+        warm_nx in 2usize..20,
+    ) {
+        let g = random_graph(n, &extra, &weights);
+        let cfg = PartitionConfig::new(k).with_seed(seed);
+        let fresh = partition_graph(&g, &cfg);
+        // Pollute the workspace with two unrelated instances first: a
+        // single-constraint grid and a graded 3-constraint grid.
+        let mut ws = PartitionWorkspace::new();
+        let _ = partition_graph_with(&grid_graph(warm_nx, 3), &PartitionConfig::new(2), &mut ws);
+        let _ = partition_graph_with(
+            &graded_mc_grid(warm_nx + 2, 4, 3),
+            &PartitionConfig::new(3).with_ub(1.5).with_scheme(Scheme::MultilevelKWay),
+            &mut ws,
+        );
+        let warm = partition_graph_with(&g, &cfg, &mut ws);
+        prop_assert_eq!(fresh, warm);
+    }
+}

@@ -1,0 +1,87 @@
+//! Zero-allocation contract for the partitioner's hot loops, measured with
+//! the testkit counting allocator installed as this binary's global
+//! allocator. Two layers of coverage:
+//!
+//! 1. **Explicit**: a warm `fm_refine_ws` / `rebalance_ws` call performs
+//!    *zero* heap allocations end to end (all scratch lives in the
+//!    workspace arenas, already sized by the warm-up call).
+//! 2. **Implicit**: running the full partitioner here arms the
+//!    `debug_assert`s inside the FM pass loop, the rebalance move loop and
+//!    the k-way sweep — any allocation inside those regions aborts the
+//!    test, whatever the warm-up state.
+
+use tempart_graph::builder::grid_graph;
+use tempart_partition::refine::{fm_refine_ws, rebalance_ws};
+use tempart_partition::{partition_graph_with, PartitionConfig, PartitionWorkspace, Scheme};
+use tempart_testkit::alloc::{count_allocations, CountingAllocator};
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+#[test]
+fn warm_fm_refine_does_not_allocate() {
+    let g = grid_graph(48, 48);
+    let mut ws = PartitionWorkspace::new();
+    // A deliberately poor initial bisection: left/right stripes interleaved,
+    // so FM has real work to do on every call.
+    let make_side = || -> Vec<u8> { (0..g.nvtx()).map(|v| ((v / 4) % 2) as u8).collect() };
+    // Warm-up: sizes every arena and the gain buckets.
+    let mut side = make_side();
+    fm_refine_ws(&g, &mut side, 0.5, 1.05, 6, &mut ws);
+    // Measured run on a fresh copy of the same instance.
+    let mut side = make_side();
+    let (cut, allocs) = count_allocations(|| fm_refine_ws(&g, &mut side, 0.5, 1.05, 6, &mut ws));
+    assert!(cut >= 0);
+    assert_eq!(allocs, 0, "warm fm_refine_ws allocated {allocs} times");
+}
+
+#[test]
+fn warm_rebalance_does_not_allocate() {
+    let g = grid_graph(32, 32);
+    let make_side = || -> Vec<u8> { (0..g.nvtx()).map(|v| u8::from(v % 32 >= 24)).collect() };
+    let mut ws = PartitionWorkspace::new();
+    let mut side = make_side();
+    rebalance_ws(&g, &mut side, 0.5, 1.1, &mut ws);
+    let mut side = make_side();
+    let (moves, allocs) = count_allocations(|| rebalance_ws(&g, &mut side, 0.5, 1.1, &mut ws));
+    assert!(moves > 0, "imbalanced stripe must trigger moves");
+    assert_eq!(allocs, 0, "warm rebalance_ws allocated {allocs} times");
+}
+
+#[test]
+fn full_partitioner_hot_loops_hold_their_debug_asserts() {
+    // With the counting allocator installed, the partitioner's internal
+    // `debug_assert_eq!(allocation_count(), ..)` guards are live: an
+    // allocation inside the FM inner loop or the k-way sweep fails here.
+    let g = grid_graph(40, 40);
+    let mut ws = PartitionWorkspace::new();
+    for scheme in [
+        Scheme::RecursiveBisection,
+        Scheme::KWayRefined,
+        Scheme::MultilevelKWay,
+    ] {
+        let cfg = PartitionConfig::new(8).with_seed(11).with_scheme(scheme);
+        let part = partition_graph_with(&g, &cfg, &mut ws);
+        assert_eq!(part.len(), g.nvtx());
+    }
+}
+
+#[test]
+fn warm_partitioner_allocates_far_less_than_cold() {
+    // Not a strict-zero contract (the result vector and a few per-call
+    // temporaries are real allocations), but reuse must eliminate the bulk:
+    // a warm call may allocate at most a tenth of a cold one.
+    let g = grid_graph(40, 40);
+    let cfg = PartitionConfig::new(8).with_seed(3);
+    let (_, cold) = count_allocations(|| {
+        let mut ws = PartitionWorkspace::new();
+        partition_graph_with(&g, &cfg, &mut ws)
+    });
+    let mut ws = PartitionWorkspace::new();
+    let _ = partition_graph_with(&g, &cfg, &mut ws);
+    let (_, warm) = count_allocations(|| partition_graph_with(&g, &cfg, &mut ws));
+    assert!(
+        warm * 10 <= cold,
+        "workspace reuse too weak: cold {cold} allocations vs warm {warm}"
+    );
+}

@@ -12,6 +12,24 @@
 //! `TEMPART_BENCH_DIR`; set `TEMPART_BENCH_SAMPLES` to change the sample
 //! count globally, e.g. `=3` for smoke runs).
 //!
+//! ## Committed baselines and the regression gate
+//!
+//! The repo root carries committed per-suite baselines
+//! (`BENCH_<suite>.json`), seeding the project's performance trajectory.
+//! `TEMPART_BENCH_BASELINE` switches [`Bencher::finish`] between three
+//! modes:
+//!
+//! * unset — measure and report only (default);
+//! * `write` — additionally (re)write `BENCH_<suite>.json` at the repo
+//!   root (run this after an intentional perf change and commit the file);
+//! * `check` — compare each benchmark's median against the committed
+//!   baseline and **exit non-zero** if any regresses by more than the
+//!   tolerance (`TEMPART_BENCH_TOLERANCE`, default `0.15` = +15%).
+//!
+//! `ci.sh bench-gate` runs the suites in short-sample mode with
+//! `TEMPART_BENCH_BASELINE=check`; set `CI_SKIP_BENCH=1` to skip it on
+//! underpowered runners.
+//!
 //! Bench targets use `harness = false` and a plain `main`:
 //!
 //! ```no_run
@@ -204,8 +222,12 @@ impl Bencher {
         self.results.push(stats);
     }
 
-    /// Writes `results/bench_<suite>.json` and prints a footer. Returns the
-    /// collected stats for programmatic use.
+    /// Writes `results/bench_<suite>.json`, applies the baseline mode
+    /// selected by `TEMPART_BENCH_BASELINE` (see module docs), and prints a
+    /// footer. Returns the collected stats for programmatic use.
+    ///
+    /// In `check` mode this **terminates the process with exit code 1** when
+    /// a benchmark's median regresses beyond the tolerance.
     pub fn finish(self) -> Vec<BenchStats> {
         let dir = output_dir();
         if let Err(e) = std::fs::create_dir_all(&dir) {
@@ -223,7 +245,146 @@ impl Bencher {
             ),
             Err(e) => eprintln!("bench: cannot write {}: {e}", path.display()),
         }
+        match std::env::var("TEMPART_BENCH_BASELINE").as_deref() {
+            Ok("write") => {
+                let p = baseline_path(&self.suite);
+                match std::fs::write(&p, render_json(&self.suite, &self.results)) {
+                    Ok(()) => println!("bench baseline written -> {}", p.display()),
+                    Err(e) => eprintln!("bench: cannot write baseline {}: {e}", p.display()),
+                }
+            }
+            Ok("check") => {
+                let tolerance = std::env::var("TEMPART_BENCH_TOLERANCE")
+                    .ok()
+                    .and_then(|t| t.parse::<f64>().ok())
+                    .unwrap_or(0.15);
+                match check_against_baseline(&self.suite, &self.results, tolerance) {
+                    Ok(lines) => {
+                        for l in lines {
+                            println!("{l}");
+                        }
+                    }
+                    Err(failures) => {
+                        for f in &failures {
+                            eprintln!("BENCH REGRESSION: {f}");
+                        }
+                        eprintln!(
+                            "bench gate FAILED for suite `{}` ({} regression(s), tolerance {:.0}%)",
+                            self.suite,
+                            failures.len(),
+                            tolerance * 100.0
+                        );
+                        std::process::exit(1);
+                    }
+                }
+            }
+            _ => {}
+        }
         self.results
+    }
+}
+
+/// `BENCH_<suite>.json` at the repo root (nearest ancestor of the current
+/// directory containing a `Cargo.lock`, else the current directory).
+pub fn baseline_path(suite: &str) -> std::path::PathBuf {
+    let root = std::env::current_dir()
+        .ok()
+        .and_then(|cwd| {
+            cwd.ancestors()
+                .find(|d| d.join("Cargo.lock").is_file())
+                .map(std::path::Path::to_path_buf)
+        })
+        .unwrap_or_else(|| ".".into());
+    root.join(format!("BENCH_{}.json", suite.replace('/', "_")))
+}
+
+/// Parses `(name, median_ns)` pairs out of a baseline file previously
+/// written by [`render_json`] (this harness's own format — not a general
+/// JSON parser).
+pub fn parse_baseline(text: &str) -> Vec<(String, u64)> {
+    // Reads a JSON string body starting at `rest`, honouring `\"` and `\\`
+    // escapes; returns the unescaped content up to the closing quote.
+    fn scan_string(rest: &str) -> Option<String> {
+        let mut out = String::new();
+        let mut chars = rest.chars();
+        while let Some(ch) = chars.next() {
+            match ch {
+                '"' => return Some(out),
+                '\\' => out.push(chars.next()?),
+                c => out.push(c),
+            }
+        }
+        None
+    }
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let Some(npos) = line.find("\"name\": \"") else {
+            continue;
+        };
+        let Some(name) = scan_string(&line[npos + 9..]) else {
+            continue;
+        };
+        let Some(mpos) = line.find("\"median_ns\": ") else {
+            continue;
+        };
+        let mrest = &line[mpos + 13..];
+        let digits: String = mrest.chars().take_while(char::is_ascii_digit).collect();
+        if let Ok(median) = digits.parse::<u64>() {
+            out.push((name, median));
+        }
+    }
+    out
+}
+
+/// Compares `results` against the committed `BENCH_<suite>.json`.
+///
+/// Returns human-readable per-benchmark delta lines on success, or the list
+/// of failed comparisons if any median regressed by more than `tolerance`
+/// (fractional: `0.15` allows +15%). Benchmarks missing from the baseline
+/// are reported but never fail the gate (they are new), and a missing
+/// baseline file passes with a notice so first runs don't brick CI.
+pub fn check_against_baseline(
+    suite: &str,
+    results: &[BenchStats],
+    tolerance: f64,
+) -> Result<Vec<String>, Vec<String>> {
+    let path = baseline_path(suite);
+    let Ok(text) = std::fs::read_to_string(&path) else {
+        return Ok(vec![format!(
+            "bench gate: no baseline at {} (run with TEMPART_BENCH_BASELINE=write to seed it)",
+            path.display()
+        )]);
+    };
+    let baseline = parse_baseline(&text);
+    let mut lines = Vec::new();
+    let mut failures = Vec::new();
+    for r in results {
+        let Some(&(_, base)) = baseline.iter().find(|(n, _)| *n == r.name) else {
+            lines.push(format!("{:<44} NEW (no baseline entry)", r.name));
+            continue;
+        };
+        let ratio = if base == 0 {
+            1.0
+        } else {
+            r.median_ns as f64 / base as f64
+        };
+        let line = format!(
+            "{:<44} {:>12} vs baseline {:>12} ({:+.1}%)",
+            r.name,
+            fmt_ns(r.median_ns),
+            fmt_ns(base),
+            (ratio - 1.0) * 100.0
+        );
+        if ratio > 1.0 + tolerance {
+            failures.push(line);
+        } else {
+            lines.push(line);
+        }
+    }
+    if failures.is_empty() {
+        Ok(lines)
+    } else {
+        Err(failures)
     }
 }
 
@@ -324,6 +485,36 @@ mod tests {
         assert!(j.contains("\"name\": \"a/b\""));
         assert!(j.contains("\"median_ns\": 2"));
         assert!(j.contains("\"samples_ns\": [1, 2, 3]"));
+    }
+
+    #[test]
+    fn baseline_roundtrip_parses() {
+        let stats = vec![
+            BenchStats::from_samples("partition/strategy/MC_TL", vec![100, 110, 120], 1),
+            BenchStats::from_samples("a\"quoted\"", vec![7], 1),
+        ];
+        let parsed = parse_baseline(&render_json("s", &stats));
+        assert_eq!(
+            parsed,
+            vec![
+                ("partition/strategy/MC_TL".to_string(), 110),
+                ("a\"quoted\"".to_string(), 7)
+            ]
+        );
+    }
+
+    #[test]
+    fn baseline_check_flags_regressions_only() {
+        let baseline = vec![BenchStats::from_samples("x", vec![100], 1)];
+        let text = render_json("s", &baseline);
+        let parsed = parse_baseline(&text);
+        assert_eq!(parsed[0].1, 100);
+        // Direct comparison logic (bypassing the filesystem): 20% slower
+        // fails a 15% gate, 10% slower passes, faster always passes.
+        for (median, ok) in [(120u64, false), (110, true), (80, true)] {
+            let ratio = median as f64 / 100.0;
+            assert_eq!(ratio <= 1.15, ok, "median {median}");
+        }
     }
 
     #[test]

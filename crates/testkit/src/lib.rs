@@ -16,12 +16,17 @@
 //!   the minimised input so they reproduce byte-for-byte.
 //! * [`bench`] — a minimal wall-clock benchmark harness (warmup + N samples,
 //!   median/MAD statistics, JSON output under `results/`), replacing
-//!   `criterion` for the paper-experiment benches.
+//!   `criterion` for the paper-experiment benches; it also owns the
+//!   committed-baseline regression gate (`BENCH_<suite>.json` +
+//!   `TEMPART_BENCH_BASELINE=check`).
+//! * [`alloc`] — a counting global allocator, the zero-allocation test hook
+//!   the hot-path `debug_assert!`s (FM inner loop, FLUSIM event loop) read.
 //!
 //! The design goal is *determinism before ergonomics*: the same seed always
 //! generates the same cases, in the same order, across runs and platforms
 //! (all arithmetic is integer or exactly-rounded f64 multiplication).
 
+pub mod alloc;
 pub mod bench;
 pub mod prop;
 pub mod rng;

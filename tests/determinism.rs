@@ -6,8 +6,11 @@
 //! FLUSIM makespan.
 
 use tempart::core_api::{run_flusim, PartitionStrategy, PipelineConfig};
-use tempart::flusim::{ClusterConfig, Strategy};
+use tempart::flusim::{simulate, ClusterConfig, Strategy};
 use tempart::mesh::{cube_like, cylinder_like, GeneratorConfig};
+use tempart::taskgraph::{
+    generate_taskgraph, stats::block_process_map, DomainDecomposition, TaskGraphConfig,
+};
 
 fn config(strategy: PartitionStrategy, seed: u64) -> PipelineConfig {
     PipelineConfig {
@@ -44,7 +47,10 @@ fn same_seed_is_bit_identical_across_runs() {
             "{strategy:?}: FLUSIM makespan must be identical"
         );
         assert_eq!(a.interprocess_cut, b.interprocess_cut);
-        assert_eq!(a.sim.segments.len(), b.sim.segments.len());
+        assert_eq!(
+            a.sim.segments, b.sim.segments,
+            "{strategy:?}: Gantt segments must be bit-identical"
+        );
     }
 }
 
@@ -59,6 +65,89 @@ fn same_seed_is_identical_on_graded_cylinder_mesh() {
     assert_eq!(a.part, b.part);
     assert_eq!(a.quality, b.quality);
     assert_eq!(a.makespan(), b.makespan());
+    assert_eq!(a.sim.segments, b.sim.segments);
+}
+
+/// FNV-1a over each segment's `(task, process, start, end)` in emission
+/// order: any change to what runs where, when, or in which sequence the
+/// scheduler records it, changes the digest.
+fn segments_fingerprint(segments: &[tempart::flusim::Segment]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for s in segments {
+        for word in [u64::from(s.task), u64::from(s.process), s.start, s.end] {
+            for byte in word.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        }
+    }
+    h
+}
+
+#[test]
+fn flusim_segments_pinned_across_scheduler_rewrites() {
+    // These digests were captured from the original O(n_processes)-per-event
+    // scheduler on partitioner-independent inputs (round-robin domain
+    // assignment, so no partitioner change can perturb them). The
+    // incremental dirty-set scheduler must reproduce every Gantt chart bit
+    // for bit — not just the makespan. If a legitimate scheduler semantics
+    // change ever breaks these, re-derive the constants with the
+    // `segments_fingerprint` helper and justify the change in the commit.
+    let pins: [(&str, &[(Strategy, u64, u64, usize)]); 2] = [
+        (
+            "cylinder3",
+            &[
+                (Strategy::EagerFifo, 0x0765_DDFA_82AD_B4A0, 4122, 576),
+                (Strategy::EagerLifo, 0xE4C3_5380_97E2_567E, 4224, 576),
+                (
+                    Strategy::CriticalPathFirst,
+                    0xA4D7_FAF1_D53A_E994,
+                    4122,
+                    576,
+                ),
+                (Strategy::SmallestFirst, 0xC470_D1C0_EA29_0DAC, 4120, 576),
+            ],
+        ),
+        (
+            "cube4",
+            &[
+                (Strategy::EagerFifo, 0x075A_CC4E_F792_A2D5, 9062, 720),
+                (Strategy::EagerLifo, 0x3B15_2669_AB9B_5AC5, 9432, 720),
+                (
+                    Strategy::CriticalPathFirst,
+                    0xD386_F1E2_6AEF_4CEF,
+                    9014,
+                    720,
+                ),
+                (Strategy::SmallestFirst, 0x2592_669A_AC13_A5DD, 9234, 720),
+            ],
+        ),
+    ];
+    for (name, cases) in pins {
+        let mesh = match name {
+            "cylinder3" => cylinder_like(&GeneratorConfig { base_depth: 3 }),
+            _ => cube_like(&GeneratorConfig { base_depth: 4 }),
+        };
+        let n_domains = 16usize;
+        let part: Vec<u32> = (0..mesh.n_cells() as u32)
+            .map(|c| c % n_domains as u32)
+            .collect();
+        let dd = DomainDecomposition::new(&mesh, &part, n_domains);
+        let graph = generate_taskgraph(&mesh, &dd, &TaskGraphConfig::default());
+        let process_of = block_process_map(n_domains, 4);
+        let cluster = ClusterConfig::new(4, 2);
+        for &(strat, hash, makespan, nseg) in cases {
+            let r = simulate(&graph, &cluster, &process_of, strat);
+            assert_eq!(r.makespan, makespan, "{name}/{strat:?}: makespan drifted");
+            assert_eq!(r.segments.len(), nseg, "{name}/{strat:?}: segment count");
+            assert_eq!(
+                segments_fingerprint(&r.segments),
+                hash,
+                "{name}/{strat:?}: Gantt segments diverged from the pinned \
+                 pre-rewrite schedule"
+            );
+        }
+    }
 }
 
 #[test]
