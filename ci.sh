@@ -39,6 +39,12 @@ echo "== bench gate (hot-path regression check) =="
 # TEMPART_BENCH_TOLERANCE (default +15%). Skippable on noisy or throttled
 # machines with CI_SKIP_BENCH=1; re-baseline deliberate changes with
 # TEMPART_BENCH_BASELINE=write and commit the JSON.
+#
+# This gate doubles as the disabled-recorder overhead guard: since the
+# observability layer landed, `partition_graph` and `simulate` route through
+# their `_traced` variants with `Recorder::off()`, so these baselines (at
+# the pre-instrumentation tolerance, deliberately NOT loosened) price the
+# one-relaxed-atomic-branch disabled path into every hot loop they time.
 if [[ "${CI_SKIP_BENCH:-0}" == "1" ]]; then
     echo "skipped (CI_SKIP_BENCH=1)"
 else

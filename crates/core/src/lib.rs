@@ -20,6 +20,12 @@ pub mod pipeline;
 pub mod report;
 pub mod strategy;
 
-pub use pipeline::{run_flusim, simulate_decomposition, FlusimOutcome, PipelineConfig};
-pub use strategy::{decompose, decompose_with_repair, strategy_weights, PartitionStrategy};
+pub use pipeline::{
+    run_flusim, run_flusim_traced, simulate_decomposition, simulate_decomposition_traced,
+    FlusimOutcome, PipelineConfig,
+};
+pub use strategy::{
+    decompose, decompose_traced, decompose_with_repair, decompose_with_repair_traced,
+    strategy_weights, PartitionStrategy,
+};
 pub use tempart_partition::Curve;

@@ -1,12 +1,14 @@
 //! The end-to-end experiment pipeline:
 //! mesh → strategy → domains → task graph → FLUSIM simulation.
 
-use crate::strategy::{decompose, PartitionStrategy};
-use tempart_flusim::{simulate, ClusterConfig, SimResult, Strategy};
+use crate::strategy::{decompose_traced, PartitionStrategy};
+use tempart_flusim::{simulate_traced, ClusterConfig, SimResult, Strategy};
 use tempart_graph::{PartId, PartitionQuality};
 use tempart_mesh::Mesh;
+use tempart_obs::Recorder;
 use tempart_taskgraph::{
-    generate_taskgraph, stats::block_process_map, DomainDecomposition, TaskGraph, TaskGraphConfig,
+    generate_taskgraph_traced, stats::block_process_map, DomainDecomposition, TaskGraph,
+    TaskGraphConfig,
 };
 
 /// Everything one FLUSIM experiment needs.
@@ -73,24 +75,47 @@ pub fn simulate_decomposition(
     cluster: &ClusterConfig,
     scheduling: Strategy,
 ) -> (TaskGraph, Vec<usize>, SimResult) {
+    simulate_decomposition_traced(mesh, part, n_domains, cluster, scheduling, Recorder::off())
+}
+
+/// Like [`simulate_decomposition`], recording the task-graph generator's
+/// `tg.*` events and the simulator's `flusim.*` events into `rec`.
+pub fn simulate_decomposition_traced(
+    mesh: &Mesh,
+    part: &[PartId],
+    n_domains: usize,
+    cluster: &ClusterConfig,
+    scheduling: Strategy,
+    rec: &Recorder,
+) -> (TaskGraph, Vec<usize>, SimResult) {
     let dd = DomainDecomposition::new(mesh, part, n_domains);
-    let graph = generate_taskgraph(mesh, &dd, &TaskGraphConfig::default());
+    let graph = generate_taskgraph_traced(mesh, &dd, &TaskGraphConfig::default(), rec);
     let process_of = block_process_map(n_domains, cluster.n_processes);
-    let sim = simulate(&graph, cluster, &process_of, scheduling);
+    let sim = simulate_traced(&graph, cluster, &process_of, scheduling, rec);
     (graph, process_of, sim)
 }
 
 /// Runs the full pipeline: partition, generate, simulate, measure.
 pub fn run_flusim(mesh: &Mesh, config: &PipelineConfig) -> FlusimOutcome {
-    let part = decompose(mesh, config.strategy, config.n_domains, config.seed);
+    run_flusim_traced(mesh, config, Recorder::off())
+}
+
+/// Like [`run_flusim`], recording structured events from every stage into
+/// `rec`: a `"core.pipeline"` wall span, the partitioner's `part.*` events,
+/// the generator's `tg.*` events, the simulator's `flusim.*` events, and a
+/// final `"core.interprocess_cut"` counter.
+pub fn run_flusim_traced(mesh: &Mesh, config: &PipelineConfig, rec: &Recorder) -> FlusimOutcome {
+    let _span = rec.span("core.pipeline", 0, config.n_domains as u64);
+    let part = decompose_traced(mesh, config.strategy, config.n_domains, config.seed, rec);
     let cell_graph = mesh.to_graph();
     let quality = PartitionQuality::measure(&cell_graph, &part, config.n_domains);
-    let (graph, process_of, sim) = simulate_decomposition(
+    let (graph, process_of, sim) = simulate_decomposition_traced(
         mesh,
         &part,
         config.n_domains,
         &config.cluster,
         config.scheduling,
+        rec,
     );
 
     // Inter-process communication estimate: edges between cells whose
@@ -105,6 +130,9 @@ pub fn run_flusim(mesh: &Mesh, config: &PipelineConfig) -> FlusimOutcome {
         }
     }
     interprocess_cut /= 2;
+    if rec.enabled() {
+        rec.counter("core.interprocess_cut", 0, interprocess_cut as u64);
+    }
 
     FlusimOutcome {
         part,

@@ -2,9 +2,10 @@
 
 use tempart_graph::{CsrGraph, PartId, Weight};
 use tempart_mesh::{operating_cost, Mesh};
+use tempart_obs::Recorder;
 use tempart_partition::{
-    bisect::extract_subgraph, partition_graph, repair_contiguity, sfc_partition, Curve,
-    PartitionConfig, RepairReport,
+    bisect::extract_subgraph, partition_graph_with, repair_contiguity_traced, sfc_partition, Curve,
+    PartitionConfig, PartitionWorkspace, RepairReport,
 };
 
 /// How to weight and partition the cell graph.
@@ -104,7 +105,21 @@ pub fn decompose(
     n_domains: usize,
     seed: u64,
 ) -> Vec<PartId> {
+    decompose_traced(mesh, strategy, n_domains, seed, Recorder::off())
+}
+
+/// Like [`decompose`], recording structured events into `rec`: a
+/// `"core.decompose"` wall span around the whole strategy (`a` = domain
+/// count) plus the partitioner's own `part.*` spans and counters.
+pub fn decompose_traced(
+    mesh: &Mesh,
+    strategy: PartitionStrategy,
+    n_domains: usize,
+    seed: u64,
+    rec: &Recorder,
+) -> Vec<PartId> {
     assert!(n_domains >= 1, "need at least one domain");
+    let _span = rec.span("core.decompose", 0, n_domains as u64);
     let graph = mesh.to_graph();
     match strategy {
         PartitionStrategy::DualPhase {
@@ -117,7 +132,7 @@ pub fn decompose(
                 "n_domains must be a multiple of domains_per_process"
             );
             let n_outer = n_domains / domains_per_process;
-            dual_phase(mesh, &graph, n_outer, domains_per_process, seed)
+            dual_phase(mesh, &graph, n_outer, domains_per_process, seed, rec)
         }
         PartitionStrategy::SfcOc { curve } => {
             let centroids: Vec<[f64; 3]> = mesh.cells().iter().map(|c| c.centroid).collect();
@@ -128,9 +143,17 @@ pub fn decompose(
         _ => {
             let (w, ncon) = strategy_weights(mesh, strategy);
             let g = graph.with_vertex_weights(w, ncon);
-            partition_graph(&g, &partition_config(n_domains, ncon, seed))
+            let mut ws = traced_workspace(rec);
+            partition_graph_with(&g, &partition_config(n_domains, ncon, seed), &mut ws)
         }
     }
+}
+
+/// A partitioner workspace whose emissions land in `rec`.
+fn traced_workspace(rec: &Recorder) -> PartitionWorkspace {
+    let mut ws = PartitionWorkspace::new();
+    ws.obs = rec.clone();
+    ws
 }
 
 /// Partitions like [`decompose`], then runs the contiguity-repair
@@ -143,7 +166,20 @@ pub fn decompose_with_repair(
     n_domains: usize,
     seed: u64,
 ) -> (Vec<PartId>, RepairReport) {
-    let mut part = decompose(mesh, strategy, n_domains, seed);
+    decompose_with_repair_traced(mesh, strategy, n_domains, seed, Recorder::off())
+}
+
+/// Like [`decompose_with_repair`], recording into `rec` (the partition
+/// events of [`decompose_traced`] plus the repair pass's `part.repair`
+/// span and counters).
+pub fn decompose_with_repair_traced(
+    mesh: &Mesh,
+    strategy: PartitionStrategy,
+    n_domains: usize,
+    seed: u64,
+    rec: &Recorder,
+) -> (Vec<PartId>, RepairReport) {
+    let mut part = decompose_traced(mesh, strategy, n_domains, seed, rec);
     let (w, ncon) = strategy_weights(mesh, strategy);
     let g = mesh.to_graph().with_vertex_weights(w, ncon);
     // Repair uses a looser allowance than the partitioner so that
@@ -155,7 +191,7 @@ pub fn decompose_with_repair(
         ubvec: vec![if ncon > 1 { 1.25 } else { 1.08 }],
         ..PartitionConfig::new(n_domains)
     };
-    let report = repair_contiguity(&g, &mut part, &cfg);
+    let report = repair_contiguity_traced(&g, &mut part, &cfg, rec);
     (part, report)
 }
 
@@ -166,11 +202,13 @@ fn dual_phase(
     n_outer: usize,
     inner: usize,
     seed: u64,
+    rec: &Recorder,
 ) -> Vec<PartId> {
+    let mut ws = traced_workspace(rec);
     // Phase 1: MC_TL at process granularity.
     let (w_mc, ncon) = strategy_weights(mesh, PartitionStrategy::McTl);
     let g_mc = graph.with_vertex_weights(w_mc, ncon);
-    let outer = partition_graph(&g_mc, &partition_config(n_outer, ncon, seed));
+    let outer = partition_graph_with(&g_mc, &partition_config(n_outer, ncon, seed), &mut ws);
 
     if inner == 1 {
         return outer;
@@ -185,9 +223,10 @@ fn dual_phase(
         let sub_part = if sub.nvtx() == 0 {
             Vec::new()
         } else {
-            partition_graph(
+            partition_graph_with(
                 &sub,
                 &partition_config(inner, 1, seed ^ (p as u64).wrapping_mul(0x9E37)),
+                &mut ws,
             )
         };
         for (sv, &ov) in map.iter().enumerate() {

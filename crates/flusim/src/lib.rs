@@ -16,7 +16,8 @@ pub mod trace;
 
 pub use cluster::{ClusterConfig, UNBOUNDED_CORES};
 pub use sim::{
-    simulate, simulate_heterogeneous, simulate_with_comm, CommModel, SimResult, Strategy,
+    simulate, simulate_heterogeneous, simulate_heterogeneous_traced, simulate_traced,
+    simulate_with_comm, CommModel, SimResult, Strategy,
 };
 pub use svg::{gantt_svg, write_gantt_svg, SvgOptions};
-pub use trace::{ascii_gantt, segments_csv, Segment};
+pub use trace::{ascii_gantt, bin_occupancy, segments_csv, Segment};

@@ -4,6 +4,7 @@ use crate::cluster::{ClusterConfig, UNBOUNDED_CORES};
 use crate::trace::Segment;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use tempart_obs::{Clock, Recorder};
 use tempart_taskgraph::{TaskGraph, TaskId};
 
 /// Inter-process communication model.
@@ -125,6 +126,23 @@ pub fn simulate(
     simulate_with_comm(graph, cluster, process_of, strategy, &CommModel::FREE)
 }
 
+/// Like [`simulate`], recording structured events into `rec` ([`Clock::Virtual`]
+/// domain): a `"flusim.run"` span, one `"flusim.task"` complete event per
+/// executed task (track = process, `a` = task id, `b` = subiteration) and
+/// closing `"flusim.cores"` / `"flusim.busy"` / `"flusim.active"` /
+/// `"flusim.subiter_work"` counters. With a disabled recorder this is
+/// exactly [`simulate`] — every emission is a single branch.
+pub fn simulate_traced(
+    graph: &TaskGraph,
+    cluster: &ClusterConfig,
+    process_of: &[usize],
+    strategy: Strategy,
+    rec: &Recorder,
+) -> SimResult {
+    let cores = vec![cluster.cores_per_process; cluster.n_processes];
+    simulate_heterogeneous_traced(graph, &cores, process_of, strategy, &CommModel::FREE, rec)
+}
+
 /// Like [`simulate`], with an explicit [`CommModel`]: successors of a task on
 /// another process become ready only after the communication delay.
 pub fn simulate_with_comm(
@@ -147,6 +165,19 @@ pub fn simulate_heterogeneous(
     process_of: &[usize],
     strategy: Strategy,
     comm: &CommModel,
+) -> SimResult {
+    simulate_heterogeneous_traced(graph, cores, process_of, strategy, comm, Recorder::off())
+}
+
+/// Like [`simulate_heterogeneous`], recording structured events into `rec`
+/// (see [`simulate_traced`] for the event vocabulary).
+pub fn simulate_heterogeneous_traced(
+    graph: &TaskGraph,
+    cores: &[usize],
+    process_of: &[usize],
+    strategy: Strategy,
+    comm: &CommModel,
+    rec: &Recorder,
 ) -> SimResult {
     assert_eq!(process_of.len(), graph.n_domains, "one process per domain");
     assert!(!cores.is_empty(), "need at least one process");
@@ -250,6 +281,11 @@ pub fn simulate_heterogeneous(
     let mut active = vec![0u64; np];
 
     let mut now = 0u64;
+    // Loop-invariant tracing flag: the recorder's enabled state never
+    // changes mid-run, so hoisting the check keeps the disabled hot path
+    // at a register-held branch instead of an atomic load behind two
+    // pointer dereferences on every launched task.
+    let traced = rec.enabled();
     let launch = |p: usize,
                   t: TaskId,
                   now: u64,
@@ -277,8 +313,38 @@ pub fn simulate_heterogeneous(
             start: now,
             end,
         });
+        // One structured event per executed task. Inside the event loop
+        // this never allocates: the per-thread sink already exists (forced
+        // by the "flusim.run" span-begin below) and its buffer was created
+        // at full capacity, so a push either fits or is counted as dropped.
+        if traced {
+            rec.complete_at(
+                Clock::Virtual,
+                "flusim.task",
+                p as u32,
+                now,
+                task.cost,
+                u64::from(t),
+                u64::from(task.subiter),
+            );
+        }
         events.push(Reverse((end, 0u8, t)));
     };
+
+    // Open the run span and publish the cluster shape *before* the
+    // zero-allocation steady state begins: the first emission on a thread
+    // creates its sink (the only allocating enabled path).
+    rec.begin_at(
+        Clock::Virtual,
+        "flusim.run",
+        0,
+        0,
+        n as u64,
+        graph.n_subiterations as u64,
+    );
+    for (p, &c) in cores.iter().enumerate() {
+        rec.counter_at(Clock::Virtual, "flusim.cores", p as u32, 0, c as u64);
+    }
 
     // Initial launches: a full sweep, after which every process satisfies
     // the refill invariant (no free core, or nothing ready), so the dirty
@@ -383,6 +449,29 @@ pub fn simulate_heterogeneous(
         allocs_at_steady_state,
         "simulator event loop allocated on the heap"
     );
+
+    // Closing accounting counters (per process, and per process ×
+    // subiteration) let trace viewers read the Fig. 6 busy/idle story
+    // without replaying the task events; `b` on `subiter_work` carries the
+    // subiteration index.
+    if rec.enabled() {
+        for p in 0..np {
+            rec.counter_at(Clock::Virtual, "flusim.busy", p as u32, now, busy[p]);
+            rec.counter_at(Clock::Virtual, "flusim.active", p as u32, now, active[p]);
+            for (s, &w) in subiter_work[p].iter().enumerate() {
+                rec.counter_args_at(
+                    Clock::Virtual,
+                    "flusim.subiter_work",
+                    p as u32,
+                    now,
+                    w,
+                    s as u64,
+                    0,
+                );
+            }
+        }
+        rec.end_at(Clock::Virtual, "flusim.run", 0, now);
+    }
 
     SimResult {
         makespan: now,

@@ -15,6 +15,59 @@ pub struct Segment {
     pub end: u64,
 }
 
+/// Per-bin, per-subiteration busy time for an ASCII/Gantt rendering:
+/// `occupancy[p][bin * n_subiters + sub]` is the exact time (cost units,
+/// fractional at bin edges) that process `p` spent in subiteration `sub`
+/// inside time bin `bin`.
+///
+/// Accumulation is in `f64` with **no per-chunk rounding**: a segment
+/// contributes its exact overlap with every bin it touches, so sub-bin
+/// slivers (e.g. a unit task crossing a fractional bin boundary) are never
+/// rounded away, and the per-process total equals the busy time up to
+/// floating-point addition error. A segment ending exactly on a bin
+/// boundary contributes only to the bins strictly before the boundary.
+pub fn bin_occupancy(
+    graph: &TaskGraph,
+    segments: &[Segment],
+    n_processes: usize,
+    makespan: u64,
+    width: usize,
+) -> Vec<Vec<f64>> {
+    let width = width.max(1);
+    let ns = graph.n_subiterations.max(1) as usize;
+    let mut busy = vec![vec![0f64; width * ns]; n_processes];
+    if makespan == 0 {
+        return busy;
+    }
+    let bin_len = makespan as f64 / width as f64;
+    for s in segments {
+        let sub = graph.task(s.task).subiter as usize;
+        let start = s.start as f64;
+        let end = s.end as f64;
+        if end <= start {
+            continue;
+        }
+        let first = ((start / bin_len) as usize).min(width - 1);
+        // One past the last bin with positive overlap. `ceil` maps an end
+        // exactly on a bin boundary to that boundary's index (no empty
+        // trailing bin); floating-point drift that lands `end / bin_len`
+        // just above an integer adds a ~0-length chunk, which exact
+        // accumulation renders harmless. The lower bound keeps segments
+        // entirely inside one bin (`last == first` after `min(width)`)
+        // contributing to that bin.
+        let last = ((end / bin_len).ceil() as usize).min(width).max(first + 1);
+        for bin in first..last {
+            let lo = bin as f64 * bin_len;
+            let hi = lo + bin_len;
+            let chunk = end.min(hi) - start.max(lo);
+            if chunk > 0.0 {
+                busy[s.process as usize][bin * ns + sub] += chunk;
+            }
+        }
+    }
+    busy
+}
+
 /// Renders an ASCII Gantt chart: one row per process, `width` time bins.
 /// Each bin shows the dominant subiteration as a digit (`0`–`9`, then
 /// `a`–`z`), or `.` when the process is mostly idle in the bin — mirroring
@@ -30,28 +83,9 @@ pub fn ascii_gantt(
     if makespan == 0 {
         return String::new();
     }
-    // busy[p][bin][subiter] accumulated as (bin -> per-subiter time) maps.
     let ns = graph.n_subiterations.max(1) as usize;
-    let mut busy = vec![vec![0u64; width * ns]; n_processes];
+    let busy = bin_occupancy(graph, segments, n_processes, makespan, width);
     let bin_len = makespan as f64 / width as f64;
-    for s in segments {
-        let sub = graph.task(s.task).subiter as usize;
-        let start = s.start as f64;
-        let end = s.end as f64;
-        if end <= start {
-            continue;
-        }
-        let first = ((start / bin_len) as usize).min(width - 1);
-        let last = ((end / bin_len).ceil() as usize).clamp(first + 1, width);
-        for bin in first..last {
-            let lo = bin as f64 * bin_len;
-            let hi = lo + bin_len;
-            let chunk = end.min(hi) - start.max(lo);
-            if chunk > 0.0 {
-                busy[s.process as usize][bin * ns + sub] += chunk.round() as u64;
-            }
-        }
-    }
     let glyph = |sub: usize| -> char {
         if sub < 10 {
             (b'0' + sub as u8) as char
@@ -64,14 +98,14 @@ pub fn ascii_gantt(
         out.push_str(&format!("P{p:<3}|"));
         for bin in 0..width {
             let slice = &row[bin * ns..(bin + 1) * ns];
-            let total: u64 = slice.iter().sum();
-            if (total as f64) < bin_len * 0.05 {
+            let total: f64 = slice.iter().sum();
+            if total < bin_len * 0.05 {
                 out.push('.');
             } else {
                 let dominant = slice
                     .iter()
                     .enumerate()
-                    .max_by_key(|&(_, &v)| v)
+                    .max_by(|a, b| a.1.total_cmp(b.1))
                     .map(|(i, _)| i)
                     .unwrap_or(0);
                 out.push(glyph(dominant));
@@ -183,5 +217,89 @@ mod tests {
     fn empty_trace() {
         let g = tiny_graph();
         assert_eq!(ascii_gantt(&g, &[], 1, 0, 10), "");
+    }
+
+    /// `n` independent single-unit tasks on domain 0, subiteration 0.
+    fn unit_graph(n: usize) -> TaskGraph {
+        let tasks = (0..n)
+            .map(|_| Task {
+                subiter: 0,
+                tau: 0,
+                stage: 0,
+                domain: 0,
+                kind: TaskKind::CellInternal,
+                n_objects: 1,
+                cost: 1,
+            })
+            .collect();
+        TaskGraph::assemble(tasks, vec![vec![]; n], 1, 1)
+    }
+
+    /// Regression: eight concurrent single-unit tasks in `[3,4)` overlap
+    /// bin 0 of a width-3 / makespan-10 chart by 1/3 each — 2.67 units of
+    /// busy time in that bin. The pre-fix renderer rounded each sub-bin
+    /// chunk to 0 *before* summing, so the bin showed as idle (`.`) even
+    /// though the process was far above the 5% threshold.
+    #[test]
+    fn sub_bin_segments_are_not_rounded_away() {
+        let g = unit_graph(8);
+        let segments: Vec<Segment> = (0..8)
+            .map(|t| Segment {
+                task: t,
+                process: 0,
+                start: 3,
+                end: 4,
+            })
+            .collect();
+        let occ = bin_occupancy(&g, &segments, 1, 10, 3);
+        // bin_len = 10/3; bin 0 gets 8 × (10/3 − 3) ≈ 2.67 units.
+        assert!(
+            (occ[0][0] - 8.0 * (10.0 / 3.0 - 3.0)).abs() < 1e-9,
+            "bin 0 occupancy lost: {}",
+            occ[0][0]
+        );
+        let s = ascii_gantt(&g, &segments, 1, 10, 3);
+        let row = s.trim_end().trim_start_matches("P0  |");
+        assert_eq!(row.len(), 3);
+        assert_eq!(
+            &row[0..2],
+            "00",
+            "bins overlapped by sub-bin chunks must not render idle: {row:?}"
+        );
+    }
+
+    /// Occupancy is conservative: summed over bins it equals each
+    /// segment's exact duration, including segments that end exactly on a
+    /// bin boundary (the pre-fix `last` clamp could smear or drop edge
+    /// chunks once rounding was involved).
+    #[test]
+    fn bin_occupancy_conserves_busy_time() {
+        let g = unit_graph(5);
+        // Mix of boundary-aligned and straddling unit segments
+        // (makespan 7, width 3 → fractional bin_len 7/3).
+        let segments = [
+            (0u32, 0u64, 1u64), // inside bin 0
+            (1, 2, 3),          // straddles the 7/3 boundary
+            (2, 4, 5),          // straddles the 14/3 boundary
+            (3, 6, 7),          // ends exactly at makespan
+            (4, 0, 7),          // spans everything
+        ]
+        .iter()
+        .map(|&(task, start, end)| Segment {
+            task,
+            process: 0,
+            start,
+            end,
+        })
+        .collect::<Vec<_>>();
+        for width in [1usize, 2, 3, 5, 7, 13] {
+            let occ = bin_occupancy(&g, &segments, 1, 7, width);
+            let total: f64 = occ[0].iter().sum();
+            let expected: f64 = segments.iter().map(|s| (s.end - s.start) as f64).sum();
+            assert!(
+                (total - expected).abs() < 1e-9,
+                "width {width}: occupancy {total} != busy {expected}"
+            );
+        }
     }
 }

@@ -9,7 +9,8 @@
 //! shapes: wide fan-out, cross-process chains with comm delays, and
 //! heterogeneous core counts.
 
-use tempart_flusim::{simulate_with_comm, ClusterConfig, CommModel, Strategy};
+use tempart_flusim::{simulate_traced, simulate_with_comm, ClusterConfig, CommModel, Strategy};
+use tempart_obs::Recorder;
 use tempart_taskgraph::{Task, TaskGraph, TaskId, TaskKind};
 use tempart_testkit::alloc::CountingAllocator;
 
@@ -95,6 +96,30 @@ fn event_loop_is_allocation_free_with_comm_delays() {
         &comm,
     );
     assert_eq!(r.total_executed(), g.total_cost());
+}
+
+#[test]
+fn traced_event_loop_is_allocation_free_with_enabled_recorder() {
+    // Tracing ON: the recorder's per-thread sink is created by the
+    // simulator's own `flusim.run` span-begin *before* the event loop's
+    // allocation-count snapshot, so the steady-state `debug_assert` guards
+    // inside the simulator stay armed with a live recorder attached. Every
+    // `flusim.task` emission lands in the pre-sized buffer — zero drops,
+    // zero allocations once the loop is running.
+    let g = layered(16, 24, 8);
+    let process_of: Vec<usize> = (0..8).map(|d| d % 4).collect();
+    let rec = Recorder::new(8 * g.len() + 64);
+    let r = simulate_traced(
+        &g,
+        &ClusterConfig::new(4, 2),
+        &process_of,
+        Strategy::EagerFifo,
+        &rec,
+    );
+    assert_eq!(r.total_executed(), g.total_cost());
+    let trace = rec.take();
+    assert_eq!(trace.dropped, 0);
+    assert_eq!(trace.named("flusim.task").count(), g.len());
 }
 
 #[test]

@@ -1,0 +1,219 @@
+//! Trace replay: reconstructing schedule statistics purely from emitted
+//! events.
+//!
+//! This is the oracle behind the trace-replay tests: if the instrumentation
+//! is *exact*, then makespan, per-process busy time, composite-resource
+//! active time and per-subiteration work are all recomputable from the
+//! `Complete` events alone, bit-for-bit equal to the simulator's own
+//! accounting. Everything here is integer arithmetic over the same `u64`
+//! values the simulator adds up, so equality is exact — and the derived
+//! `f64` ratios ([`idle_fraction`], [`process_inactivity`]) replicate the
+//! simulator's formulas operation-for-operation so even their floating-point
+//! bits match.
+
+use crate::{Event, Kind};
+
+/// Schedule statistics reconstructed from a trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduleReplay {
+    /// Latest `Complete` end time (0 for an empty trace).
+    pub makespan: u64,
+    /// Σ duration per track (process).
+    pub busy: Vec<u64>,
+    /// Length of the union of each track's execution intervals — the
+    /// composite-resource active time (a process is idle only when *all*
+    /// its cores are).
+    pub active: Vec<u64>,
+    /// Σ duration per (track, subiteration); the event's `b` field carries
+    /// the subiteration.
+    pub subiter_work: Vec<Vec<u64>>,
+}
+
+impl ScheduleReplay {
+    /// Total executed duration across all tracks.
+    pub fn total_executed(&self) -> u64 {
+        self.busy.iter().sum()
+    }
+}
+
+/// Replays every [`Kind::Complete`] event named `name` into a
+/// [`ScheduleReplay`] over `n_tracks` tracks and `n_subiters`
+/// subiterations.
+///
+/// # Panics
+///
+/// Panics if an event's track or `b` (subiteration) is out of range —
+/// that's an instrumentation bug the tests should surface loudly.
+pub fn replay_tasks(
+    events: &[Event],
+    name: &str,
+    n_tracks: usize,
+    n_subiters: usize,
+) -> ScheduleReplay {
+    let mut makespan = 0u64;
+    let mut busy = vec![0u64; n_tracks];
+    let mut subiter_work = vec![vec![0u64; n_subiters]; n_tracks];
+    let mut intervals: Vec<Vec<(u64, u64)>> = vec![Vec::new(); n_tracks];
+    for e in events {
+        if e.kind != Kind::Complete || e.name != name {
+            continue;
+        }
+        let p = e.track as usize;
+        assert!(p < n_tracks, "replay: track {p} out of range");
+        let sub = e.b as usize;
+        assert!(sub < n_subiters, "replay: subiteration {sub} out of range");
+        busy[p] += e.val;
+        subiter_work[p][sub] += e.val;
+        makespan = makespan.max(e.end());
+        intervals[p].push((e.t, e.end()));
+    }
+    let active = intervals.into_iter().map(union_len).collect();
+    ScheduleReplay {
+        makespan,
+        busy,
+        active,
+        subiter_work,
+    }
+}
+
+/// Length of the union of half-open intervals `[start, end)`.
+pub fn union_len(mut intervals: Vec<(u64, u64)>) -> u64 {
+    intervals.sort_unstable();
+    let mut total = 0u64;
+    let mut cur: Option<(u64, u64)> = None;
+    for (s, e) in intervals {
+        if e <= s {
+            continue;
+        }
+        match cur {
+            Some((cs, ce)) if s <= ce => cur = Some((cs, ce.max(e))),
+            Some((cs, ce)) => {
+                total += ce - cs;
+                let _ = cs;
+                cur = Some((s, e));
+            }
+            None => cur = Some((s, e)),
+        }
+    }
+    if let Some((cs, ce)) = cur {
+        total += ce - cs;
+    }
+    total
+}
+
+/// Maximum number of simultaneously-running `Complete` events named `name`
+/// on one track — e.g. a FLUSIM process may run up to `cores` tasks at
+/// once, a runtime worker exactly one.
+pub fn max_overlap(events: &[Event], name: &str, track: u32) -> usize {
+    // Sweep: ends sort before starts at equal time (half-open intervals).
+    let mut points: Vec<(u64, i32)> = Vec::new();
+    for e in events {
+        if e.kind == Kind::Complete && e.name == name && e.track == track && e.val > 0 {
+            points.push((e.t, 1));
+            points.push((e.end(), -1));
+        }
+    }
+    points.sort_unstable_by_key(|&(t, d)| (t, d));
+    let mut cur = 0i32;
+    let mut max = 0i32;
+    for (_, d) in points {
+        cur += d;
+        max = max.max(cur);
+    }
+    max as usize
+}
+
+/// The simulator's idle-fraction formula, replicated
+/// operation-for-operation so replayed values are bit-equal:
+/// `1 − Σ busy ⁄ (makespan × cores)` (0 when the capacity is zero).
+pub fn idle_fraction(makespan: u64, busy: &[u64], cores: u64) -> f64 {
+    let capacity = makespan as f64 * cores as f64;
+    if capacity == 0.0 {
+        return 0.0;
+    }
+    let busy: u64 = busy.iter().sum();
+    1.0 - busy as f64 / capacity
+}
+
+/// The simulator's per-process composite-resource inactivity formula,
+/// replicated operation-for-operation: `1 − active[p] ⁄ makespan`.
+pub fn process_inactivity(makespan: u64, active: &[u64]) -> Vec<f64> {
+    active
+        .iter()
+        .map(|&a| {
+            if makespan == 0 {
+                0.0
+            } else {
+                1.0 - a as f64 / makespan as f64
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Clock, Recorder};
+
+    fn complete(rec: &Recorder, track: u32, t: u64, dur: u64, task: u64, sub: u64) {
+        rec.complete_at(Clock::Virtual, "flusim.task", track, t, dur, task, sub);
+    }
+
+    #[test]
+    fn replay_accumulates_busy_and_makespan() {
+        let rec = Recorder::new(16);
+        complete(&rec, 0, 0, 5, 0, 0);
+        complete(&rec, 0, 5, 5, 1, 1);
+        complete(&rec, 1, 0, 3, 2, 0);
+        let t = rec.take();
+        let r = replay_tasks(&t.events, "flusim.task", 2, 2);
+        assert_eq!(r.makespan, 10);
+        assert_eq!(r.busy, vec![10, 3]);
+        assert_eq!(r.active, vec![10, 3]);
+        assert_eq!(r.subiter_work, vec![vec![5, 5], vec![3, 0]]);
+        assert_eq!(r.total_executed(), 13);
+    }
+
+    #[test]
+    fn active_is_interval_union_not_sum() {
+        // Two overlapping tasks on a 2-core process: busy counts both,
+        // active counts the union.
+        let rec = Recorder::new(16);
+        complete(&rec, 0, 0, 4, 0, 0);
+        complete(&rec, 0, 2, 4, 1, 0);
+        let t = rec.take();
+        let r = replay_tasks(&t.events, "flusim.task", 1, 1);
+        assert_eq!(r.busy, vec![8]);
+        assert_eq!(r.active, vec![6]);
+        assert_eq!(max_overlap(&t.events, "flusim.task", 0), 2);
+    }
+
+    #[test]
+    fn union_len_merges_touching_intervals() {
+        assert_eq!(union_len(vec![]), 0);
+        assert_eq!(union_len(vec![(0, 5), (5, 8)]), 8);
+        assert_eq!(union_len(vec![(5, 8), (0, 5), (10, 11)]), 9);
+        assert_eq!(union_len(vec![(0, 10), (2, 3)]), 10);
+        assert_eq!(union_len(vec![(3, 3)]), 0, "empty interval ignored");
+    }
+
+    #[test]
+    fn max_overlap_half_open() {
+        // [0,5) then [5,9): back-to-back, never simultaneous.
+        let rec = Recorder::new(8);
+        complete(&rec, 0, 0, 5, 0, 0);
+        complete(&rec, 0, 5, 4, 1, 0);
+        let t = rec.take();
+        assert_eq!(max_overlap(&t.events, "flusim.task", 0), 1);
+    }
+
+    #[test]
+    fn idle_fraction_matches_formula() {
+        assert_eq!(idle_fraction(0, &[0], 4), 0.0);
+        let f = idle_fraction(10, &[10, 6], 2);
+        assert!((f - 0.2).abs() < 1e-12);
+        let inact = process_inactivity(10, &[10, 6]);
+        assert_eq!(inact[0].to_bits(), 0.0f64.to_bits());
+        assert!((inact[1] - 0.4).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,167 @@
+//! A minimal in-tree Chrome-trace schema checker.
+//!
+//! Validates that an exported trace is something `chrome://tracing` /
+//! Perfetto will actually load: a root object with a `traceEvents` array in
+//! which every event has a well-formed `name`/`ph`/`pid`/`tid`/`ts`, phase
+//! letters come from the supported set, `X` events carry a non-negative
+//! `dur`, `C` events carry `args.value`, and `B`/`E` pairs balance per
+//! `(pid, tid)` lane.
+
+use crate::json::{parse, Value};
+use std::collections::BTreeMap;
+
+/// Summary of a validated trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Number of events validated.
+    pub events: usize,
+    /// Events per phase letter (`B`, `E`, `X`, `C`, `i`).
+    pub by_phase: BTreeMap<String, usize>,
+}
+
+fn req_num(e: &Value, key: &str, idx: usize) -> Result<f64, String> {
+    e.get(key)
+        .and_then(Value::as_num)
+        .ok_or_else(|| format!("event {idx}: missing numeric \"{key}\""))
+}
+
+/// Validates a Chrome-trace JSON document, returning a summary or the first
+/// schema violation.
+pub fn check_chrome_trace(text: &str) -> Result<TraceSummary, String> {
+    let root = parse(text)?;
+    let events = root
+        .get("traceEvents")
+        .ok_or("root object must contain \"traceEvents\"")?
+        .as_arr()
+        .ok_or("\"traceEvents\" must be an array")?;
+
+    let mut by_phase: BTreeMap<String, usize> = BTreeMap::new();
+    // Span-nesting depth per (pid, tid) lane.
+    let mut depth: BTreeMap<(u64, u64), i64> = BTreeMap::new();
+
+    for (idx, e) in events.iter().enumerate() {
+        e.as_obj()
+            .ok_or_else(|| format!("event {idx}: not an object"))?;
+        let name = e
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("event {idx}: missing string \"name\""))?;
+        if name.is_empty() {
+            return Err(format!("event {idx}: empty \"name\""));
+        }
+        let ph = e
+            .get("ph")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("event {idx}: missing string \"ph\""))?;
+        if !matches!(ph, "B" | "E" | "X" | "C" | "i") {
+            return Err(format!("event {idx}: unsupported phase {ph:?}"));
+        }
+        let pid = req_num(e, "pid", idx)? as u64;
+        let tid = req_num(e, "tid", idx)? as u64;
+        let ts = req_num(e, "ts", idx)?;
+        if !ts.is_finite() || ts < 0.0 {
+            return Err(format!("event {idx}: non-finite or negative \"ts\""));
+        }
+        match ph {
+            "X" => {
+                let dur = req_num(e, "dur", idx)?;
+                if !dur.is_finite() || dur < 0.0 {
+                    return Err(format!("event {idx}: X event with bad \"dur\""));
+                }
+            }
+            "C" => {
+                e.get("args")
+                    .and_then(|a| a.get("value"))
+                    .and_then(Value::as_num)
+                    .ok_or_else(|| format!("event {idx}: C event without args.value"))?;
+            }
+            "B" => {
+                *depth.entry((pid, tid)).or_insert(0) += 1;
+            }
+            "E" => {
+                let d = depth.entry((pid, tid)).or_insert(0);
+                *d -= 1;
+                if *d < 0 {
+                    return Err(format!(
+                        "event {idx}: E without matching B on lane ({pid},{tid})"
+                    ));
+                }
+            }
+            _ => {}
+        }
+        *by_phase.entry(ph.to_string()).or_insert(0) += 1;
+    }
+
+    for ((pid, tid), d) in &depth {
+        if *d != 0 {
+            return Err(format!(
+                "unbalanced spans on lane ({pid},{tid}): depth {d} at end of trace"
+            ));
+        }
+    }
+
+    Ok(TraceSummary {
+        events: events.len(),
+        by_phase,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{export, Clock, Recorder};
+
+    #[test]
+    fn accepts_exported_trace() {
+        let rec = Recorder::new(32);
+        rec.begin_at(Clock::Virtual, "run", 0, 0, 0, 0);
+        rec.complete_at(Clock::Virtual, "task", 1, 0, 5, 7, 0);
+        rec.counter_at(Clock::Virtual, "busy", 1, 5, 5);
+        rec.end_at(Clock::Virtual, "run", 0, 5);
+        let _wall = rec.span("outer", 0, 0);
+        drop(_wall);
+        let s = export::chrome_trace(&rec.take());
+        let summary = check_chrome_trace(&s).unwrap();
+        assert_eq!(summary.events, 6);
+        assert_eq!(summary.by_phase.get("B"), Some(&2));
+        assert_eq!(summary.by_phase.get("E"), Some(&2));
+        assert_eq!(summary.by_phase.get("X"), Some(&1));
+        assert_eq!(summary.by_phase.get("C"), Some(&1));
+    }
+
+    #[test]
+    fn rejects_bad_phase() {
+        let s = r#"{"traceEvents":[{"name":"x","ph":"Q","pid":0,"tid":0,"ts":0}]}"#;
+        assert!(check_chrome_trace(s).unwrap_err().contains("phase"));
+    }
+
+    #[test]
+    fn rejects_x_without_dur() {
+        let s = r#"{"traceEvents":[{"name":"x","ph":"X","pid":0,"tid":0,"ts":0}]}"#;
+        assert!(check_chrome_trace(s).unwrap_err().contains("dur"));
+    }
+
+    #[test]
+    fn rejects_counter_without_value() {
+        let s = r#"{"traceEvents":[{"name":"x","ph":"C","pid":0,"tid":0,"ts":0,"args":{}}]}"#;
+        assert!(check_chrome_trace(s).unwrap_err().contains("args.value"));
+    }
+
+    #[test]
+    fn rejects_unbalanced_spans() {
+        let s = r#"{"traceEvents":[{"name":"x","ph":"B","pid":0,"tid":0,"ts":0}]}"#;
+        assert!(check_chrome_trace(s).unwrap_err().contains("unbalanced"));
+        let s = r#"{"traceEvents":[{"name":"x","ph":"E","pid":0,"tid":0,"ts":0}]}"#;
+        assert!(check_chrome_trace(s)
+            .unwrap_err()
+            .contains("without matching B"));
+    }
+
+    #[test]
+    fn rejects_missing_fields() {
+        let s = r#"{"traceEvents":[{"ph":"i","pid":0,"tid":0,"ts":0}]}"#;
+        assert!(check_chrome_trace(s).unwrap_err().contains("name"));
+        let s = r#"{"notTraceEvents":[]}"#;
+        assert!(check_chrome_trace(s).unwrap_err().contains("traceEvents"));
+    }
+}

@@ -1,0 +1,76 @@
+//! Allocation contract of the recorder itself, measured with the testkit
+//! counting allocator installed as this binary's global allocator.
+//!
+//! Two guarantees are pinned here:
+//!
+//! * a **disabled** recorder never allocates — not on `emit`, not on
+//!   `span`, not on `counter`, not on `hist`. The disabled path is a single
+//!   relaxed-atomic branch, so instrumented hot loops keep their
+//!   zero-allocation contracts with tracing compiled in;
+//! * an **enabled** recorder allocates only on a thread's *first* emission
+//!   (sink creation) and on first histogram registration. Steady-state
+//!   emission into the pre-sized per-thread buffer is allocation-free.
+
+use tempart_obs::{Clock, Kind, Recorder};
+use tempart_testkit::alloc::{count_allocations, CountingAllocator};
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+#[test]
+fn disabled_recorder_emissions_never_allocate() {
+    let rec = Recorder::off();
+    let (_, allocs) = count_allocations(|| {
+        for i in 0..10_000u64 {
+            rec.emit(Clock::Virtual, Kind::Complete, "z.task", 0, i, 1, i, 0);
+            let span = rec.span("z.span", 0, i);
+            drop(span);
+            rec.counter("z.count", 0, i);
+            rec.counter_at(Clock::Virtual, "z.count", 0, i, i);
+            rec.hist("z.hist", i);
+        }
+    });
+    assert_eq!(allocs, 0, "disabled recorder allocated {allocs} times");
+    // Nothing was recorded either.
+    assert_eq!(rec.take().events.len(), 0);
+}
+
+#[test]
+fn enabled_recorder_is_allocation_free_after_warmup() {
+    let rec = Recorder::new(32_768);
+    // Warm-up: first emission on this thread creates the TLS sink; first
+    // `hist` call registers the histogram. Both may allocate — once.
+    rec.counter("warm", 0, 1);
+    rec.hist("h", 1);
+    let (_, allocs) = count_allocations(|| {
+        for i in 0..10_000u64 {
+            rec.emit(Clock::Virtual, Kind::Complete, "z.task", 0, i, 1, i, 0);
+            rec.counter_at(Clock::Virtual, "z.count", 0, i, i);
+            rec.hist("h", i);
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "enabled recorder steady state allocated {allocs} times"
+    );
+    let trace = rec.take();
+    assert_eq!(trace.dropped, 0);
+    assert_eq!(trace.named("z.task").count(), 10_000);
+}
+
+#[test]
+fn full_buffer_drops_without_allocating() {
+    // A recorder with a tiny buffer: overflow events are dropped and
+    // counted, never buffered elsewhere — so no allocation either.
+    let rec = Recorder::new(8);
+    rec.counter("warm", 0, 1); // sink creation
+    let (_, allocs) = count_allocations(|| {
+        for i in 0..1_000u64 {
+            rec.emit(Clock::Virtual, Kind::Instant, "z.flood", 0, i, 0, 0, 0);
+        }
+    });
+    assert_eq!(allocs, 0, "overflow path allocated {allocs} times");
+    let trace = rec.take();
+    assert_eq!(trace.events.len(), 8);
+    assert_eq!(trace.dropped, 1_000 + 1 - 8);
+}

@@ -47,25 +47,41 @@ pub fn multilevel_bisection_ws(
     seed: u64,
     ws: &mut PartitionWorkspace,
 ) -> Vec<u8> {
+    let rec = ws.obs.clone();
+    let _bspan = tempart_obs::span!(&rec, "part.bisect", track = 0, arg = graph.nvtx() as u64);
     let mut rng = Rng::seed_from_u64(seed);
     // Multi-constraint instances need a larger coarsest graph to have enough
     // mixing freedom.
     let target = config.coarsen_to * graph.ncon().max(1);
-    let hierarchy: Hierarchy = coarsen_ws(graph, target, seed ^ 0x9E37_79B9_7F4A_7C15, ws);
+    let hierarchy: Hierarchy = {
+        let _s = tempart_obs::span!(&rec, "part.coarsen", track = 0, arg = target as u64);
+        coarsen_ws(graph, target, seed ^ 0x9E37_79B9_7F4A_7C15, ws)
+    };
+    rec.counter("part.coarsen.levels", 0, hierarchy.levels.len() as u64);
     let coarsest = hierarchy.coarsest(graph);
+    rec.counter("part.coarsen.nvtx", 0, coarsest.nvtx() as u64);
 
     let mut side = ws.take_u8();
-    let _ = initial_bisection_into(
-        coarsest,
-        frac0,
-        config.initial_tries,
-        ub,
-        &mut rng,
-        ws,
-        &mut side,
-    );
-    rebalance_ws(coarsest, &mut side, frac0, ub, ws);
-    fm_refine_ws(coarsest, &mut side, frac0, ub, config.refine_passes, ws);
+    ws.obs_level = hierarchy.levels.len() as u32;
+    {
+        let _s = tempart_obs::span!(
+            &rec,
+            "part.initial",
+            track = 0,
+            arg = config.initial_tries as u64
+        );
+        let _ = initial_bisection_into(
+            coarsest,
+            frac0,
+            config.initial_tries,
+            ub,
+            &mut rng,
+            ws,
+            &mut side,
+        );
+        rebalance_ws(coarsest, &mut side, frac0, ub, ws);
+        fm_refine_ws(coarsest, &mut side, frac0, ub, config.refine_passes, ws);
+    }
 
     // Walk the hierarchy back up: the projection target of levels[i] is
     // levels[i-1].graph (or the original graph for i == 0). An explicit
@@ -79,6 +95,13 @@ pub fn multilevel_bisection_ws(
         } else {
             &hierarchy.levels[i - 1].graph
         };
+        let _s = tempart_obs::span!(
+            &rec,
+            "part.uncoarsen",
+            track = i as u32,
+            arg = fine_graph.nvtx() as u64
+        );
+        ws.obs_level = i as u32;
         project_into(&hierarchy.levels[i].fine_to_coarse, &side, &mut fine);
         std::mem::swap(&mut side, &mut fine);
         rebalance_ws(fine_graph, &mut side, frac0, ub, ws);

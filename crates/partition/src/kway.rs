@@ -52,6 +52,10 @@ pub fn kway_refine_ws(
     if n == 0 || k <= 1 {
         return 0;
     }
+    // Span opened before the allocation snapshot: forces sink creation so
+    // in-loop emissions (none today, counters below) stay allocation-free.
+    let rec = ws.obs.clone();
+    let _span = rec.span("part.kway", 0, k as u64);
     let mut rng = Rng::seed_from_u64(config.seed ^ 0x4B57_4159);
     total_weights_into(graph, &mut ws.kw_tot);
     // allowance[c]; pw[p*ncon + c].
@@ -164,6 +168,9 @@ pub fn kway_refine_ws(
         allocs_at_loop_entry,
         "k-way refinement sweep allocated on the heap"
     );
+    if rec.enabled() {
+        rec.counter("part.kway.moves", 0, moves as u64);
+    }
     moves
 }
 

@@ -31,7 +31,7 @@ use tempart_graph::{CsrGraph, PartId};
 
 pub use geometric::{hilbert_index, morton_index, sfc_partition, Curve};
 pub use kway::{kway_rebalance, multilevel_kway};
-pub use repair::{repair_contiguity, RepairReport};
+pub use repair::{repair_contiguity, repair_contiguity_traced, RepairReport};
 pub use workspace::{GainBuckets, PartitionWorkspace};
 
 /// Which k-way scheme to use.
@@ -181,6 +181,14 @@ pub fn partition_graph_with(
     if config.nparts == 1 || graph.nvtx() <= 1 {
         return vec![0; graph.nvtx()];
     }
+    let rec = ws.obs.clone();
+    let _span = tempart_obs::span!(
+        &rec,
+        "part.partition",
+        track = 0,
+        arg = config.nparts as u64
+    );
+    rec.counter("part.nvtx", 0, graph.nvtx() as u64);
     match config.scheme {
         Scheme::RecursiveBisection => bisect::recursive_bisection_ws(graph, config, ws),
         Scheme::KWayRefined => {

@@ -63,6 +63,12 @@ pub fn fm_refine_ws(
         return cut;
     }
     // --- setup: the only region allowed to allocate (cold buffers) ---
+    // Opening the span here (before the allocation snapshot) also forces
+    // creation of this thread's event sink, so enabled-recorder emissions
+    // inside the move loops below stay allocation-free.
+    let rec = ws.obs.clone();
+    let level = ws.obs_level;
+    let _span = rec.span("part.fm", level, cut.max(0) as u64);
     ws.side_weights.remeasure(graph, side, frac0);
     ws.buckets.ensure(n, max_abs_gain(graph));
     ws.gain.clear();
@@ -81,6 +87,13 @@ pub fn fm_refine_ws(
     // testkit counting allocator when a test binary installs it.
     #[cfg(debug_assertions)]
     let allocs_at_loop_entry = tempart_testkit::alloc::allocation_count();
+
+    // Per-call counter accumulators (plain integer adds in the hot loops;
+    // emitted once after the passes finish).
+    let mut obs_passes = 0u64;
+    let mut obs_moves = 0u64;
+    let mut obs_kept = 0u64;
+    let mut obs_seeded = 0u64;
 
     for _pass in 0..max_passes {
         // gain[v] = cut reduction if v moves to the other side. Seed the
@@ -106,6 +119,9 @@ pub fn fm_refine_ws(
                 buckets.insert(v, g);
             }
         }
+
+        obs_passes += 1;
+        obs_seeded += buckets.len() as u64;
 
         // Applied moves this pass, with running cut for the rollback.
         let mut running = cut;
@@ -180,6 +196,8 @@ pub fn fm_refine_ws(
             weights.apply(graph.vertex_weights(v), from);
             side[v as usize] = 1 - side[v as usize];
         }
+        obs_moves += history.len() as u64;
+        obs_kept += best_len as u64;
         let improved = best_cut < cut || best_len > 0;
         cut = best_cut;
         if !improved || best_len == 0 {
@@ -193,6 +211,16 @@ pub fn fm_refine_ws(
         allocs_at_loop_entry,
         "FM inner loop allocated on the heap"
     );
+    if rec.enabled() {
+        // Per-level FM accounting: moves tried / kept after rollback /
+        // passes run / vertices seeded into the gain buckets. Track = the
+        // uncoarsening level this refinement ran at.
+        rec.counter("part.fm.moves", level, obs_moves);
+        rec.counter("part.fm.kept", level, obs_kept);
+        rec.counter("part.fm.passes", level, obs_passes);
+        rec.counter("part.fm.bucket_seeded", level, obs_seeded);
+        rec.hist("part.fm.moves_per_call", obs_moves);
+    }
     cut
 }
 
@@ -227,6 +255,9 @@ pub fn rebalance_ws(
     if n == 0 {
         return 0;
     }
+    let rec = ws.obs.clone();
+    let level = ws.obs_level;
+    let _span = rec.span("part.rebalance", level, 0);
     let ncon = graph.ncon();
     ws.side_weights.remeasure(graph, side, frac0);
     ws.rb_buckets.ensure(n, max_abs_gain(graph));
@@ -314,6 +345,9 @@ pub fn rebalance_ws(
         allocs_at_loop_entry,
         "rebalance move loop allocated on the heap"
     );
+    if rec.enabled() {
+        rec.counter("part.rebalance.moves", level, moves as u64);
+    }
     moves
 }
 

@@ -10,6 +10,7 @@
 
 use crate::PartitionConfig;
 use tempart_graph::{CsrGraph, PartId};
+use tempart_obs::Recorder;
 
 /// Outcome of a repair pass.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -35,6 +36,41 @@ pub fn repair_contiguity(
     part: &mut [PartId],
     config: &PartitionConfig,
 ) -> RepairReport {
+    repair_contiguity_traced(graph, part, config, Recorder::off())
+}
+
+/// Like [`repair_contiguity`], recording a `"part.repair"` wall span and
+/// `part.repair.*` counters (fragments moved / vertices moved / fragments
+/// kept) into `rec`.
+pub fn repair_contiguity_traced(
+    graph: &CsrGraph,
+    part: &mut [PartId],
+    config: &PartitionConfig,
+    rec: &Recorder,
+) -> RepairReport {
+    let _span = tempart_obs::span!(rec, "part.repair", track = 0, arg = config.nparts as u64);
+    let report = repair_impl(graph, part, config);
+    if rec.enabled() {
+        rec.counter(
+            "part.repair.fragments_moved",
+            0,
+            report.fragments_moved as u64,
+        );
+        rec.counter(
+            "part.repair.vertices_moved",
+            0,
+            report.vertices_moved as u64,
+        );
+        rec.counter(
+            "part.repair.fragments_kept",
+            0,
+            report.fragments_kept as u64,
+        );
+    }
+    report
+}
+
+fn repair_impl(graph: &CsrGraph, part: &mut [PartId], config: &PartitionConfig) -> RepairReport {
     let n = graph.nvtx();
     let k = config.nparts;
     let ncon = graph.ncon();

@@ -27,6 +27,7 @@
 //! insertion/update sequence, which is itself seed-deterministic).
 
 use tempart_graph::CsrGraph;
+use tempart_obs::Recorder;
 
 /// Sentinel for "no vertex / no bucket".
 const NONE: u32 = u32::MAX;
@@ -230,6 +231,18 @@ impl GainBuckets {
 /// `tests/workspace_reuse.rs`).
 #[derive(Debug, Default)]
 pub struct PartitionWorkspace {
+    // --- observability ---
+    /// Structured-event recorder the partitioner phases emit into. Defaults
+    /// to the process-wide disabled recorder ([`Recorder::off`]) — every
+    /// emission is then a single branch, preserving the zero-allocation
+    /// contract of the hot loops. Install an enabled recorder
+    /// (`ws.obs = rec.clone()`) to trace coarsen/initial/refine/bisect/kway
+    /// phases with per-level move and gain-bucket counters.
+    pub obs: Recorder,
+    /// Current uncoarsening level, used as the counter track by the FM /
+    /// rebalance emissions (set by the multilevel driver).
+    pub(crate) obs_level: u32,
+
     // --- FM refinement ---
     /// Per-vertex FM gain.
     pub(crate) gain: Vec<i64>,

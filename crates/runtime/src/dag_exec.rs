@@ -1,9 +1,10 @@
 //! Dependency-counted DAG execution over grouped worker threads.
 
-use crate::groups::Group;
+use crate::groups::{Group, TaskSource};
 use crate::trace::WallSegment;
 use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
+use tempart_obs::{Clock, Recorder};
 use tempart_taskgraph::{TaskGraph, TaskId};
 
 /// Runtime configuration.
@@ -68,6 +69,37 @@ pub fn execute<F>(
 where
     F: Fn(TaskId, &tempart_taskgraph::Task) + Sync,
 {
+    execute_traced(graph, config, group_of, Recorder::off(), task_fn)
+}
+
+/// Like [`execute`], recording structured events into `rec`.
+///
+/// Per executed task one `"rt.task"` [`Clock::Wall`] `Complete` event is
+/// emitted (track = global worker id, `a` = task id, `b` = `group << 32 |
+/// worker`); per worker the counters `"rt.exec"` / `"rt.local"` /
+/// `"rt.inject"` / `"rt.steal"` (tasks by acquisition path, `exec` = their
+/// sum) and `"rt.park"` (20 µs sleeps while starved) are emitted once at
+/// worker exit, and the whole run is wrapped in an `"rt.run"` span. Task
+/// timestamps live on the recorder's clock so they interleave with spans
+/// from other layers; [`crate::trace::wall_segments`] re-bases them.
+///
+/// `ExecReport::segments` is derived from those events — the runtime holds
+/// no second trace representation. When `rec` is disabled but
+/// `config.record_trace` is set, a private recorder sized for the run is
+/// used so the report still carries segments; when `rec` is enabled its
+/// buffers must be large enough for the run (one event per task per worker
+/// buffer plus a handful of counters) or segments will be incomplete and
+/// `Recorder::dropped` non-zero.
+pub fn execute_traced<F>(
+    graph: &TaskGraph,
+    config: &RuntimeConfig,
+    group_of: &[usize],
+    rec: &Recorder,
+    task_fn: F,
+) -> ExecReport
+where
+    F: Fn(TaskId, &tempart_taskgraph::Task) + Sync,
+{
     assert_eq!(group_of.len(), graph.n_domains, "one group per domain");
     assert!(
         group_of.iter().all(|&g| g < config.n_groups),
@@ -81,6 +113,19 @@ where
             segments: Vec::new(),
         };
     }
+
+    // Recorder selection: an enabled caller recorder wins; otherwise
+    // `record_trace` spins up a private one so `segments` keeps working.
+    let fallback;
+    let rec: &Recorder = if rec.enabled() {
+        rec
+    } else if config.record_trace {
+        fallback = Recorder::new(n + 16);
+        &fallback
+    } else {
+        rec
+    };
+    let watermark = rec.seq_watermark();
 
     let pending: Vec<AtomicU32> = (0..n)
         .map(|t| AtomicU32::new(graph.preds(t as TaskId).len() as u32))
@@ -103,47 +148,60 @@ where
         }
     }
 
+    let run_span = rec.span("rt.run", 0, n as u64);
+    // Recorder-clock timestamp of the run start: task events are stamped at
+    // `wall0 + <ns since t0>` so every layer shares one wall timeline.
+    let wall0 = if rec.enabled() { rec.now_ns() } else { 0 };
     let t0 = Instant::now();
     let groups = &groups;
     let pending = &pending;
     let done = &done;
     let task_fn = &task_fn;
-    let mut all_segments: Vec<WallSegment> = Vec::new();
 
     std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for (gid, group_deques) in deques.into_iter().enumerate() {
             for (wid, local) in group_deques.into_iter().enumerate() {
+                let rec = rec.clone();
                 let handle = scope.spawn(move || {
-                    let mut segments: Vec<WallSegment> = Vec::new();
+                    let track = (gid * config.workers_per_group + wid) as u32;
+                    let lane = ((gid as u64) << 32) | wid as u64;
+                    let (mut n_local, mut n_inject, mut n_steal, mut n_park) =
+                        (0u64, 0u64, 0u64, 0u64);
                     let mut idle_spins = 0u32;
                     loop {
                         if done.load(Ordering::Acquire) >= n {
                             break;
                         }
-                        let Some(t) = groups[gid].find_task(&local, wid) else {
+                        let Some((t, src)) = groups[gid].find_task_tagged(&local, wid) else {
                             // Nothing available in this group right now.
                             idle_spins += 1;
                             if idle_spins < 64 {
                                 std::hint::spin_loop();
                             } else {
+                                n_park += 1;
                                 std::thread::sleep(Duration::from_micros(20));
                             }
                             continue;
                         };
                         idle_spins = 0;
+                        match src {
+                            TaskSource::Local => n_local += 1,
+                            TaskSource::Inject => n_inject += 1,
+                            TaskSource::Steal => n_steal += 1,
+                        }
                         let start = t0.elapsed().as_nanos() as u64;
                         task_fn(t, graph.task(t));
                         let end = t0.elapsed().as_nanos() as u64;
-                        if config.record_trace {
-                            segments.push(WallSegment {
-                                task: t,
-                                group: gid as u32,
-                                worker: wid as u32,
-                                start_ns: start,
-                                end_ns: end,
-                            });
-                        }
+                        rec.complete_at(
+                            Clock::Wall,
+                            "rt.task",
+                            track,
+                            wall0 + start,
+                            end - start,
+                            u64::from(t),
+                            lane,
+                        );
                         // Release successors.
                         for &s in graph.succs(t) {
                             if pending[s as usize].fetch_sub(1, Ordering::AcqRel) == 1 {
@@ -157,23 +215,35 @@ where
                         }
                         done.fetch_add(1, Ordering::AcqRel);
                     }
-                    segments
+                    if rec.enabled() {
+                        rec.counter("rt.exec", track, n_local + n_inject + n_steal);
+                        rec.counter("rt.local", track, n_local);
+                        rec.counter("rt.inject", track, n_inject);
+                        rec.counter("rt.steal", track, n_steal);
+                        rec.counter("rt.park", track, n_park);
+                    }
                 });
                 handles.push(handle);
             }
         }
         for h in handles {
-            all_segments.extend(h.join().expect("worker panicked"));
+            h.join().expect("worker panicked");
         }
     });
 
     let executed = done.load(Ordering::Acquire);
     assert_eq!(executed, n, "not every task executed");
-    all_segments.sort_unstable_by_key(|s| s.start_ns);
+    let wall = t0.elapsed();
+    drop(run_span);
+    let segments = if rec.enabled() {
+        crate::trace::wall_segments(&rec.events_since(watermark), wall0)
+    } else {
+        Vec::new()
+    };
     ExecReport {
-        wall: t0.elapsed(),
+        wall,
         executed,
-        segments: all_segments,
+        segments,
     }
 }
 
@@ -276,6 +346,43 @@ mod tests {
         for w in report.segments.windows(2) {
             assert!(w[1].start_ns >= w[0].end_ns);
         }
+    }
+
+    #[test]
+    fn traced_counters_conserve_task_count() {
+        // Source-tagged counters must add up to the DAG size: every task is
+        // acquired exactly once, whether popped locally, injected or stolen.
+        for workers in [1usize, 4] {
+            let g = layered(6, 12, 3);
+            let rec = Recorder::new(4 * g.len());
+            let cfg = RuntimeConfig::new(1, workers);
+            let report = execute_traced(&g, &cfg, &[0, 0, 0], &rec, |_, _| {});
+            assert_eq!(report.executed, g.len());
+            assert_eq!(report.segments.len(), g.len());
+            let trace = rec.take();
+            assert_eq!(trace.dropped, 0);
+            let exec = trace.counter_total("rt.exec");
+            assert_eq!(exec as usize, g.len(), "workers={workers}");
+            let by_path = trace.counter_total("rt.local")
+                + trace.counter_total("rt.inject")
+                + trace.counter_total("rt.steal");
+            assert_eq!(by_path, exec, "workers={workers}");
+            // One rt.task event per task, and the run span is balanced.
+            assert_eq!(trace.named("rt.task").count(), g.len());
+            assert_eq!(trace.named("rt.run").count(), 2);
+        }
+    }
+
+    #[test]
+    fn disabled_recorder_without_record_trace_skips_segments() {
+        let g = layered(3, 4, 2);
+        let cfg = RuntimeConfig {
+            record_trace: false,
+            ..RuntimeConfig::new(1, 2)
+        };
+        let report = execute_traced(&g, &cfg, &[0, 0], Recorder::off(), |_, _| {});
+        assert_eq!(report.executed, g.len());
+        assert!(report.segments.is_empty());
     }
 
     #[test]

@@ -99,6 +99,19 @@ impl Stealer {
     }
 }
 
+/// Where a worker's [`Group::find_task_tagged`] call found its task. Fed
+/// into the runtime's `rt.local` / `rt.inject` / `rt.steal` counters so a
+/// trace shows how much of the schedule flowed through each path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskSource {
+    /// Popped from the worker's own deque (LIFO).
+    Local,
+    /// Taken from the group's shared injector (FIFO).
+    Inject,
+    /// Stolen from an in-group sibling's deque (FIFO).
+    Steal,
+}
+
 /// The scheduling fabric of one process group: a shared injector plus one
 /// work-stealing deque per worker thread of the group.
 pub struct Group {
@@ -127,18 +140,28 @@ impl Group {
     /// then the group injector (FIFO), then stealing from in-group siblings
     /// (FIFO from each victim).
     pub fn find_task(&self, local: &Worker, self_index: usize) -> Option<TaskId> {
+        self.find_task_tagged(local, self_index).map(|(t, _)| t)
+    }
+
+    /// Like [`Group::find_task`], additionally reporting which path produced
+    /// the task. The probe order (and thus the schedule) is identical.
+    pub fn find_task_tagged(
+        &self,
+        local: &Worker,
+        self_index: usize,
+    ) -> Option<(TaskId, TaskSource)> {
         if let Some(t) = local.pop() {
-            return Some(t);
+            return Some((t, TaskSource::Local));
         }
         if let Some(t) = self.injector.pop() {
-            return Some(t);
+            return Some((t, TaskSource::Inject));
         }
         for (i, s) in self.stealers.iter().enumerate() {
             if i == self_index {
                 continue;
             }
             if let Some(t) = s.steal() {
-                return Some(t);
+                return Some((t, TaskSource::Steal));
             }
         }
         None
@@ -196,6 +219,27 @@ mod tests {
         // Owner still pops its newest first.
         assert_eq!(workers[0].pop(), Some(3));
         assert_eq!(g.find_task(&workers[1], 1), Some(2));
+    }
+
+    #[test]
+    fn tagged_sources_match_probe_order() {
+        let (g, workers) = Group::new(2);
+        workers[0].push(1);
+        g.injector.push(2);
+        workers[1].push(3);
+        assert_eq!(
+            g.find_task_tagged(&workers[0], 0),
+            Some((1, TaskSource::Local))
+        );
+        assert_eq!(
+            g.find_task_tagged(&workers[0], 0),
+            Some((2, TaskSource::Inject))
+        );
+        assert_eq!(
+            g.find_task_tagged(&workers[0], 0),
+            Some((3, TaskSource::Steal))
+        );
+        assert_eq!(g.find_task_tagged(&workers[0], 0), None);
     }
 
     #[test]

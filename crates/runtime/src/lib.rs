@@ -13,5 +13,6 @@ pub mod dag_exec;
 pub mod groups;
 pub mod trace;
 
-pub use dag_exec::{execute, ExecReport, RuntimeConfig};
-pub use trace::WallSegment;
+pub use dag_exec::{execute, execute_traced, ExecReport, RuntimeConfig};
+pub use groups::TaskSource;
+pub use trace::{wall_segments, WallSegment};

@@ -6,7 +6,8 @@ use crate::timestep::stable_dt;
 use crate::viscous::Viscosity;
 use tempart_graph::PartId;
 use tempart_mesh::Mesh;
-use tempart_runtime::{execute, ExecReport, RuntimeConfig};
+use tempart_obs::Recorder;
+use tempart_runtime::{execute_traced, ExecReport, RuntimeConfig};
 use tempart_taskgraph::{
     generate_taskgraph, DomainDecomposition, ObjectClass, TaskGraph, TaskGraphConfig, TaskKind,
 };
@@ -163,8 +164,29 @@ impl<'m> Solver<'m> {
     ///
     /// `group_of[d]` maps domain `d` to a process group of `runtime`.
     pub fn run_iteration(&mut self, runtime: &RuntimeConfig, group_of: &[usize]) -> ExecReport {
-        let report = execute(&self.graph, runtime, group_of, |id, _| self.run_task(id));
+        self.run_iteration_traced(runtime, group_of, Recorder::off())
+    }
+
+    /// Like [`Solver::run_iteration`], recording structured events into
+    /// `rec`: a `"solver.iteration"` wall span around the whole iteration
+    /// (`a` = task count) plus the runtime's own `rt.*` events, followed by
+    /// a `"solver.dt0"` counter carrying the next iteration's finest-level
+    /// time step (f64 bits).
+    pub fn run_iteration_traced(
+        &mut self,
+        runtime: &RuntimeConfig,
+        group_of: &[usize],
+        rec: &Recorder,
+    ) -> ExecReport {
+        let span = rec.span("solver.iteration", 0, self.graph.len() as u64);
+        let report = execute_traced(&self.graph, runtime, group_of, rec, |id, _| {
+            self.run_task(id)
+        });
         self.finish_iteration();
+        drop(span);
+        if rec.enabled() {
+            rec.counter("solver.dt0", 0, self.dt0.to_bits());
+        }
         report
     }
 

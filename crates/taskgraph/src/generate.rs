@@ -3,6 +3,7 @@
 use crate::dag::{Task, TaskGraph, TaskId, TaskKind};
 use crate::domains::{DomainDecomposition, ObjectClass};
 use tempart_mesh::{Mesh, TemporalScheme};
+use tempart_obs::Recorder;
 
 /// Cost model and shape options for generated tasks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -50,6 +51,31 @@ pub fn generate_taskgraph(
     dd: &DomainDecomposition,
     config: &TaskGraphConfig,
 ) -> TaskGraph {
+    generate_taskgraph_traced(mesh, dd, config, Recorder::off())
+}
+
+/// Like [`generate_taskgraph`], recording a `"tg.generate"` wall span and the
+/// `tg.tasks` / `tg.edges` / `tg.subiters` counters into `rec`.
+pub fn generate_taskgraph_traced(
+    mesh: &Mesh,
+    dd: &DomainDecomposition,
+    config: &TaskGraphConfig,
+    rec: &Recorder,
+) -> TaskGraph {
+    let _span = rec.span("tg.generate", 0, dd.n_domains as u64);
+    let graph = generate_impl(mesh, dd, config);
+    if rec.enabled() {
+        rec.counter("tg.tasks", 0, graph.len() as u64);
+        let edges: u64 = (0..graph.len() as TaskId)
+            .map(|t| graph.preds(t).len() as u64)
+            .sum();
+        rec.counter("tg.edges", 0, edges);
+        rec.counter("tg.subiters", 0, graph.n_subiterations as u64);
+    }
+    graph
+}
+
+fn generate_impl(mesh: &Mesh, dd: &DomainDecomposition, config: &TaskGraphConfig) -> TaskGraph {
     assert!(
         (1..=2).contains(&config.stages),
         "stages must be 1 (forward Euler) or 2 (Heun)"

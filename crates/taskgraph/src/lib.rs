@@ -22,5 +22,5 @@ pub mod stats;
 
 pub use dag::{Task, TaskGraph, TaskId, TaskKind};
 pub use domains::{DomainDecomposition, ObjectClass};
-pub use generate::{generate_taskgraph, TaskGraphConfig};
+pub use generate::{generate_taskgraph, generate_taskgraph_traced, TaskGraphConfig};
 pub use stats::{DomainLevelCosts, SubiterationLoads};

@@ -35,6 +35,8 @@ pub use tempart_flusim as flusim;
 pub use tempart_graph as graph;
 /// Meshes, synthetic generators and temporal levels.
 pub use tempart_mesh as mesh;
+/// Structured-event observability: spans, counters, exporters, replay.
+pub use tempart_obs as obs;
 /// The multilevel single-/multi-constraint partitioner.
 pub use tempart_partition as partition;
 /// The grouped threaded task runtime.

@@ -5,6 +5,7 @@
 //! * `gen`       — generate a mesh and export it (VTK / CSV)
 //! * `partition` — decompose a mesh and report partition quality
 //! * `simulate`  — FLUSIM: simulate one iteration on an emulated cluster
+//! * `trace`     — traced FLUSIM run: Chrome-trace / NDJSON export + replay check
 //! * `solve`     — run the real finite-volume solver for a few iterations
 //!
 //! Run `tempart help` for the full usage text.
@@ -35,6 +36,12 @@ COMMANDS:
                                            (--graph F.graph, --domains, --out F.part)
     simulate   FLUSIM one iteration       (--case, --depth, --strategy, --domains,
                                            --processes, --cores, --latency, --gantt)
+    trace      traced FLUSIM run          (--case, --depth, --strategy, --domains,
+                                           --processes, --cores, --out F.json,
+                                           --ndjson F.ndjson) — records every
+               pipeline stage through tempart-obs, verifies the trace replays
+               to the simulator's exact makespan/idle stats, then writes
+               Chrome-trace JSON (open in chrome://tracing or Perfetto)
     compare    SC_OC vs MC_TL side by side (--case, --depth, --domains,
                                            --processes, --cores, --svg DIR)
     solve      real FV solver             (--case, --depth, --strategy, --domains,
@@ -44,6 +51,7 @@ COMMANDS:
 
 COMMON OPTIONS:
     --case cylinder|cube|pprime   mesh case                  [default: cylinder]
+    --mesh cylinder|cube|pprime   alias of --case
     --depth N                     octree base depth          [default: per case]
     --strategy uniform|sc_oc|mc_tl|dual:<k>|sfc_z|sfc_h      [default: mc_tl]
     --domains N                   extraction domains         [default: 32]
@@ -72,6 +80,7 @@ struct Options {
     csv: Option<PathBuf>,
     graph_file: Option<PathBuf>,
     out: Option<PathBuf>,
+    ndjson: Option<PathBuf>,
 }
 
 impl Default for Options {
@@ -97,6 +106,7 @@ impl Default for Options {
             csv: None,
             graph_file: None,
             out: None,
+            ndjson: None,
         }
     }
 }
@@ -146,6 +156,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
     while i < args.len() {
         match args[i].as_str() {
             "--case" => o.case = parse_case(&take(args, &mut i, "--case")?)?,
+            "--mesh" => o.case = parse_case(&take(args, &mut i, "--mesh")?)?,
             "--depth" => {
                 o.depth = Some(
                     take(args, &mut i, "--depth")?
@@ -209,6 +220,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--csv" => o.csv = Some(PathBuf::from(take(args, &mut i, "--csv")?)),
             "--graph" => o.graph_file = Some(PathBuf::from(take(args, &mut i, "--graph")?)),
             "--out" => o.out = Some(PathBuf::from(take(args, &mut i, "--out")?)),
+            "--ndjson" => o.ndjson = Some(PathBuf::from(take(args, &mut i, "--ndjson")?)),
             other => return Err(format!("unknown option {other:?}")),
         }
         i += 1;
@@ -387,6 +399,86 @@ fn cmd_simulate(o: &Options) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_trace(o: &Options) -> Result<(), String> {
+    use tempart::core_api::run_flusim_traced;
+    use tempart::obs::{export, replay, schema, Recorder};
+    let mesh = build_mesh(o);
+    let cluster = ClusterConfig::new(o.processes, o.cores);
+    let config = PipelineConfig {
+        strategy: o.strategy,
+        n_domains: o.domains,
+        cluster,
+        scheduling: Strategy::EagerFifo,
+        seed: o.seed,
+    };
+    let rec = Recorder::new(1 << 18);
+    let out = run_flusim_traced(&mesh, &config, &rec);
+    let trace = rec.take();
+    if trace.dropped > 0 {
+        return Err(format!(
+            "trace buffer overflow: {} events dropped",
+            trace.dropped
+        ));
+    }
+
+    // Replay verification: schedule statistics recomputed purely from the
+    // emitted events must be *bit-identical* to the simulator's accounting.
+    let r = replay::replay_tasks(
+        &trace.events,
+        "flusim.task",
+        o.processes,
+        out.graph.n_subiterations as usize,
+    );
+    if r.makespan != out.sim.makespan {
+        return Err(format!(
+            "replay makespan {} != simulator {}",
+            r.makespan, out.sim.makespan
+        ));
+    }
+    if r.busy != out.sim.busy {
+        return Err("replayed per-process busy time diverged from simulator".into());
+    }
+    let cores = cluster.total_cores().expect("bounded cluster") as u64;
+    let replay_idle = replay::idle_fraction(r.makespan, &r.busy, cores);
+    let sim_idle = out.sim.idle_fraction(&cluster);
+    if replay_idle.to_bits() != sim_idle.to_bits() {
+        return Err(format!(
+            "replayed idle fraction {replay_idle} != simulator {sim_idle}"
+        ));
+    }
+
+    let json = export::chrome_trace(&trace);
+    let summary = schema::check_chrome_trace(&json)
+        .map_err(|e| format!("exported trace failed schema check: {e}"))?;
+    let path = o.out.clone().unwrap_or_else(|| PathBuf::from("trace.json"));
+    std::fs::write(&path, &json).map_err(|e| e.to_string())?;
+
+    println!(
+        "{} × {} domains via {} on {}p×{}c",
+        o.case.name(),
+        o.domains,
+        o.strategy.label(),
+        o.processes,
+        o.cores
+    );
+    println!("  events recorded : {}", trace.events.len());
+    println!("  makespan        : {} (replay-verified)", out.makespan());
+    println!(
+        "  idle fraction   : {:.1}% (replay-verified)",
+        sim_idle * 100.0
+    );
+    println!(
+        "  chrome trace    : {} ({} events, schema-checked)",
+        path.display(),
+        summary.events
+    );
+    if let Some(nd) = &o.ndjson {
+        std::fs::write(nd, export::ndjson(&trace)).map_err(|e| e.to_string())?;
+        println!("  ndjson          : {}", nd.display());
+    }
+    Ok(())
+}
+
 fn cmd_solve(o: &Options) -> Result<(), String> {
     let mesh = build_mesh(o);
     let part = decompose(&mesh, o.strategy, o.domains, o.seed);
@@ -497,6 +589,7 @@ fn main() -> ExitCode {
             "gen" => cmd_gen(&o),
             "partition" => cmd_partition(&o),
             "simulate" => cmd_simulate(&o),
+            "trace" => cmd_trace(&o),
             "compare" => cmd_compare(&o),
             "solve" => cmd_solve(&o),
             "help" | "--help" | "-h" => {

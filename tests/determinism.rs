@@ -6,8 +6,9 @@
 //! FLUSIM makespan.
 
 use tempart::core_api::{run_flusim, PartitionStrategy, PipelineConfig};
-use tempart::flusim::{simulate, ClusterConfig, Strategy};
+use tempart::flusim::{simulate, simulate_traced, ClusterConfig, Strategy};
 use tempart::mesh::{cube_like, cylinder_like, GeneratorConfig};
+use tempart::obs::{replay, Recorder};
 use tempart::taskgraph::{
     generate_taskgraph, stats::block_process_map, DomainDecomposition, TaskGraphConfig,
 };
@@ -146,6 +147,90 @@ fn flusim_segments_pinned_across_scheduler_rewrites() {
                 "{name}/{strat:?}: Gantt segments diverged from the pinned \
                  pre-rewrite schedule"
             );
+        }
+    }
+}
+
+#[test]
+fn trace_replay_is_bit_identical_to_simulator_accounting() {
+    // The trace-replay oracle: for every pinned strategy/mesh combination,
+    // makespan, per-process busy, composite-resource active time,
+    // per-subiteration work and the derived f64 ratios must be recomputable
+    // *purely from obs events* — bit-for-bit equal to the simulator's own
+    // `SimResult` accounting. A drift on any event field (start, duration,
+    // track, subiteration) breaks this loudly.
+    let meshes = [
+        (
+            "cylinder3",
+            cylinder_like(&GeneratorConfig { base_depth: 3 }),
+        ),
+        ("cube4", cube_like(&GeneratorConfig { base_depth: 4 })),
+    ];
+    let strategies = [
+        Strategy::EagerFifo,
+        Strategy::EagerLifo,
+        Strategy::CriticalPathFirst,
+        Strategy::SmallestFirst,
+    ];
+    for (name, mesh) in &meshes {
+        let n_domains = 16usize;
+        let part: Vec<u32> = (0..mesh.n_cells() as u32)
+            .map(|c| c % n_domains as u32)
+            .collect();
+        let dd = DomainDecomposition::new(mesh, &part, n_domains);
+        let graph = generate_taskgraph(mesh, &dd, &TaskGraphConfig::default());
+        let process_of = block_process_map(n_domains, 4);
+        let cluster = ClusterConfig::new(4, 2);
+        for strat in strategies {
+            let rec = Recorder::new(8 * graph.len() + 64);
+            let traced = simulate_traced(&graph, &cluster, &process_of, strat, &rec);
+            let plain = simulate(&graph, &cluster, &process_of, strat);
+            // Instrumentation must not perturb the schedule.
+            assert_eq!(
+                traced.segments, plain.segments,
+                "{name}/{strat:?}: tracing changed the schedule"
+            );
+            let trace = rec.take();
+            assert_eq!(trace.dropped, 0, "{name}/{strat:?}: events dropped");
+            let r = replay::replay_tasks(
+                &trace.events,
+                "flusim.task",
+                cluster.n_processes,
+                graph.n_subiterations as usize,
+            );
+            assert_eq!(r.makespan, traced.makespan, "{name}/{strat:?}: makespan");
+            assert_eq!(r.busy, traced.busy, "{name}/{strat:?}: busy");
+            assert_eq!(r.active, traced.active, "{name}/{strat:?}: active");
+            assert_eq!(
+                r.subiter_work, traced.subiter_work,
+                "{name}/{strat:?}: subiteration work"
+            );
+            // Derived f64 ratios replicate the simulator's formulas
+            // operation-for-operation: even the floating-point bits match.
+            let cores = cluster.total_cores().unwrap() as u64;
+            assert_eq!(
+                replay::idle_fraction(r.makespan, &r.busy, cores).to_bits(),
+                traced.idle_fraction(&cluster).to_bits(),
+                "{name}/{strat:?}: idle fraction bits"
+            );
+            let inact = replay::process_inactivity(r.makespan, &r.active);
+            let sim_inact = traced.process_inactivity();
+            assert_eq!(inact.len(), sim_inact.len());
+            for (p, (a, b)) in inact.iter().zip(&sim_inact).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "{name}/{strat:?}: process {p} inactivity bits"
+                );
+            }
+            // No process ever runs more tasks at once than it has cores.
+            for p in 0..cluster.n_processes as u32 {
+                assert!(
+                    replay::max_overlap(&trace.events, "flusim.task", p)
+                        <= cluster.cores_per_process,
+                    "{name}/{strat:?}: process {p} oversubscribed"
+                );
+            }
         }
     }
 }
