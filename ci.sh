@@ -11,16 +11,32 @@ set -euo pipefail
 cd "$(dirname "$0")"
 
 echo "== policy: no external registry dependencies =="
-if grep -nE '^(rand|proptest|criterion|crossbeam|parking_lot)\b|crates-io' \
-    Cargo.toml crates/*/Cargo.toml; then
+# Every manifest in the workspace, recursively — a crate nested under
+# crates/foo/bar must obey the same policy as a top-level one. Two classes
+# of violation: a known external crate name appearing as a dependency key,
+# and any non-path dependency source (registry, git) slipping into a table.
+mapfile -t MANIFESTS < <(find . -path ./target -prune -o -name Cargo.toml -print | sort)
+if grep -nE '^(rand|proptest|criterion|crossbeam|parking_lot|serde|rayon|libc)\b|crates-io' \
+    "${MANIFESTS[@]}"; then
     echo "ERROR: external registry dependency found (see matches above)" >&2
     exit 1
 fi
-echo "ok"
+if grep -nE '\b(git|registry)\s*=' "${MANIFESTS[@]}"; then
+    echo "ERROR: non-path dependency source (git/registry) found (see matches above)" >&2
+    exit 1
+fi
+echo "ok (${#MANIFESTS[@]} manifests scanned)"
 
 if cargo fmt --version >/dev/null 2>&1; then
     echo "== cargo fmt --check =="
     cargo fmt --check
+fi
+
+if cargo clippy --version >/dev/null 2>&1; then
+    echo "== cargo clippy (deny warnings) =="
+    cargo clippy --offline --workspace --all-targets -- -D warnings
+else
+    echo "== cargo clippy not installed; skipped =="
 fi
 
 echo "== build (release, offline) =="
@@ -31,6 +47,26 @@ cargo test -q --offline
 
 echo "== workspace tests =="
 cargo test -q --offline --workspace
+
+echo "== doc tests =="
+cargo test -q --offline --workspace --doc
+
+echo "== worker matrix (fork-join determinism across processes) =="
+# The fork-join pipeline must be a pure function of its inputs: the same
+# fingerprint file — FNV-1a digests of every strategy x mesh part vector and
+# Gantt chart — must come out byte-identical whether the partitioner runs
+# sequentially or forked across 4 workers. Run in separate processes so
+# thread-count-dependent state can't hide inside one test binary (the
+# in-process cross-check at widths 1/2/4 already ran in the suites above).
+TEMPART_WORKERS=1 cargo test -q --release --offline --test worker_matrix \
+    emit_fingerprints >/dev/null
+TEMPART_WORKERS=4 cargo test -q --release --offline --test worker_matrix \
+    emit_fingerprints >/dev/null
+if ! diff -u results/fingerprints_w1.txt results/fingerprints_w4.txt; then
+    echo "ERROR: worker matrix diverged — 1-worker and 4-worker fingerprints differ" >&2
+    exit 1
+fi
+echo "ok (1-worker and 4-worker fingerprints identical)"
 
 echo "== bench gate (hot-path regression check) =="
 # Short-sample wall-clock runs of the two hot-path suites, compared against
@@ -45,6 +81,9 @@ echo "== bench gate (hot-path regression check) =="
 # their `_traced` variants with `Recorder::off()`, so these baselines (at
 # the pre-instrumentation tolerance, deliberately NOT loosened) price the
 # one-relaxed-atomic-branch disabled path into every hot loop they time.
+# The partitioner suite also gates the fork-join rows
+# (`partition/parallel/MC_TL-w{1,2,4}`): on a single-core runner they bound
+# the fork-join overhead against the sequential baseline.
 if [[ "${CI_SKIP_BENCH:-0}" == "1" ]]; then
     echo "skipped (CI_SKIP_BENCH=1)"
 else
@@ -52,6 +91,10 @@ else
         cargo bench --offline -p tempart-bench --bench partitioner
     TEMPART_BENCH_SAMPLES="${TEMPART_BENCH_SAMPLES:-5}" TEMPART_BENCH_BASELINE=check \
         cargo bench --offline -p tempart-bench --bench flusim
+    echo "== bench history (trend append) =="
+    # One NDJSON record per suite (timestamp + per-benchmark medians) so the
+    # performance trajectory survives beyond the latest bench_*.json.
+    cargo run -q --release --offline -p tempart-bench --bin bench_history
 fi
 
 echo "CI green."

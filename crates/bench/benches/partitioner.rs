@@ -7,8 +7,8 @@ use std::hint::black_box;
 use tempart_core::{strategy_weights, PartitionStrategy};
 use tempart_mesh::{cylinder_like, GeneratorConfig};
 use tempart_partition::{
-    coarsen::coarsen, partition_graph, partition_graph_with, PartitionConfig, PartitionWorkspace,
-    Scheme,
+    coarsen::coarsen, partition_graph, partition_graph_par, partition_graph_with, PartitionConfig,
+    PartitionWorkspace, Scheme, WorkspacePool,
 };
 use tempart_testkit::bench::Bencher;
 
@@ -65,6 +65,29 @@ fn bench_workspace_reuse(b: &mut Bencher) {
     }
 }
 
+/// The fork-join entry point on the same graded-cylinder MC_TL instance as
+/// `partition/strategy/MC_TL`, at several worker counts with a **warm**
+/// [`WorkspacePool`] (the dynamic-repartitioning steady state). Results are
+/// bit-identical to the sequential rows; these measure the schedule, not the
+/// answer. On single-core CI boxes `w2`/`w4` bound the fork-join overhead
+/// rather than showing speedup.
+fn bench_parallel(b: &mut Bencher) {
+    let mesh = cylinder_like(&GeneratorConfig { base_depth: 4 });
+    let graph = mesh.to_graph();
+    let (w, ncon) = strategy_weights(&mesh, PartitionStrategy::McTl);
+    let g = graph.with_vertex_weights(w, ncon);
+    let cfg = PartitionConfig::new(16).with_ub(1.10);
+    b.set_samples(10);
+    for workers in [1usize, 2, 4] {
+        let pool = WorkspacePool::new(workers);
+        // Warm the pool's arenas once outside the measured region.
+        let _ = partition_graph_par(&g, &cfg, workers, &pool);
+        b.bench(&format!("partition/parallel/MC_TL-w{workers}"), || {
+            black_box(partition_graph_par(black_box(&g), &cfg, workers, &pool))
+        });
+    }
+}
+
 fn bench_coarsening(b: &mut Bencher) {
     let mesh = cylinder_like(&GeneratorConfig { base_depth: 4 });
     let graph = mesh.to_graph();
@@ -78,6 +101,7 @@ fn main() {
     bench_strategies(&mut b);
     bench_schemes(&mut b);
     bench_workspace_reuse(&mut b);
+    bench_parallel(&mut b);
     bench_coarsening(&mut b);
     b.finish();
 }

@@ -21,11 +21,13 @@ pub mod report;
 pub mod strategy;
 
 pub use pipeline::{
-    run_flusim, run_flusim_traced, simulate_decomposition, simulate_decomposition_traced,
-    FlusimOutcome, PipelineConfig,
+    run_flusim, run_flusim_traced, run_flusim_workers, run_flusim_workers_traced, run_sweep,
+    run_sweep_traced, simulate_decomposition, simulate_decomposition_traced, FlusimOutcome,
+    PipelineConfig,
 };
 pub use strategy::{
-    decompose, decompose_traced, decompose_with_repair, decompose_with_repair_traced,
-    strategy_weights, PartitionStrategy,
+    decompose, decompose_par, decompose_par_traced, decompose_traced, decompose_with_repair,
+    decompose_with_repair_traced, strategy_weights, PartitionStrategy,
 };
-pub use tempart_partition::Curve;
+pub use tempart_partition::{Curve, WorkspacePool};
+pub use tempart_runtime::env_workers;

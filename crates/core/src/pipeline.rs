@@ -1,11 +1,14 @@
 //! The end-to-end experiment pipeline:
 //! mesh → strategy → domains → task graph → FLUSIM simulation.
 
-use crate::strategy::{decompose_traced, PartitionStrategy};
+use crate::strategy::{decompose_par_traced, decompose_traced, PartitionStrategy};
+use std::sync::Mutex;
 use tempart_flusim::{simulate_traced, ClusterConfig, SimResult, Strategy};
 use tempart_graph::{PartId, PartitionQuality};
 use tempart_mesh::Mesh;
 use tempart_obs::Recorder;
+use tempart_partition::WorkspacePool;
+use tempart_runtime::fork_join;
 use tempart_taskgraph::{
     generate_taskgraph_traced, stats::block_process_map, DomainDecomposition, TaskGraph,
     TaskGraphConfig,
@@ -107,6 +110,57 @@ pub fn run_flusim(mesh: &Mesh, config: &PipelineConfig) -> FlusimOutcome {
 pub fn run_flusim_traced(mesh: &Mesh, config: &PipelineConfig, rec: &Recorder) -> FlusimOutcome {
     let _span = rec.span("core.pipeline", 0, config.n_domains as u64);
     let part = decompose_traced(mesh, config.strategy, config.n_domains, config.seed, rec);
+    finish_flusim(mesh, part, config, rec)
+}
+
+/// [`run_flusim`] with the partitioning stage fanned out over `workers`
+/// fork-join workers (fresh workspace pool). The outcome is bit-identical
+/// to [`run_flusim`] at every worker count — only partition wall-clock
+/// changes.
+pub fn run_flusim_workers(mesh: &Mesh, config: &PipelineConfig, workers: usize) -> FlusimOutcome {
+    run_flusim_workers_traced(
+        mesh,
+        config,
+        workers,
+        &WorkspacePool::new(workers),
+        Recorder::off(),
+    )
+}
+
+/// Traced [`run_flusim_workers`]: the partitioner runs through
+/// [`decompose_par_traced`] with per-branch workspaces from `pool` (reuse
+/// one pool across calls to keep repeated runs allocation-warm); everything
+/// downstream of the partition — task-graph generation and the FLUSIM event
+/// loop — is unchanged and sequential.
+pub fn run_flusim_workers_traced(
+    mesh: &Mesh,
+    config: &PipelineConfig,
+    workers: usize,
+    pool: &WorkspacePool,
+    rec: &Recorder,
+) -> FlusimOutcome {
+    let _span = rec.span("core.pipeline", 0, config.n_domains as u64);
+    let part = decompose_par_traced(
+        mesh,
+        config.strategy,
+        config.n_domains,
+        config.seed,
+        workers,
+        pool,
+        rec,
+    );
+    finish_flusim(mesh, part, config, rec)
+}
+
+/// The pipeline stages downstream of the partition: quality measurement,
+/// task-graph generation, FLUSIM simulation and the inter-process cut
+/// estimate. Shared by the sequential and parallel-partitioner entry points.
+fn finish_flusim(
+    mesh: &Mesh,
+    part: Vec<PartId>,
+    config: &PipelineConfig,
+    rec: &Recorder,
+) -> FlusimOutcome {
     let cell_graph = mesh.to_graph();
     let quality = PartitionQuality::measure(&cell_graph, &part, config.n_domains);
     let (graph, process_of, sim) = simulate_decomposition_traced(
@@ -142,6 +196,67 @@ pub fn run_flusim_traced(mesh: &Mesh, config: &PipelineConfig, rec: &Recorder) -
         sim,
         interprocess_cut,
     }
+}
+
+/// Per-job event capacity of the isolated sweep recorders. Overflow is
+/// never silent: dropped counts are carried into the parent recorder by
+/// [`Recorder::absorb`].
+const SWEEP_JOB_CAPACITY: usize = 1 << 16;
+
+/// Runs a batch of independent experiments (`(mesh, config)` pairs — e.g. a
+/// per-strategy × per-mesh sweep) as parallel fork-join jobs. Convenience
+/// wrapper over [`run_sweep_traced`] without tracing.
+pub fn run_sweep(jobs: &[(&Mesh, PipelineConfig)], workers: usize) -> Vec<FlusimOutcome> {
+    run_sweep_traced(jobs, workers, Recorder::off())
+}
+
+/// Traced parallel sweep with **stable sequence re-keying**.
+///
+/// Each job runs the full sequential pipeline ([`run_flusim_traced`])
+/// against its *own* isolated [`Recorder`], so concurrent jobs never
+/// interleave their event streams; outcomes land in disjoint per-job slots.
+/// After the fork-join scope drains, the driver absorbs each job's drained
+/// trace into `rec` **in job order** ([`Recorder::absorb`] assigns fresh,
+/// monotone sequence numbers) — the merged stream and the returned
+/// `Vec<FlusimOutcome>` (indexed like `jobs`) are pure functions of the job
+/// list, independent of worker count and steal order. The `ci.sh` worker
+/// matrix pins this end to end.
+pub fn run_sweep_traced(
+    jobs: &[(&Mesh, PipelineConfig)],
+    workers: usize,
+    rec: &Recorder,
+) -> Vec<FlusimOutcome> {
+    let _span = rec.span("core.sweep", 0, jobs.len() as u64);
+    let tracing = rec.enabled();
+    let slots: Vec<Mutex<Option<(FlusimOutcome, tempart_obs::Trace)>>> =
+        jobs.iter().map(|_| Mutex::new(None)).collect();
+    {
+        let slots = &slots;
+        fork_join(workers, move |ctx| {
+            for (i, (mesh, config)) in jobs.iter().enumerate() {
+                ctx.spawn(move |_| {
+                    let job_rec = if tracing {
+                        Recorder::new(SWEEP_JOB_CAPACITY)
+                    } else {
+                        Recorder::off().clone()
+                    };
+                    let outcome = run_flusim_traced(mesh, config, &job_rec);
+                    let trace = job_rec.take();
+                    *slots[i].lock().expect("sweep slot poisoned") = Some((outcome, trace));
+                });
+            }
+        });
+    }
+    let mut outcomes = Vec::with_capacity(jobs.len());
+    for slot in slots {
+        let (outcome, trace) = slot
+            .into_inner()
+            .expect("sweep slot poisoned")
+            .expect("sweep job did not run");
+        rec.absorb(&trace);
+        outcomes.push(outcome);
+    }
+    outcomes
 }
 
 #[cfg(test)]
@@ -198,6 +313,92 @@ mod tests {
             mc.makespan(),
             sc.makespan()
         );
+    }
+
+    #[test]
+    fn workers_variant_is_bit_identical_to_sequential() {
+        let m = small_mesh();
+        for strategy in [
+            PartitionStrategy::ScOc,
+            PartitionStrategy::McTl,
+            PartitionStrategy::DualPhase {
+                domains_per_process: 4,
+            },
+        ] {
+            let cfg = PipelineConfig {
+                strategy,
+                n_domains: 8,
+                cluster: ClusterConfig::new(4, 2),
+                scheduling: Strategy::EagerFifo,
+                seed: 11,
+            };
+            let seq = run_flusim(&m, &cfg);
+            let pool = WorkspacePool::new(4);
+            for workers in [1usize, 2, 4] {
+                let par = run_flusim_workers_traced(&m, &cfg, workers, &pool, Recorder::off());
+                assert_eq!(par.part, seq.part, "{strategy:?} workers={workers}");
+                assert_eq!(par.quality, seq.quality, "{strategy:?} workers={workers}");
+                assert_eq!(
+                    par.sim.segments, seq.sim.segments,
+                    "{strategy:?} workers={workers}"
+                );
+                assert_eq!(par.interprocess_cut, seq.interprocess_cut);
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_results_and_trace_are_schedule_independent() {
+        let m = small_mesh();
+        let mk = |strategy, seed| PipelineConfig {
+            strategy,
+            n_domains: 8,
+            cluster: ClusterConfig::new(4, 2),
+            scheduling: Strategy::EagerFifo,
+            seed,
+        };
+        let jobs: Vec<(&Mesh, PipelineConfig)> = vec![
+            (&m, mk(PartitionStrategy::ScOc, 1)),
+            (&m, mk(PartitionStrategy::McTl, 1)),
+            (&m, mk(PartitionStrategy::Uniform, 2)),
+            (&m, mk(PartitionStrategy::ScOc, 3)),
+        ];
+        // Reference: each job run alone, sequentially.
+        let solo: Vec<FlusimOutcome> = jobs.iter().map(|(m, c)| run_flusim(m, c)).collect();
+        for workers in [1usize, 2, 4] {
+            let rec = Recorder::new(1 << 18);
+            let got = run_sweep_traced(&jobs, workers, &rec);
+            assert_eq!(got.len(), jobs.len());
+            for (i, (g, s)) in got.iter().zip(&solo).enumerate() {
+                assert_eq!(g.part, s.part, "job {i} workers={workers}");
+                assert_eq!(g.makespan(), s.makespan(), "job {i} workers={workers}");
+                assert_eq!(g.sim.segments, s.sim.segments, "job {i} workers={workers}");
+            }
+            let trace = rec.take();
+            assert_eq!(trace.dropped, 0, "workers={workers}");
+            // Stable re-keying: the virtual-clock event stream (the
+            // deterministic subset — wall timestamps vary run to run) must
+            // be identical at every width: same names, same payloads, same
+            // job order.
+            let virt: Vec<_> = trace
+                .events
+                .iter()
+                .filter(|e| e.clock == tempart_obs::Clock::Virtual)
+                .map(|e| (e.name, e.track, e.t, e.val, e.a, e.b))
+                .collect();
+            assert!(!virt.is_empty());
+            // Compare against the single-worker merge.
+            let rec1 = Recorder::new(1 << 18);
+            let _ = run_sweep_traced(&jobs, 1, &rec1);
+            let virt1: Vec<_> = rec1
+                .take()
+                .events
+                .iter()
+                .filter(|e| e.clock == tempart_obs::Clock::Virtual)
+                .map(|e| (e.name, e.track, e.t, e.val, e.a, e.b))
+                .collect();
+            assert_eq!(virt, virt1, "workers={workers}: merged stream diverged");
+        }
     }
 
     #[test]

@@ -4,8 +4,9 @@ use tempart_graph::{CsrGraph, PartId, Weight};
 use tempart_mesh::{operating_cost, Mesh};
 use tempart_obs::Recorder;
 use tempart_partition::{
-    bisect::extract_subgraph, partition_graph_with, repair_contiguity_traced, sfc_partition, Curve,
-    PartitionConfig, PartitionWorkspace, RepairReport,
+    bisect::extract_subgraph, partition_graph_par_traced, partition_graph_with,
+    repair_contiguity_traced, sfc_partition, Curve, PartitionConfig, PartitionWorkspace,
+    RepairReport, WorkspacePool,
 };
 
 /// How to weight and partition the cell graph.
@@ -154,6 +155,146 @@ fn traced_workspace(rec: &Recorder) -> PartitionWorkspace {
     let mut ws = PartitionWorkspace::new();
     ws.obs = rec.clone();
     ws
+}
+
+/// Parallel [`decompose`]: same per-cell assignment, computed on `workers`
+/// fork-join workers with workspaces drawn from a fresh pool. Convenience
+/// wrapper over [`decompose_par_traced`].
+pub fn decompose_par(
+    mesh: &Mesh,
+    strategy: PartitionStrategy,
+    n_domains: usize,
+    seed: u64,
+    workers: usize,
+) -> Vec<PartId> {
+    decompose_par_traced(
+        mesh,
+        strategy,
+        n_domains,
+        seed,
+        workers,
+        &WorkspacePool::new(workers),
+        Recorder::off(),
+    )
+}
+
+/// Like [`decompose_traced`], but the graph-partitioner strategies run
+/// through the deterministic parallel driver
+/// ([`tempart_partition::partition_graph_par_traced`]) on `workers`
+/// fork-join workers with per-branch workspaces from `pool`.
+///
+/// The result is **bit-identical** to [`decompose`] for every strategy at
+/// every worker count: the multilevel strategies inherit the parallel
+/// driver's fixed tree-order merge, the dual-phase inner splits reuse the
+/// same seeds per process slot, and the SFC strategies are cheap scans that
+/// simply run sequentially.
+pub fn decompose_par_traced(
+    mesh: &Mesh,
+    strategy: PartitionStrategy,
+    n_domains: usize,
+    seed: u64,
+    workers: usize,
+    pool: &WorkspacePool,
+    rec: &Recorder,
+) -> Vec<PartId> {
+    assert!(n_domains >= 1, "need at least one domain");
+    let _span = rec.span("core.decompose", 0, n_domains as u64);
+    let graph = mesh.to_graph();
+    match strategy {
+        PartitionStrategy::DualPhase {
+            domains_per_process,
+        } => {
+            assert!(domains_per_process >= 1, "domains_per_process must be >= 1");
+            assert_eq!(
+                n_domains % domains_per_process,
+                0,
+                "n_domains must be a multiple of domains_per_process"
+            );
+            let n_outer = n_domains / domains_per_process;
+            dual_phase_par(
+                mesh,
+                &graph,
+                n_outer,
+                domains_per_process,
+                seed,
+                workers,
+                pool,
+                rec,
+            )
+        }
+        PartitionStrategy::SfcOc { curve } => {
+            let centroids: Vec<[f64; 3]> = mesh.cells().iter().map(|c| c.centroid).collect();
+            let (w, _) = strategy_weights(mesh, strategy);
+            let weights: Vec<u64> = w.into_iter().map(u64::from).collect();
+            sfc_partition(&centroids, &weights, n_domains, curve)
+        }
+        _ => {
+            let (w, ncon) = strategy_weights(mesh, strategy);
+            let g = graph.with_vertex_weights(w, ncon);
+            partition_graph_par_traced(
+                &g,
+                &partition_config(n_domains, ncon, seed),
+                workers,
+                pool,
+                rec,
+            )
+        }
+    }
+}
+
+/// Parallel [`dual_phase`]: the outer MC_TL split and every inner SC_OC
+/// split run through the parallel driver with identical configs and seeds,
+/// so the composite result matches the sequential two-phase partition bit
+/// for bit.
+#[allow(clippy::too_many_arguments)]
+fn dual_phase_par(
+    mesh: &Mesh,
+    graph: &CsrGraph,
+    n_outer: usize,
+    inner: usize,
+    seed: u64,
+    workers: usize,
+    pool: &WorkspacePool,
+    rec: &Recorder,
+) -> Vec<PartId> {
+    // Phase 1: MC_TL at process granularity.
+    let (w_mc, ncon) = strategy_weights(mesh, PartitionStrategy::McTl);
+    let g_mc = graph.with_vertex_weights(w_mc, ncon);
+    let outer = partition_graph_par_traced(
+        &g_mc,
+        &partition_config(n_outer, ncon, seed),
+        workers,
+        pool,
+        rec,
+    );
+
+    if inner == 1 {
+        return outer;
+    }
+    // Phase 2: SC_OC inside each outer part (same per-slot seed derivation
+    // as the sequential path).
+    let (w_sc, _) = strategy_weights(mesh, PartitionStrategy::ScOc);
+    let g_sc = graph.with_vertex_weights(w_sc, 1);
+    let mut part = vec![0 as PartId; mesh.n_cells()];
+    for p in 0..n_outer {
+        let side: Vec<u8> = outer.iter().map(|&o| u8::from(o as usize == p)).collect();
+        let (sub, map) = extract_subgraph(&g_sc, &side, 1);
+        let sub_part = if sub.nvtx() == 0 {
+            Vec::new()
+        } else {
+            partition_graph_par_traced(
+                &sub,
+                &partition_config(inner, 1, seed ^ (p as u64).wrapping_mul(0x9E37)),
+                workers,
+                pool,
+                rec,
+            )
+        };
+        for (sv, &ov) in map.iter().enumerate() {
+            part[ov as usize] = (p * inner) as PartId + sub_part[sv];
+        }
+    }
+    part
 }
 
 /// Partitions like [`decompose`], then runs the contiguity-repair
@@ -305,7 +446,7 @@ mod tests {
             16,
             1,
         );
-        let mut used = vec![false; 16];
+        let mut used = [false; 16];
         for &p in &part {
             used[p as usize] = true;
         }
@@ -363,7 +504,7 @@ mod tests {
             // 2^τmax) make the split grainy, so allow more slack than the
             // multilevel partitioner.
             assert!(imb < 1.5, "{curve:?} imbalance {imb}");
-            let mut used = vec![false; 8];
+            let mut used = [false; 8];
             for &p in &part {
                 used[p as usize] = true;
             }

@@ -113,8 +113,7 @@ pub fn parse_metis_graph(text: &str) -> Result<CsrGraph, MetisParseError> {
             }
             builder.set_vertex_weights(v, &w);
         }
-        loop {
-            let Some(u) = tokens.next() else { break };
+        while let Some(u) = tokens.next() {
             let u = u?;
             if u == 0 || u as usize > nvtx {
                 return Err(MetisParseError::BadLine {

@@ -65,6 +65,67 @@ impl Value {
     }
 }
 
+/// Serialises a [`Value`] back to compact JSON (no whitespace). Object keys
+/// come out in `BTreeMap` iteration order, so equal values serialise to
+/// byte-identical strings — the property the bench-history NDJSON records
+/// rely on for diff-stable, append-only logs.
+pub fn write(value: &Value) -> String {
+    let mut out = String::new();
+    write_into(value, &mut out);
+    out
+}
+
+fn write_into(v: &Value, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Num(n) => write_num(*n, out),
+        Value::Str(s) => {
+            out.push('"');
+            out.push_str(&crate::export::escape_json(s));
+            out.push('"');
+        }
+        Value::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_into(item, out);
+            }
+            out.push(']');
+        }
+        Value::Obj(map) => {
+            out.push('{');
+            for (i, (k, val)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('"');
+                out.push_str(&crate::export::escape_json(k));
+                out.push_str("\":");
+                write_into(val, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// Writes a finite number: integers (within exact f64 range) without a
+/// fractional part, everything else via the shortest-roundtrip `{}` format.
+/// Non-finite values have no JSON representation and degrade to `null`.
+fn write_num(n: f64, out: &mut String) {
+    if !n.is_finite() {
+        out.push_str("null");
+        return;
+    }
+    if n == n.trunc() && n.abs() < 9.007_199_254_740_992e15 {
+        out.push_str(&format!("{}", n as i64));
+    } else {
+        out.push_str(&format!("{n}"));
+    }
+}
+
 /// Parses a complete JSON document. Errors carry a byte offset and a short
 /// description.
 pub fn parse(input: &str) -> Result<Value, String> {
@@ -294,6 +355,26 @@ mod tests {
         assert!(parse("[1,]").is_err());
         assert!(parse("{}x").is_err());
         assert!(parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn writer_roundtrips_through_parser() {
+        let src = r#"{"arr":[1,2.5,true,null,"x\"y"],"num":-3,"obj":{"k":"v"}}"#;
+        let v = parse(src).unwrap();
+        let out = write(&v);
+        assert_eq!(out, src, "compact writer is the parser's inverse");
+        assert_eq!(parse(&out).unwrap(), v);
+    }
+
+    #[test]
+    fn writer_is_deterministic_and_integer_exact() {
+        let mut m = std::collections::BTreeMap::new();
+        m.insert("z".to_string(), Value::Num(1234567.0));
+        m.insert("a".to_string(), Value::Num(0.125));
+        let s = write(&Value::Obj(m));
+        // BTreeMap order, integers without fraction, exact dyadic float.
+        assert_eq!(s, r#"{"a":0.125,"z":1234567}"#);
+        assert_eq!(write(&Value::Num(f64::NAN)), "null");
     }
 
     #[test]

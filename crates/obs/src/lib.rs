@@ -207,10 +207,13 @@ struct Shared {
     hists: Mutex<Vec<Histogram>>,
 }
 
+/// One entry of the per-thread sink cache: `(recorder id, liveness probe,
+/// sink)`.
+type CachedSink = (u64, Weak<Shared>, Arc<Sink>);
+
 thread_local! {
-    /// Per-thread sink cache: `(recorder id, liveness probe, sink)`.
-    static TLS_SINKS: RefCell<Vec<(u64, Weak<Shared>, Arc<Sink>)>> =
-        const { RefCell::new(Vec::new()) };
+    /// Per-thread sink cache.
+    static TLS_SINKS: RefCell<Vec<CachedSink>> = const { RefCell::new(Vec::new()) };
 }
 
 static NEXT_ID: AtomicU64 = AtomicU64::new(1);
@@ -527,6 +530,46 @@ impl Recorder {
     pub fn dropped(&self) -> u64 {
         self.shared.dropped.load(Ordering::Relaxed)
     }
+
+    /// Re-emits every event of `trace` into this recorder, assigning fresh
+    /// global sequence numbers in the trace's own order — the *stable
+    /// sequence re-keying* merge. Parallel sweeps record into isolated
+    /// recorders (one per job, so cross-thread interleaving never mixes two
+    /// jobs' streams), then the driver absorbs each job's drained trace in a
+    /// fixed job order: the merged stream is a pure function of the job
+    /// results, independent of which worker ran what when.
+    ///
+    /// Timestamps are preserved verbatim (each absorbed stream keeps its own
+    /// clock origin); histograms are merged bucket-wise by name, and the
+    /// donor's dropped count is carried over so overflow is never silently
+    /// lost. No-op when this recorder is disabled.
+    pub fn absorb(&self, trace: &Trace) {
+        if !self.enabled() {
+            return;
+        }
+        for e in &trace.events {
+            self.emit(e.clock, e.kind, e.name, e.track, e.t, e.val, e.a, e.b);
+        }
+        if !trace.histograms.is_empty() {
+            let mut hists = self.shared.hists.lock().expect("obs hists poisoned");
+            for donor in &trace.histograms {
+                match hists.iter_mut().find(|h| h.name == donor.name) {
+                    Some(h) => {
+                        for (dst, src) in h.buckets.iter_mut().zip(&donor.buckets) {
+                            *dst += src;
+                        }
+                        h.sum += donor.sum;
+                    }
+                    None => hists.push(donor.clone()),
+                }
+            }
+        }
+        if trace.dropped > 0 {
+            self.shared
+                .dropped
+                .fetch_add(trace.dropped, Ordering::Relaxed);
+        }
+    }
 }
 
 /// RAII guard for a wall-clock span opened with [`Recorder::span`].
@@ -600,6 +643,53 @@ mod tests {
         assert!(t.events.is_empty());
         assert!(t.histograms.is_empty());
         assert_eq!(t.dropped, 0);
+    }
+
+    #[test]
+    fn absorb_rekeys_sequences_in_trace_order() {
+        // Two isolated donors, absorbed in a fixed order: the merged stream
+        // must list donor A's events before donor B's, with fresh strictly
+        // increasing sequence numbers, regardless of the donors' own seqs.
+        let a = Recorder::new(16);
+        let b = Recorder::new(16);
+        b.counter_at(Clock::Virtual, "b.first", 0, 5, 50); // b emits first…
+        a.counter_at(Clock::Virtual, "a.first", 0, 1, 10);
+        a.complete_at(Clock::Virtual, "a.span", 1, 2, 3, 7, 8);
+        a.hist("h", 3);
+        b.hist("h", 300);
+        let parent = Recorder::new(64);
+        parent.counter_at(Clock::Virtual, "parent.pre", 0, 0, 1);
+        parent.absorb(&a.take()); // …but A is absorbed first.
+        parent.absorb(&b.take());
+        let t = parent.take();
+        let names: Vec<&str> = t.events.iter().map(|e| e.name).collect();
+        assert_eq!(names, ["parent.pre", "a.first", "a.span", "b.first"]);
+        for w in t.events.windows(2) {
+            assert!(w[0].seq < w[1].seq, "re-keyed seqs must increase");
+        }
+        // Timestamps and payloads are preserved verbatim.
+        let span = t.events.iter().find(|e| e.name == "a.span").unwrap();
+        assert_eq!((span.t, span.val, span.a, span.b), (2, 3, 7, 8));
+        // Histograms merged bucket-wise by name.
+        let h = t.histograms.iter().find(|h| h.name == "h").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum, 303);
+    }
+
+    #[test]
+    fn absorb_carries_dropped_and_respects_disabled() {
+        let donor = Recorder::new(1);
+        donor.counter_at(Clock::Virtual, "kept", 0, 0, 1);
+        donor.counter_at(Clock::Virtual, "lost", 0, 1, 2); // overflows
+        let trace = donor.take();
+        assert_eq!(trace.dropped, 1);
+        let parent = Recorder::new(8);
+        parent.absorb(&trace);
+        let merged = parent.take();
+        assert_eq!(merged.events.len(), 1);
+        assert_eq!(merged.dropped, 1, "donor overflow carried over");
+        Recorder::off().absorb(&trace); // no-op, no panic
+        assert!(Recorder::off().take().events.is_empty());
     }
 
     #[test]

@@ -219,8 +219,13 @@ pub fn recursive_bisection_ws(
 /// depth-first with eager reclamation: the left subgraph is extracted,
 /// recursed into and recycled into the workspace pools *before* the right
 /// subgraph is built, so sibling subtrees reuse each other's buffers.
+///
+/// `pub(crate)` so the parallel driver ([`crate::par`]) can run sequential
+/// subtrees below its fan-out cutoff through *exactly* this code — the
+/// bit-identity of parallel and sequential partitions rests on both paths
+/// sharing every per-node decision.
 #[allow(clippy::too_many_arguments)]
-fn split_recursive(
+pub(crate) fn split_recursive(
     graph: &CsrGraph,
     config: &PartitionConfig,
     fracs: &[f64],

@@ -36,8 +36,8 @@ impl SideWeights {
         for (v, &sv) in side.iter().enumerate() {
             let s = sv as usize;
             let vw = graph.vertex_weights(v as u32);
-            for c in 0..ncon {
-                self.w[s][c] += i64::from(vw[c]);
+            for (c, &w) in vw.iter().enumerate().take(ncon) {
+                self.w[s][c] += i64::from(w);
             }
         }
         self.target0.clear();

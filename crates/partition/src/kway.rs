@@ -377,7 +377,7 @@ mod tests {
         let cfg = PartitionConfig::new(6);
         let mut part = recursive_bisection(&g, &cfg);
         kway_refine(&g, &mut part, &cfg);
-        let mut used = vec![false; 6];
+        let mut used = [false; 6];
         for &p in &part {
             used[p as usize] = true;
         }
@@ -389,7 +389,7 @@ mod tests {
         let g = grid_graph(24, 24);
         let cfg = PartitionConfig::new(8).with_ub(1.10);
         let part = multilevel_kway(&g, &cfg);
-        let mut used = vec![false; 8];
+        let mut used = [false; 8];
         for &p in &part {
             used[p as usize] = true;
         }

@@ -23,6 +23,7 @@ pub mod coarsen;
 pub mod geometric;
 pub mod initial;
 pub mod kway;
+pub mod par;
 pub mod refine;
 pub mod repair;
 pub mod workspace;
@@ -31,6 +32,7 @@ use tempart_graph::{CsrGraph, PartId};
 
 pub use geometric::{hilbert_index, morton_index, sfc_partition, Curve};
 pub use kway::{kway_rebalance, multilevel_kway};
+pub use par::{partition_graph_par, partition_graph_par_traced, WorkspacePool};
 pub use repair::{repair_contiguity, repair_contiguity_traced, RepairReport};
 pub use workspace::{GainBuckets, PartitionWorkspace};
 
@@ -274,7 +276,7 @@ mod tests {
             .with_ub(1.05)
             .with_targets(vec![0.4, 0.3, 0.2, 0.1]);
         let part = partition_graph(&g, &cfg);
-        let mut counts = vec![0usize; 4];
+        let mut counts = [0usize; 4];
         for &p in &part {
             counts[p as usize] += 1;
         }

@@ -5,10 +5,13 @@
 //! other graphs, and recycled coarse hierarchies must all be invisible in
 //! the output.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Barrier;
 use tempart_graph::builder::{grid_graph, GraphBuilder};
 use tempart_graph::CsrGraph;
 use tempart_partition::{
-    partition_graph, partition_graph_with, PartitionConfig, PartitionWorkspace, Scheme,
+    partition_graph, partition_graph_par, partition_graph_with, PartitionConfig,
+    PartitionWorkspace, Scheme, WorkspacePool,
 };
 use tempart_testkit::prop::vec_of;
 use tempart_testkit::{prop_assert_eq, proptest};
@@ -106,6 +109,106 @@ fn workspace_survives_degenerate_inputs_between_real_ones() {
     let _ = partition_graph_with(&path, &PartitionConfig::new(8).with_ub(4.0), &mut ws);
     // The big instance must still come out bit-identical.
     assert_eq!(partition_graph_with(&big, &cfg, &mut ws), reference);
+}
+
+/// N threads checking out of a shared striped [`WorkspacePool`] must each
+/// receive an exclusively owned workspace — never an aliased arena. Aliasing
+/// is observable two ways: the pooled count would not drain to zero when
+/// every pre-seeded workspace is simultaneously held (a workspace handed out
+/// twice leaves a phantom behind), and concurrent `partition_graph_with`
+/// calls through shared arenas would race and diverge from the sequential
+/// reference. Both are checked under a barrier so all threads genuinely
+/// overlap.
+#[test]
+fn pool_checkout_is_exclusive_across_threads() {
+    const THREADS: usize = 4;
+    const ROUNDS: usize = 8;
+    let pool = WorkspacePool::new(THREADS);
+    // Pre-seed every stripe with one warm workspace.
+    let warm_graph = grid_graph(16, 16);
+    for s in 0..THREADS {
+        let mut ws = PartitionWorkspace::new();
+        let _ = partition_graph_with(&warm_graph, &PartitionConfig::new(4), &mut ws);
+        pool.give_back(s, ws);
+    }
+    assert_eq!(pool.pooled(), THREADS);
+
+    let graphs: Vec<CsrGraph> = (0..THREADS)
+        .map(|t| graded_mc_grid(18 + 2 * t, 12, 1 + t % 3 + 1))
+        .collect();
+    let configs: Vec<PartitionConfig> = (0..THREADS)
+        .map(|t| {
+            PartitionConfig::new(2 + t)
+                .with_ub(1.2)
+                .with_seed(0xA11A5 ^ t as u64)
+        })
+        .collect();
+    let references: Vec<Vec<u32>> = graphs
+        .iter()
+        .zip(&configs)
+        .map(|(g, c)| partition_graph(g, c))
+        .collect();
+
+    let all_held = Barrier::new(THREADS);
+    let divergences = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let (pool, all_held, divergences) = (&pool, &all_held, &divergences);
+            let (g, cfg, reference) = (&graphs[t], &configs[t], &references[t]);
+            scope.spawn(move || {
+                for round in 0..ROUNDS {
+                    let mut ws = pool.checkout(t);
+                    if round == 0 {
+                        // Every thread holds one of the N pre-seeded
+                        // workspaces at this barrier; a double-hand-out
+                        // would leave pooled() > 0.
+                        all_held.wait();
+                        assert_eq!(pool.pooled(), 0, "pool handed a workspace out twice");
+                        all_held.wait();
+                    }
+                    let part = partition_graph_with(g, cfg, &mut ws);
+                    if &part != reference {
+                        divergences.fetch_add(1, Ordering::Relaxed);
+                    }
+                    pool.give_back(t, ws);
+                }
+            });
+        }
+    });
+    assert_eq!(
+        divergences.load(Ordering::Relaxed),
+        0,
+        "concurrent pooled workspaces diverged from the sequential reference"
+    );
+    assert_eq!(pool.pooled(), THREADS, "give_back lost workspaces");
+}
+
+/// The pool carries **capacity, not state**: `partition_graph_par` from a
+/// pool warmed by unrelated instances (different graph, ncon, k, scheme)
+/// must be bit-identical to the same call on a fresh pool.
+#[test]
+fn warm_pool_parallel_is_bit_identical_to_fresh_pool() {
+    let g = graded_mc_grid(32, 24, 4);
+    let cfg = PartitionConfig::new(8).with_ub(1.1).with_seed(0xBEEF);
+    for workers in [1usize, 2, 4] {
+        let fresh = partition_graph_par(&g, &cfg, workers, &WorkspacePool::new(workers));
+        // Pollute a pool with unrelated work first.
+        let warm = WorkspacePool::new(workers);
+        let _ = partition_graph_par(
+            &grid_graph(24, 24),
+            &PartitionConfig::new(5).with_scheme(Scheme::KWayRefined),
+            workers,
+            &warm,
+        );
+        let _ = partition_graph_par(
+            &graded_mc_grid(10, 10, 2),
+            &PartitionConfig::new(3).with_ub(1.5),
+            workers,
+            &warm,
+        );
+        let polluted = partition_graph_par(&g, &cfg, workers, &warm);
+        assert_eq!(fresh, polluted, "workers={workers}: warm pool diverged");
+    }
 }
 
 proptest! {

@@ -2,6 +2,9 @@
 //!
 //! Built on std primitives only (`Mutex<VecDeque>` + `Arc`), replacing the
 //! previous `crossbeam::deque` fabric so the workspace stays dependency-free.
+//! The deque types are generic over the queued item (defaulting to
+//! [`TaskId`]): the DAG executor queues task ids, the fork-join layer
+//! ([`crate::forkjoin`]) queues boxed closures — one fabric, two runtimes.
 //! The scheduling semantics are preserved exactly:
 //!
 //! * **Owner pop is LIFO** — a worker pops the task it most recently pushed
@@ -22,24 +25,32 @@ use tempart_taskgraph::TaskId;
 
 /// The shared FIFO inbox of a group; newly-ready tasks land here when the
 /// releasing worker belongs to a different group.
-#[derive(Debug, Default)]
-pub struct Injector {
-    queue: Mutex<VecDeque<TaskId>>,
+#[derive(Debug)]
+pub struct Injector<T = TaskId> {
+    queue: Mutex<VecDeque<T>>,
 }
 
-impl Injector {
+impl<T> Default for Injector<T> {
+    fn default() -> Self {
+        Self {
+            queue: Mutex::new(VecDeque::new()),
+        }
+    }
+}
+
+impl<T> Injector<T> {
     /// Creates an empty injector.
     pub fn new() -> Self {
         Self::default()
     }
 
     /// Enqueues a ready task (FIFO order).
-    pub fn push(&self, t: TaskId) {
+    pub fn push(&self, t: T) {
         self.queue.lock().expect("injector poisoned").push_back(t);
     }
 
     /// Dequeues the oldest task, if any.
-    pub fn pop(&self) -> Option<TaskId> {
+    pub fn pop(&self) -> Option<T> {
         self.queue.lock().expect("injector poisoned").pop_front()
     }
 
@@ -56,30 +67,38 @@ impl Injector {
 
 /// The owner-side handle of one worker's deque. Moves into the worker
 /// thread; the matching [`Stealer`]s stay in the [`Group`].
-#[derive(Debug, Clone)]
-pub struct Worker {
-    deque: Arc<Mutex<VecDeque<TaskId>>>,
+#[derive(Debug)]
+pub struct Worker<T = TaskId> {
+    deque: Arc<Mutex<VecDeque<T>>>,
 }
 
-impl Worker {
-    fn new() -> Self {
+impl<T> Clone for Worker<T> {
+    fn clone(&self) -> Self {
+        Self {
+            deque: Arc::clone(&self.deque),
+        }
+    }
+}
+
+impl<T> Worker<T> {
+    pub(crate) fn new() -> Self {
         Self {
             deque: Arc::new(Mutex::new(VecDeque::new())),
         }
     }
 
     /// Pushes a task onto the owner's end (most-recently-pushed pops first).
-    pub fn push(&self, t: TaskId) {
+    pub fn push(&self, t: T) {
         self.deque.lock().expect("deque poisoned").push_back(t);
     }
 
     /// Pops the most recently pushed task (LIFO).
-    pub fn pop(&self) -> Option<TaskId> {
+    pub fn pop(&self) -> Option<T> {
         self.deque.lock().expect("deque poisoned").pop_back()
     }
 
     /// The thief-side handle of this deque.
-    pub fn stealer(&self) -> Stealer {
+    pub fn stealer(&self) -> Stealer<T> {
         Stealer {
             deque: Arc::clone(&self.deque),
         }
@@ -87,14 +106,22 @@ impl Worker {
 }
 
 /// The thief-side handle of a worker's deque: takes the *oldest* task.
-#[derive(Debug, Clone)]
-pub struct Stealer {
-    deque: Arc<Mutex<VecDeque<TaskId>>>,
+#[derive(Debug)]
+pub struct Stealer<T = TaskId> {
+    deque: Arc<Mutex<VecDeque<T>>>,
 }
 
-impl Stealer {
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Self {
+            deque: Arc::clone(&self.deque),
+        }
+    }
+}
+
+impl<T> Stealer<T> {
     /// Steals the oldest task from the victim's deque (FIFO).
-    pub fn steal(&self) -> Option<TaskId> {
+    pub fn steal(&self) -> Option<T> {
         self.deque.lock().expect("deque poisoned").pop_front()
     }
 }
@@ -114,18 +141,18 @@ pub enum TaskSource {
 
 /// The scheduling fabric of one process group: a shared injector plus one
 /// work-stealing deque per worker thread of the group.
-pub struct Group {
+pub struct Group<T = TaskId> {
     /// Global inbox of the group; newly-ready tasks land here.
-    pub injector: Injector,
+    pub injector: Injector<T>,
     /// Stealers for all worker deques of this group.
-    pub stealers: Vec<Stealer>,
+    pub stealers: Vec<Stealer<T>>,
 }
 
-impl Group {
+impl<T> Group<T> {
     /// Creates the group fabric, returning the group and the worker-local
     /// deques (to be moved into the worker threads).
-    pub fn new(n_workers: usize) -> (Self, Vec<Worker>) {
-        let workers: Vec<Worker> = (0..n_workers).map(|_| Worker::new()).collect();
+    pub fn new(n_workers: usize) -> (Self, Vec<Worker<T>>) {
+        let workers: Vec<Worker<T>> = (0..n_workers).map(|_| Worker::new()).collect();
         let stealers = workers.iter().map(Worker::stealer).collect();
         (
             Self {
@@ -139,7 +166,7 @@ impl Group {
     /// Finds work for the worker owning `local`: local deque first (LIFO),
     /// then the group injector (FIFO), then stealing from in-group siblings
     /// (FIFO from each victim).
-    pub fn find_task(&self, local: &Worker, self_index: usize) -> Option<TaskId> {
+    pub fn find_task(&self, local: &Worker<T>, self_index: usize) -> Option<T> {
         self.find_task_tagged(local, self_index).map(|(t, _)| t)
     }
 
@@ -147,9 +174,9 @@ impl Group {
     /// the task. The probe order (and thus the schedule) is identical.
     pub fn find_task_tagged(
         &self,
-        local: &Worker,
+        local: &Worker<T>,
         self_index: usize,
-    ) -> Option<(TaskId, TaskSource)> {
+    ) -> Option<(T, TaskSource)> {
         if let Some(t) = local.pop() {
             return Some((t, TaskSource::Local));
         }

@@ -10,9 +10,11 @@
 //! show up as idle cores, exactly as in the distributed setting.
 
 pub mod dag_exec;
+pub mod forkjoin;
 pub mod groups;
 pub mod trace;
 
 pub use dag_exec::{execute, execute_traced, ExecReport, RuntimeConfig};
+pub use forkjoin::{env_workers, fork_join, ForkCtx};
 pub use groups::TaskSource;
 pub use trace::{wall_segments, WallSegment};

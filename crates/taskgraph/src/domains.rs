@@ -213,7 +213,7 @@ mod tests {
         let m = grid_mesh(2);
         let part: Vec<PartId> = (0..64).map(|i| (i % 4) as PartId).collect();
         let dd = DomainDecomposition::new(&m, &part, 4);
-        let mut seen = vec![false; 64];
+        let mut seen = [false; 64];
         for d in 0..4u32 {
             for tau in 0..1u8 {
                 for class in [ObjectClass::Internal, ObjectClass::External] {

@@ -13,7 +13,8 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 use tempart::core_api::{
-    decompose, decompose_with_repair, run_flusim, Curve, PartitionStrategy, PipelineConfig,
+    decompose_par, decompose_with_repair, env_workers, run_flusim_workers, run_sweep, Curve,
+    PartitionStrategy, PipelineConfig,
 };
 use tempart::flusim::{ascii_gantt, ClusterConfig, CommModel, Strategy};
 use tempart::graph::PartitionQuality;
@@ -56,6 +57,10 @@ COMMON OPTIONS:
     --strategy uniform|sc_oc|mc_tl|dual:<k>|sfc_z|sfc_h      [default: mc_tl]
     --domains N                   extraction domains         [default: 32]
     --seed N                      partitioner seed           [default: 24397]
+    --workers N                   fork-join width for partition/trace/compare
+                                  (and solver threads for solve); defaults to
+                                  the TEMPART_WORKERS env var, else 1 —
+                                  results are bit-identical at every width
 ";
 
 #[derive(Debug)]
@@ -72,7 +77,7 @@ struct Options {
     heun: bool,
     mu: Option<f64>,
     groups: usize,
-    workers: usize,
+    workers: Option<usize>,
     repair: bool,
     gantt: bool,
     svg: Option<PathBuf>,
@@ -98,7 +103,7 @@ impl Default for Options {
             heun: false,
             mu: None,
             groups: 2,
-            workers: 2,
+            workers: None,
             repair: false,
             gantt: false,
             svg: None,
@@ -201,9 +206,13 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     .map_err(|e| format!("--groups: {e}"))?
             }
             "--workers" => {
-                o.workers = take(args, &mut i, "--workers")?
+                let w: usize = take(args, &mut i, "--workers")?
                     .parse()
-                    .map_err(|e| format!("--workers: {e}"))?
+                    .map_err(|e| format!("--workers: {e}"))?;
+                if w == 0 {
+                    return Err("--workers must be at least 1".into());
+                }
+                o.workers = Some(w);
             }
             "--heun" => o.heun = true,
             "--mu" => {
@@ -231,6 +240,12 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
 fn build_mesh(o: &Options) -> Mesh {
     let base_depth = o.depth.unwrap_or_else(|| o.case.default_base_depth());
     o.case.generate(&GeneratorConfig { base_depth })
+}
+
+/// Fork-join width for the partitioning/sweep stages: `--workers` if given,
+/// else the process-wide `TEMPART_WORKERS` knob (default 1 = sequential).
+fn fj_workers(o: &Options) -> usize {
+    o.workers.unwrap_or_else(env_workers)
 }
 
 fn cmd_gen(o: &Options) -> Result<(), String> {
@@ -288,7 +303,11 @@ fn cmd_partition(o: &Options) -> Result<(), String> {
         return cmd_partition_file(o, &path);
     }
     let mesh = build_mesh(o);
+    let workers = fj_workers(o);
     let (part, repair_note) = if o.repair {
+        // Repair is a sequential global pass; the decomposition under it is
+        // identical to the parallel one, so nothing is lost running the
+        // combined entry point here.
         let (part, report) = decompose_with_repair(&mesh, o.strategy, o.domains, o.seed);
         (
             part,
@@ -299,17 +318,19 @@ fn cmd_partition(o: &Options) -> Result<(), String> {
         )
     } else {
         (
-            decompose(&mesh, o.strategy, o.domains, o.seed),
+            decompose_par(&mesh, o.strategy, o.domains, o.seed, workers),
             String::new(),
         )
     };
     let g = mesh.to_graph();
     let q = PartitionQuality::measure(&g, &part, o.domains);
     println!(
-        "{} × {} domains via {}{repair_note}",
+        "{} × {} domains via {} ({} worker{}){repair_note}",
         o.case.name(),
         o.domains,
-        o.strategy.label()
+        o.strategy.label(),
+        workers,
+        if workers == 1 { "" } else { "s" }
     );
     println!("  edge cut        : {}", q.edge_cut);
     println!("  comm volume     : {}", q.comm_volume);
@@ -337,10 +358,10 @@ fn cmd_simulate(o: &Options) -> Result<(), String> {
         seed: o.seed,
     };
     let out = if o.latency == 0 {
-        run_flusim(&mesh, &config)
+        run_flusim_workers(&mesh, &config, fj_workers(o))
     } else {
         // Re-simulate with the communication model.
-        let part = decompose(&mesh, o.strategy, o.domains, o.seed);
+        let part = decompose_par(&mesh, o.strategy, o.domains, o.seed, fj_workers(o));
         let dd = tempart::taskgraph::DomainDecomposition::new(&mesh, &part, o.domains);
         let graph = tempart::taskgraph::generate_taskgraph(
             &mesh,
@@ -400,7 +421,7 @@ fn cmd_simulate(o: &Options) -> Result<(), String> {
 }
 
 fn cmd_trace(o: &Options) -> Result<(), String> {
-    use tempart::core_api::run_flusim_traced;
+    use tempart::core_api::{run_flusim_workers_traced, WorkspacePool};
     use tempart::obs::{export, replay, schema, Recorder};
     let mesh = build_mesh(o);
     let cluster = ClusterConfig::new(o.processes, o.cores);
@@ -411,8 +432,10 @@ fn cmd_trace(o: &Options) -> Result<(), String> {
         scheduling: Strategy::EagerFifo,
         seed: o.seed,
     };
+    let workers = fj_workers(o);
     let rec = Recorder::new(1 << 18);
-    let out = run_flusim_traced(&mesh, &config, &rec);
+    let pool = WorkspacePool::new(workers);
+    let out = run_flusim_workers_traced(&mesh, &config, workers, &pool, &rec);
     let trace = rec.take();
     if trace.dropped > 0 {
         return Err(format!(
@@ -481,7 +504,7 @@ fn cmd_trace(o: &Options) -> Result<(), String> {
 
 fn cmd_solve(o: &Options) -> Result<(), String> {
     let mesh = build_mesh(o);
-    let part = decompose(&mesh, o.strategy, o.domains, o.seed);
+    let part = decompose_par(&mesh, o.strategy, o.domains, o.seed, env_workers());
     let config = SolverConfig {
         cfl: 0.4,
         integration: if o.heun {
@@ -505,7 +528,7 @@ fn cmd_solve(o: &Options) -> Result<(), String> {
         solver.graph().len(),
         config.integration
     );
-    let runtime = RuntimeConfig::new(o.groups, o.workers);
+    let runtime = RuntimeConfig::new(o.groups, o.workers.unwrap_or(2));
     let group_of = block_process_map(o.domains, o.groups);
     let before = solver.totals();
     for it in 0..o.iterations {
@@ -536,16 +559,27 @@ fn cmd_compare(o: &Options) -> Result<(), String> {
         o.processes,
         o.cores
     );
+    // The two strategies are independent experiments: fan them out as
+    // parallel sweep jobs (results are bit-identical at every width).
+    let strategies = [PartitionStrategy::ScOc, PartitionStrategy::McTl];
+    let jobs: Vec<(&Mesh, PipelineConfig)> = strategies
+        .iter()
+        .map(|&strategy| {
+            (
+                &mesh,
+                PipelineConfig {
+                    strategy,
+                    n_domains: o.domains,
+                    cluster,
+                    scheduling: Strategy::EagerFifo,
+                    seed: o.seed,
+                },
+            )
+        })
+        .collect();
+    let outcomes = run_sweep(&jobs, fj_workers(o));
     let mut spans = Vec::new();
-    for strategy in [PartitionStrategy::ScOc, PartitionStrategy::McTl] {
-        let cfg = PipelineConfig {
-            strategy,
-            n_domains: o.domains,
-            cluster,
-            scheduling: Strategy::EagerFifo,
-            seed: o.seed,
-        };
-        let out = run_flusim(&mesh, &cfg);
+    for (strategy, out) in strategies.iter().copied().zip(outcomes) {
         println!(
             "  {:<6} makespan {:>8}  idle {:>5.1}%  cut {:>7}  interprocess {:>7}",
             strategy.label(),

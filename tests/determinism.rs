@@ -94,7 +94,9 @@ fn flusim_segments_pinned_across_scheduler_rewrites() {
     // for bit — not just the makespan. If a legitimate scheduler semantics
     // change ever breaks these, re-derive the constants with the
     // `segments_fingerprint` helper and justify the change in the commit.
-    let pins: [(&str, &[(Strategy, u64, u64, usize)]); 2] = [
+    /// `(scheduling strategy, segments digest, makespan, segment count)`.
+    type Pin = (Strategy, u64, u64, usize);
+    let pins: [(&str, &[Pin]); 2] = [
         (
             "cylinder3",
             &[

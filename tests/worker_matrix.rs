@@ -1,0 +1,158 @@
+//! Worker-matrix determinism suite: the fork-join pipeline is a pure
+//! function of `(mesh, config)` — the worker count changes the schedule,
+//! never the answer.
+//!
+//! Two layers of defence:
+//!
+//! * [`parallel_pipeline_is_bit_identical_across_widths`] cross-checks
+//!   `decompose_par` / `run_flusim_workers` against the sequential entry
+//!   points at widths 1, 2 and 4 **inside one process** — every strategy ×
+//!   mesh combination, part vectors and Gantt segments compared bit for bit;
+//! * [`emit_fingerprints_for_worker_matrix`] distils each combination into
+//!   FNV-1a digests and writes them to
+//!   `results/fingerprints_w<TEMPART_WORKERS>.txt`. `ci.sh worker-matrix`
+//!   runs this test under `TEMPART_WORKERS=1` and `=4` in **separate
+//!   processes** and diffs the two files — catching any environment- or
+//!   thread-count-dependent state a single-process test could mask. The
+//!   file *content* never mentions the worker count, so matching runs
+//!   produce byte-identical files.
+
+use std::fmt::Write as _;
+use tempart::core_api::{
+    decompose, decompose_par, env_workers, run_flusim, run_flusim_workers, PartitionStrategy,
+    PipelineConfig,
+};
+use tempart::flusim::{ClusterConfig, Segment, Strategy};
+use tempart::mesh::{cube_like, cylinder_like, GeneratorConfig, Mesh};
+
+const SEED: u64 = 0x3A7_2026;
+const N_DOMAINS: usize = 16;
+
+fn meshes() -> Vec<(&'static str, Mesh)> {
+    vec![
+        (
+            "cylinder3",
+            cylinder_like(&GeneratorConfig { base_depth: 3 }),
+        ),
+        ("cube4", cube_like(&GeneratorConfig { base_depth: 4 })),
+    ]
+}
+
+fn strategies() -> [PartitionStrategy; 4] {
+    [
+        PartitionStrategy::ScOc,
+        PartitionStrategy::McTl,
+        PartitionStrategy::Uniform,
+        PartitionStrategy::DualPhase {
+            domains_per_process: 4,
+        },
+    ]
+}
+
+fn config(strategy: PartitionStrategy) -> PipelineConfig {
+    PipelineConfig {
+        strategy,
+        n_domains: N_DOMAINS,
+        cluster: ClusterConfig::new(4, 4),
+        scheduling: Strategy::EagerFifo,
+        seed: SEED,
+    }
+}
+
+fn fnv1a(h: &mut u64, word: u64) {
+    for byte in word.to_le_bytes() {
+        *h ^= u64::from(byte);
+        *h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+}
+
+/// FNV-1a over the part vector in cell order.
+fn part_fingerprint(part: &[u32]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &p in part {
+        fnv1a(&mut h, u64::from(p));
+    }
+    h
+}
+
+/// FNV-1a over each segment's `(task, process, start, end)` in emission
+/// order (same digest as `tests/determinism.rs`).
+fn segments_fingerprint(segments: &[Segment]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for s in segments {
+        for word in [u64::from(s.task), u64::from(s.process), s.start, s.end] {
+            fnv1a(&mut h, word);
+        }
+    }
+    h
+}
+
+#[test]
+fn parallel_pipeline_is_bit_identical_across_widths() {
+    for (name, mesh) in &meshes() {
+        for strategy in strategies() {
+            let cfg = config(strategy);
+            let seq_part = decompose(mesh, strategy, N_DOMAINS, SEED);
+            let seq = run_flusim(mesh, &cfg);
+            assert_eq!(seq.part, seq_part, "{name}/{strategy:?}: pipeline part");
+            for workers in [1usize, 2, 4] {
+                let par_part = decompose_par(mesh, strategy, N_DOMAINS, SEED, workers);
+                assert_eq!(
+                    seq_part, par_part,
+                    "{name}/{strategy:?} w{workers}: part vector diverged"
+                );
+                let par = run_flusim_workers(mesh, &cfg, workers);
+                assert_eq!(seq.part, par.part, "{name}/{strategy:?} w{workers}: part");
+                assert_eq!(
+                    seq.quality, par.quality,
+                    "{name}/{strategy:?} w{workers}: quality"
+                );
+                assert_eq!(
+                    seq.sim.segments, par.sim.segments,
+                    "{name}/{strategy:?} w{workers}: Gantt segments diverged"
+                );
+                assert_eq!(seq.interprocess_cut, par.interprocess_cut);
+            }
+        }
+    }
+}
+
+/// Writes `results/fingerprints_w<N>.txt` for the current `TEMPART_WORKERS`
+/// (default 1). One line per mesh × strategy:
+/// `<mesh>/<label> part=<hex> gantt=<hex> makespan=<n>`.
+#[test]
+fn emit_fingerprints_for_worker_matrix() {
+    let workers = env_workers();
+    let mut out =
+        String::from("# tempart worker-matrix fingerprints: identical for every TEMPART_WORKERS\n");
+    for (name, mesh) in &meshes() {
+        for strategy in strategies() {
+            let outcome = run_flusim_workers(mesh, &config(strategy), workers);
+            writeln!(
+                out,
+                "{name}/{} part={:016x} gantt={:016x} makespan={}",
+                strategy.label(),
+                part_fingerprint(&outcome.part),
+                segments_fingerprint(&outcome.sim.segments),
+                outcome.makespan(),
+            )
+            .unwrap();
+        }
+    }
+    // Nearest ancestor `results/` (repo root when run via cargo).
+    let dir = std::env::current_dir()
+        .ok()
+        .and_then(|cwd| {
+            cwd.ancestors()
+                .find(|d| d.join("results").is_dir())
+                .map(|d| d.join("results"))
+        })
+        .unwrap_or_else(|| "results".into());
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    let path = dir.join(format!("fingerprints_w{workers}.txt"));
+    std::fs::write(&path, &out).expect("write fingerprint file");
+    println!(
+        "worker-matrix fingerprints ({workers} worker(s)) -> {}",
+        path.display()
+    );
+}
