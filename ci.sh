@@ -54,10 +54,12 @@ cargo test -q --offline --workspace --doc
 echo "== worker matrix (fork-join determinism across processes) =="
 # The fork-join pipeline must be a pure function of its inputs: the same
 # fingerprint file — FNV-1a digests of every strategy x mesh part vector and
-# Gantt chart — must come out byte-identical whether the partitioner runs
+# Gantt chart, plus one portfolio-leaderboard digest per mesh (the full
+# ranked 24-combo race) — must come out byte-identical whether the work runs
 # sequentially or forked across 4 workers. Run in separate processes so
 # thread-count-dependent state can't hide inside one test binary (the
-# in-process cross-check at widths 1/2/4 already ran in the suites above).
+# in-process cross-check at widths 1/2/4 already ran in the suites above,
+# including the portfolio suites property_portfolio and golden_portfolio).
 TEMPART_WORKERS=1 cargo test -q --release --offline --test worker_matrix \
     emit_fingerprints >/dev/null
 TEMPART_WORKERS=4 cargo test -q --release --offline --test worker_matrix \
@@ -83,7 +85,10 @@ echo "== bench gate (hot-path regression check) =="
 # one-relaxed-atomic-branch disabled path into every hot loop they time.
 # The partitioner suite also gates the fork-join rows
 # (`partition/parallel/MC_TL-w{1,2,4}`): on a single-core runner they bound
-# the fork-join overhead against the sequential baseline.
+# the fork-join overhead against the sequential baseline. The flusim suite
+# additionally gates the lattice scheduler (`flusim/portfolio/*`): one
+# dynamic combo against the pinned loop, and the full 24-combo race at 1
+# and 4 workers — pricing the global-ready-heap path and the racing fan-out.
 if [[ "${CI_SKIP_BENCH:-0}" == "1" ]]; then
     echo "skipped (CI_SKIP_BENCH=1)"
 else

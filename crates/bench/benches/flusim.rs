@@ -5,7 +5,10 @@
 
 use std::hint::black_box;
 use tempart_core::{decompose, PartitionStrategy};
-use tempart_flusim::{simulate, ClusterConfig, Strategy};
+use tempart_flusim::{
+    race, simulate, simulate_lattice, ClusterConfig, DynamicListStrategy, ProcessCriterion,
+    Strategy, TaskCriterion, TieBreak,
+};
 use tempart_mesh::{cylinder_like, GeneratorConfig};
 use tempart_taskgraph::{
     generate_taskgraph, stats::block_process_map, DomainDecomposition, TaskGraphConfig,
@@ -31,6 +34,37 @@ fn bench_scheduling_strategies(b: &mut Bencher) {
     }
 }
 
+fn bench_portfolio(b: &mut Bencher) {
+    let mesh = cylinder_like(&GeneratorConfig { base_depth: 4 });
+    let part = decompose(&mesh, PartitionStrategy::ScOc, 64, 1);
+    let dd = DomainDecomposition::new(&mesh, &part, 64);
+    let graph = generate_taskgraph(&mesh, &dd, &TaskGraphConfig::default());
+    let cluster = ClusterConfig::new(16, 4);
+    let process_of = block_process_map(64, 16);
+    // One dynamic lattice point in isolation: the global-heap loop against
+    // the pinned per-process loop measured by flusim/scheduling/*.
+    let dynamic = DynamicListStrategy {
+        task: TaskCriterion::CriticalPath,
+        process: ProcessCriterion::LeastLoaded,
+        tie: TieBreak::InsertionOrder,
+    };
+    b.bench("flusim/portfolio/single-dynamic-combo", || {
+        black_box(simulate_lattice(
+            black_box(&graph),
+            &cluster,
+            &process_of,
+            &dynamic,
+        ))
+    });
+    // The full 24-combo race, serial and fanned over the fork-join pool.
+    b.set_samples(10);
+    for workers in [1usize, 4] {
+        b.bench(&format!("flusim/portfolio/race-24combo-w{workers}"), || {
+            black_box(race(black_box(&graph), &cluster, &process_of, workers))
+        });
+    }
+}
+
 fn bench_end_to_end(b: &mut Bencher) {
     let mesh = cylinder_like(&GeneratorConfig { base_depth: 4 });
     b.set_samples(10);
@@ -48,6 +82,7 @@ fn bench_end_to_end(b: &mut Bencher) {
 fn main() {
     let mut b = Bencher::new("flusim");
     bench_scheduling_strategies(&mut b);
+    bench_portfolio(&mut b);
     bench_end_to_end(&mut b);
     b.finish();
 }

@@ -3,6 +3,7 @@
 
 use crate::strategy::{decompose_par_traced, decompose_traced, PartitionStrategy};
 use std::sync::Mutex;
+use tempart_flusim::portfolio::{race_traced, Leaderboard};
 use tempart_flusim::{simulate_traced, ClusterConfig, SimResult, Strategy};
 use tempart_graph::{PartId, PartitionQuality};
 use tempart_mesh::Mesh;
@@ -195,6 +196,75 @@ fn finish_flusim(
         process_of,
         sim,
         interprocess_cut,
+    }
+}
+
+/// Result bundle of a portfolio race: one partition, one task graph, the
+/// full scheduler-lattice leaderboard.
+#[derive(Debug, Clone)]
+pub struct PortfolioOutcome {
+    /// Per-cell domain assignment.
+    pub part: Vec<PartId>,
+    /// Partition quality of the decomposition.
+    pub quality: PartitionQuality,
+    /// The generated task DAG (shared by every raced combo).
+    pub graph: TaskGraph,
+    /// Domain → process mapping used as the *home* mapping by every combo.
+    pub process_of: Vec<usize>,
+    /// Ranked per-combo leaderboard, best makespan first.
+    pub leaderboard: Leaderboard,
+}
+
+/// Partitions `mesh` once, generates the task graph once, then races the
+/// full scheduler strategy lattice (24 combos — see
+/// [`tempart_flusim::DynamicListStrategy::lattice`]) on `workers` fork-join
+/// workers. `config.scheduling` is ignored: the race covers every lattice
+/// point, including all four legacy strategies.
+pub fn run_portfolio(mesh: &Mesh, config: &PipelineConfig, workers: usize) -> PortfolioOutcome {
+    run_portfolio_traced(
+        mesh,
+        config,
+        workers,
+        &WorkspacePool::new(workers),
+        Recorder::off(),
+    )
+}
+
+/// Traced [`run_portfolio`]: a `"core.portfolio"` wall span around the
+/// parallel partitioner (`part.*` events, per-branch workspaces from
+/// `pool`), the task-graph generator (`tg.*`) and the portfolio racer
+/// (`portfolio.*` plus every combo's absorbed `flusim.*` stream, merged in
+/// combo order). The leaderboard — down to the f64 bits of every ratio —
+/// is bit-identical at every worker count.
+pub fn run_portfolio_traced(
+    mesh: &Mesh,
+    config: &PipelineConfig,
+    workers: usize,
+    pool: &WorkspacePool,
+    rec: &Recorder,
+) -> PortfolioOutcome {
+    let _span = rec.span("core.portfolio", 0, config.n_domains as u64);
+    let part = decompose_par_traced(
+        mesh,
+        config.strategy,
+        config.n_domains,
+        config.seed,
+        workers,
+        pool,
+        rec,
+    );
+    let cell_graph = mesh.to_graph();
+    let quality = PartitionQuality::measure(&cell_graph, &part, config.n_domains);
+    let dd = DomainDecomposition::new(mesh, &part, config.n_domains);
+    let graph = generate_taskgraph_traced(mesh, &dd, &TaskGraphConfig::default(), rec);
+    let process_of = block_process_map(config.n_domains, config.cluster.n_processes);
+    let leaderboard = race_traced(&graph, &config.cluster, &process_of, workers, rec);
+    PortfolioOutcome {
+        part,
+        quality,
+        graph,
+        process_of,
+        leaderboard,
     }
 }
 

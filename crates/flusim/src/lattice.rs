@@ -1,0 +1,251 @@
+//! The scheduler strategy lattice: dynamic list scheduling parameterised
+//! over a *task criterion* × *process criterion* × *tie-break*.
+//!
+//! The four fixed [`Strategy`](crate::Strategy) policies are named points in
+//! this lattice (see [`DynamicListStrategy::from`]); the cross-product opens
+//! the scenario axis the ROADMAP asks for — "which scheduler wins for which
+//! τ-distribution" — following the `DynamicListScheduler` /
+//! `PortfolioScheduler` design of dslab-dag (Sukhoroslov et al.) adapted to
+//! FLUSIM's pinned-by-default, integer-cost, zero-overhead setting.
+//!
+//! # Determinism
+//!
+//! Every combination is a pure function of `(graph, cores, process_of,
+//! comm)`:
+//!
+//! * ready tasks are ordered by `(criterion priority, tie, task id)` — the
+//!   tie is a unique global readiness sequence number, so no two queued
+//!   tasks ever compare equal;
+//! * dynamic process selection scans processes in ascending id and keeps
+//!   the *first* best candidate, so criterion ties always resolve to the
+//!   lowest process id;
+//! * the event queue orders by `(time, tag, task id)`, unique per entry.
+//!
+//! There is no hash-map iteration, OS entropy or thread scheduling anywhere
+//! in the loop, so two runs of any combination agree bit for bit.
+
+use crate::sim::Strategy;
+
+/// Which ready task a process (or the global pool) runs next.
+///
+/// Higher priority runs first; ties fall through to the
+/// [`TieBreak`]. `Fifo`/`Lifo` assign uniform priority so the tie-break
+/// *is* the policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TaskCriterion {
+    /// Uniform priority — oldest-ready first under the canonical tie-break.
+    Fifo,
+    /// Uniform priority — newest-ready first under the canonical tie-break.
+    Lifo,
+    /// Cheapest task first (shortest-job-first).
+    SmallestCost,
+    /// Most expensive task first (longest-job-first).
+    LargestCost,
+    /// Highest cost-weighted upward rank first (HEFT-like critical path:
+    /// the longest cost-sum from the task to any sink, inclusive).
+    CriticalPath,
+    /// Deepest task first by *unweighted* bottom level: the number of
+    /// dependency edges on the longest path from the task to any sink.
+    BottomLevel,
+}
+
+impl TaskCriterion {
+    /// All task criteria, in the fixed lattice enumeration order.
+    pub const ALL: [TaskCriterion; 6] = [
+        TaskCriterion::Fifo,
+        TaskCriterion::Lifo,
+        TaskCriterion::SmallestCost,
+        TaskCriterion::LargestCost,
+        TaskCriterion::CriticalPath,
+        TaskCriterion::BottomLevel,
+    ];
+
+    /// Short stable label used in leaderboards and fingerprint files.
+    pub fn label(self) -> &'static str {
+        match self {
+            TaskCriterion::Fifo => "fifo",
+            TaskCriterion::Lifo => "lifo",
+            TaskCriterion::SmallestCost => "smallest",
+            TaskCriterion::LargestCost => "largest",
+            TaskCriterion::CriticalPath => "critpath",
+            TaskCriterion::BottomLevel => "bottomlvl",
+        }
+    }
+
+    /// The tie-break under which this criterion reproduces its historical
+    /// fixed-strategy behaviour: LIFO breaks ties newest-first, everything
+    /// else oldest-first (matching [`Strategy`]'s pre-lattice semantics).
+    pub fn canonical_tie(self) -> TieBreak {
+        match self {
+            TaskCriterion::Lifo => TieBreak::ReverseInsertion,
+            _ => TieBreak::InsertionOrder,
+        }
+    }
+}
+
+/// Which process executes the selected task.
+///
+/// `Pinned` is the paper's FLUSIM: a task runs on the process that owns its
+/// domain (`process_of`), so the simulator evaluates the *mapping*. The
+/// dynamic criteria relax the pinning — any process with a free core may
+/// take the task — turning FLUSIM into a work-conserving list scheduler
+/// whose makespan lower-bounds what the mapping leaves on the table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProcessCriterion {
+    /// Respect `process_of`: the task runs on its domain's home process.
+    Pinned,
+    /// Lowest-id process with a free core.
+    FirstFree,
+    /// Free process with the least total cost launched so far
+    /// (ties → lowest id).
+    LeastLoaded,
+    /// Free process whose currently-running tasks carry the fewest
+    /// transferred objects (Σ `n_objects`; ties → lowest id) — a proxy for
+    /// the process with the least in-flight halo state.
+    FewestActiveObjects,
+}
+
+impl ProcessCriterion {
+    /// All process criteria, in the fixed lattice enumeration order.
+    pub const ALL: [ProcessCriterion; 4] = [
+        ProcessCriterion::Pinned,
+        ProcessCriterion::FirstFree,
+        ProcessCriterion::LeastLoaded,
+        ProcessCriterion::FewestActiveObjects,
+    ];
+
+    /// Short stable label used in leaderboards and fingerprint files.
+    pub fn label(self) -> &'static str {
+        match self {
+            ProcessCriterion::Pinned => "pinned",
+            ProcessCriterion::FirstFree => "firstfree",
+            ProcessCriterion::LeastLoaded => "leastload",
+            ProcessCriterion::FewestActiveObjects => "fewestobj",
+        }
+    }
+}
+
+/// Total order among equal-priority ready tasks.
+///
+/// The readiness sequence number is globally unique (one per push), so
+/// either direction yields a *strict* total order — no two queued entries
+/// ever compare equal, which is what makes every lattice point
+/// deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TieBreak {
+    /// Oldest-ready first (FIFO among equals).
+    InsertionOrder,
+    /// Newest-ready first (LIFO among equals).
+    ReverseInsertion,
+}
+
+impl TieBreak {
+    /// Short stable label used in leaderboards and fingerprint files.
+    pub fn label(self) -> &'static str {
+        match self {
+            TieBreak::InsertionOrder => "fifo-tie",
+            TieBreak::ReverseInsertion => "lifo-tie",
+        }
+    }
+}
+
+/// One point of the scheduler lattice: task criterion × process criterion ×
+/// tie-break.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DynamicListStrategy {
+    /// Ready-queue ordering.
+    pub task: TaskCriterion,
+    /// Process placement rule.
+    pub process: ProcessCriterion,
+    /// Total-order tie-break among equal-priority ready tasks.
+    pub tie: TieBreak,
+}
+
+impl DynamicListStrategy {
+    /// The lattice point for `(task, process)` with the task criterion's
+    /// canonical tie-break ([`TaskCriterion::canonical_tie`]).
+    pub fn canonical(task: TaskCriterion, process: ProcessCriterion) -> Self {
+        Self {
+            task,
+            process,
+            tie: task.canonical_tie(),
+        }
+    }
+
+    /// Enumerates the canonical lattice in the fixed portfolio order:
+    /// task-criterion-major over [`TaskCriterion::ALL`] ×
+    /// [`ProcessCriterion::ALL`] — 24 combinations. Combo index `i` maps to
+    /// `ALL_TASK[i / 4] × ALL_PROC[i % 4]`; the racing leaderboard and the
+    /// golden fingerprints are defined over this order.
+    pub fn lattice() -> Vec<DynamicListStrategy> {
+        let mut combos = Vec::with_capacity(TaskCriterion::ALL.len() * ProcessCriterion::ALL.len());
+        for task in TaskCriterion::ALL {
+            for process in ProcessCriterion::ALL {
+                combos.push(DynamicListStrategy::canonical(task, process));
+            }
+        }
+        combos
+    }
+
+    /// `"<task>+<process>"` — stable display label (the tie-break is
+    /// canonical for every enumerated combo and therefore omitted).
+    pub fn label(&self) -> String {
+        format!("{}+{}", self.task.label(), self.process.label())
+    }
+}
+
+impl From<Strategy> for DynamicListStrategy {
+    /// The four legacy strategies as named lattice points. These produce
+    /// bit-identical schedules to the pre-lattice fixed implementations —
+    /// pinned by the Gantt fingerprints in `tests/determinism.rs`.
+    fn from(s: Strategy) -> Self {
+        let task = match s {
+            Strategy::EagerFifo => TaskCriterion::Fifo,
+            Strategy::EagerLifo => TaskCriterion::Lifo,
+            Strategy::CriticalPathFirst => TaskCriterion::CriticalPath,
+            Strategy::SmallestFirst => TaskCriterion::SmallestCost,
+        };
+        DynamicListStrategy::canonical(task, ProcessCriterion::Pinned)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lattice_enumerates_24_unique_combos() {
+        let combos = DynamicListStrategy::lattice();
+        assert_eq!(combos.len(), 24);
+        for (i, c) in combos.iter().enumerate() {
+            assert_eq!(c.task, TaskCriterion::ALL[i / 4]);
+            assert_eq!(c.process, ProcessCriterion::ALL[i % 4]);
+            assert_eq!(c.tie, c.task.canonical_tie());
+            // Labels are unique — they key leaderboard rows.
+            for other in &combos[..i] {
+                assert_ne!(other.label(), c.label());
+            }
+        }
+    }
+
+    #[test]
+    fn legacy_strategies_map_to_pinned_points() {
+        for s in [
+            Strategy::EagerFifo,
+            Strategy::EagerLifo,
+            Strategy::CriticalPathFirst,
+            Strategy::SmallestFirst,
+        ] {
+            let d = DynamicListStrategy::from(s);
+            assert_eq!(d.process, ProcessCriterion::Pinned);
+        }
+        assert_eq!(
+            DynamicListStrategy::from(Strategy::EagerLifo).tie,
+            TieBreak::ReverseInsertion
+        );
+        assert_eq!(
+            DynamicListStrategy::from(Strategy::EagerFifo).tie,
+            TieBreak::InsertionOrder
+        );
+    }
+}

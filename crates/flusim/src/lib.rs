@@ -10,14 +10,19 @@
 //! idleness is attributable to the *shape of the task graph* alone.
 
 pub mod cluster;
+pub mod lattice;
+pub mod portfolio;
 pub mod sim;
 pub mod svg;
 pub mod trace;
 
 pub use cluster::{ClusterConfig, UNBOUNDED_CORES};
+pub use lattice::{DynamicListStrategy, ProcessCriterion, TaskCriterion, TieBreak};
+pub use portfolio::{race, race_traced, ComboOutcome, Leaderboard};
 pub use sim::{
-    simulate, simulate_heterogeneous, simulate_heterogeneous_traced, simulate_traced,
-    simulate_with_comm, CommModel, SimResult, Strategy,
+    simulate, simulate_heterogeneous, simulate_heterogeneous_traced, simulate_lattice,
+    simulate_lattice_heterogeneous_traced, simulate_lattice_traced, simulate_lattice_with_comm,
+    simulate_traced, simulate_with_comm, CommModel, SimResult, Strategy,
 };
 pub use svg::{gantt_svg, write_gantt_svg, SvgOptions};
 pub use trace::{ascii_gantt, bin_occupancy, segments_csv, Segment};

@@ -1,6 +1,13 @@
 //! Event-driven list scheduling of a task DAG on an emulated cluster.
+//!
+//! The event loop is a single generalized implementation parameterised by a
+//! [`DynamicListStrategy`] lattice point (see [`crate::lattice`]); the four
+//! fixed [`Strategy`] policies are thin wrappers over their pinned lattice
+//! equivalents and reproduce the pre-lattice schedules bit for bit (pinned
+//! by `tests/determinism.rs`).
 
 use crate::cluster::{ClusterConfig, UNBOUNDED_CORES};
+use crate::lattice::{DynamicListStrategy, ProcessCriterion, TaskCriterion, TieBreak};
 use crate::trace::Segment;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -179,6 +186,85 @@ pub fn simulate_heterogeneous_traced(
     comm: &CommModel,
     rec: &Recorder,
 ) -> SimResult {
+    simulate_lattice_heterogeneous_traced(graph, cores, process_of, &strategy.into(), comm, rec)
+}
+
+/// Simulates `graph` on `cluster` under an arbitrary lattice point
+/// ([`DynamicListStrategy`]): the general entry the portfolio racer
+/// enumerates. Pinned points behave exactly like [`simulate`]; dynamic
+/// process criteria relax the domain→process pinning (see
+/// [`crate::lattice::ProcessCriterion`]).
+pub fn simulate_lattice(
+    graph: &TaskGraph,
+    cluster: &ClusterConfig,
+    process_of: &[usize],
+    strat: &DynamicListStrategy,
+) -> SimResult {
+    simulate_lattice_with_comm(graph, cluster, process_of, strat, &CommModel::FREE)
+}
+
+/// Like [`simulate_lattice`], with an explicit [`CommModel`]. A message is
+/// charged whenever a dependency crosses from the predecessor's *executing*
+/// process to a successor whose *home* process (its domain's owner under
+/// `process_of`) differs — under [`ProcessCriterion::Pinned`] this is
+/// exactly the legacy cross-process rule.
+pub fn simulate_lattice_with_comm(
+    graph: &TaskGraph,
+    cluster: &ClusterConfig,
+    process_of: &[usize],
+    strat: &DynamicListStrategy,
+    comm: &CommModel,
+) -> SimResult {
+    let cores = vec![cluster.cores_per_process; cluster.n_processes];
+    simulate_lattice_heterogeneous_traced(graph, &cores, process_of, strat, comm, Recorder::off())
+}
+
+/// Like [`simulate_lattice`], recording structured events into `rec` (see
+/// [`simulate_traced`] for the event vocabulary).
+pub fn simulate_lattice_traced(
+    graph: &TaskGraph,
+    cluster: &ClusterConfig,
+    process_of: &[usize],
+    strat: &DynamicListStrategy,
+    rec: &Recorder,
+) -> SimResult {
+    let cores = vec![cluster.cores_per_process; cluster.n_processes];
+    simulate_lattice_heterogeneous_traced(graph, &cores, process_of, strat, &CommModel::FREE, rec)
+}
+
+/// The generalized dirty-set event loop — every other `simulate*` entry
+/// point funnels here.
+///
+/// # Scheduling semantics
+///
+/// * **Task order.** Ready tasks are ordered by a per-task priority fixed
+///   up front by the [`TaskCriterion`] (higher first), with the
+///   [`TieBreak`] over the global readiness sequence as a strict total
+///   order among equals.
+/// * **Placement.** Under [`ProcessCriterion::Pinned`] each process owns a
+///   private ready queue holding the tasks of its domains — the paper's
+///   FLUSIM, refilled through the dirty-process set in ascending id order.
+///   Under a dynamic criterion all ready tasks share one global queue; at
+///   every refill the scheduler repeatedly picks the best free process
+///   (ascending-id scan, strict-improvement keep ⇒ lowest id wins ties)
+///   and hands it the best ready task, until cores or tasks run out.
+/// * **Communication.** A cross-process edge delays the successor's
+///   readiness by [`CommModel::delay`]; "cross-process" compares the
+///   predecessor's executing process against the successor's home process.
+///
+/// # Panics
+///
+/// Panics if `process_of` is inconsistent with the graph or cluster, or if
+/// the DAG deadlocks (cycle — cannot happen for [`TaskGraph`]s built by
+/// this workspace).
+pub fn simulate_lattice_heterogeneous_traced(
+    graph: &TaskGraph,
+    cores: &[usize],
+    process_of: &[usize],
+    strat: &DynamicListStrategy,
+    comm: &CommModel,
+    rec: &Recorder,
+) -> SimResult {
     assert_eq!(process_of.len(), graph.n_domains, "one process per domain");
     assert!(!cores.is_empty(), "need at least one process");
     assert!(cores.iter().all(|&c| c >= 1), "every process needs a core");
@@ -189,12 +275,14 @@ pub fn simulate_heterogeneous_traced(
     let n = graph.len();
     let np = cores.len();
 
-    // Priority key per task (higher = run first), fixed per strategy.
-    let priority: Vec<i64> = match strategy {
-        Strategy::EagerFifo | Strategy::EagerLifo => vec![0; n],
-        Strategy::SmallestFirst => graph.tasks().iter().map(|t| -(t.cost as i64)).collect(),
-        Strategy::CriticalPathFirst => {
-            // Upward rank: longest path from the task to any sink.
+    // Priority key per task (higher = run first), fixed per task criterion.
+    let priority: Vec<i64> = match strat.task {
+        TaskCriterion::Fifo | TaskCriterion::Lifo => vec![0; n],
+        TaskCriterion::SmallestCost => graph.tasks().iter().map(|t| -(t.cost as i64)).collect(),
+        TaskCriterion::LargestCost => graph.tasks().iter().map(|t| t.cost as i64).collect(),
+        TaskCriterion::CriticalPath => {
+            // Cost-weighted upward rank: longest cost-sum from the task to
+            // any sink, inclusive.
             let mut rank = vec![0i64; n];
             for t in (0..n).rev() {
                 let down = graph
@@ -207,27 +295,47 @@ pub fn simulate_heterogeneous_traced(
             }
             rank
         }
+        TaskCriterion::BottomLevel => {
+            // Unweighted bottom level: dependency edges on the longest
+            // path from the task to any sink (sinks are level 0).
+            let mut rank = vec![0i64; n];
+            for t in (0..n).rev() {
+                let down = graph
+                    .succs(t as TaskId)
+                    .iter()
+                    .map(|&s| rank[s as usize] + 1)
+                    .max()
+                    .unwrap_or(0);
+                rank[t] = down;
+            }
+            rank
+        }
     };
 
     let mut indegree: Vec<u32> = (0..n)
         .map(|t| graph.preds(t as TaskId).len() as u32)
         .collect();
 
-    // Per-process ready queue: max-heap over (priority, tiebreak).
-    // FIFO: older sequence first; LIFO: newer first.
+    // Ready queues: max-heaps over (priority, tiebreak, task id).
     //
-    // Heaps are pre-sized to the number of tasks mapped to each process —
-    // a task enters its process's queue at most once, so the queue length
-    // can never exceed that count and pushes never reallocate inside the
-    // event loop.
-    let mut tasks_on: Vec<usize> = vec![0; np];
-    for task in graph.tasks() {
-        tasks_on[process_of[task.domain as usize]] += 1;
-    }
-    let mut ready: Vec<BinaryHeap<(i64, i64, TaskId)>> = tasks_on
-        .iter()
-        .map(|&c| BinaryHeap::with_capacity(c))
-        .collect();
+    // Pinned placement gives every process a private queue pre-sized to
+    // the number of tasks mapped to it — a task enters its process's queue
+    // at most once, so pushes never reallocate inside the event loop.
+    // Dynamic placement shares a single global queue (slot 0) pre-sized to
+    // the whole DAG, with the same no-reallocation guarantee.
+    let pinned = strat.process == ProcessCriterion::Pinned;
+    let mut ready: Vec<BinaryHeap<(i64, i64, TaskId)>> = if pinned {
+        let mut tasks_on: Vec<usize> = vec![0; np];
+        for task in graph.tasks() {
+            tasks_on[process_of[task.domain as usize]] += 1;
+        }
+        tasks_on
+            .iter()
+            .map(|&c| BinaryHeap::with_capacity(c))
+            .collect()
+    } else {
+        vec![BinaryHeap::with_capacity(n)]
+    };
     let mut seq = 0i64;
     // Dirty set of processes whose launch capacity may have changed since
     // the last refill: a core was freed, or a task was pushed onto their
@@ -235,7 +343,9 @@ pub fn simulate_heterogeneous_traced(
     // `free_cores[p] == 0 || ready[p].is_empty()`, so draining only the
     // dirty processes (in ascending id order, matching the historical full
     // `0..np` sweep) is behaviour-identical while costing O(affected)
-    // rather than O(np) per event.
+    // rather than O(np) per event. Pinned mode only: the dynamic global
+    // queue degenerates the dirty set to a single always-checked slot, so
+    // its refill runs unconditionally after every event instead.
     let mut dirty: Vec<usize> = Vec::with_capacity(np);
     let mut is_dirty = vec![false; np];
     let push_ready = |ready: &mut Vec<BinaryHeap<(i64, i64, TaskId)>>,
@@ -243,16 +353,20 @@ pub fn simulate_heterogeneous_traced(
                       seq: &mut i64,
                       dirty: &mut Vec<usize>,
                       is_dirty: &mut [bool]| {
-        let p = process_of[graph.task(t).domain as usize];
-        let tie = match strategy {
-            Strategy::EagerLifo => *seq,
-            _ => -*seq,
+        let tie = match strat.tie {
+            TieBreak::ReverseInsertion => *seq,
+            TieBreak::InsertionOrder => -*seq,
         };
-        ready[p].push((priority[t as usize], tie, t));
         *seq += 1;
-        if !is_dirty[p] {
-            is_dirty[p] = true;
-            dirty.push(p);
+        if pinned {
+            let p = process_of[graph.task(t).domain as usize];
+            ready[p].push((priority[t as usize], tie, t));
+            if !is_dirty[p] {
+                is_dirty[p] = true;
+                dirty.push(p);
+            }
+        } else {
+            ready[0].push((priority[t as usize], tie, t));
         }
     };
 
@@ -279,6 +393,14 @@ pub fn simulate_heterogeneous_traced(
     let mut running = vec![0usize; np];
     let mut active_since = vec![0u64; np];
     let mut active = vec![0u64; np];
+    // Where each task executed — equal to its home process when pinned,
+    // decided at launch time under a dynamic process criterion. Completion
+    // must credit the executing process, not the home.
+    let mut ran_on = vec![0u32; n];
+    // Σ n_objects of the currently-running tasks per process, the
+    // FewestActiveObjects selection key (maintained unconditionally: two
+    // u64 adds per task are noise next to the heap traffic).
+    let mut active_objects = vec![0u64; np];
 
     let mut now = 0u64;
     // Loop-invariant tracing flag: the recorder's enabled state never
@@ -295,7 +417,9 @@ pub fn simulate_heterogeneous_traced(
                   active_since: &mut [u64],
                   busy: &mut [u64],
                   subiter_work: &mut [Vec<u64>],
-                  segments: &mut Vec<Segment>| {
+                  segments: &mut Vec<Segment>,
+                  ran_on: &mut [u32],
+                  active_objects: &mut [u64]| {
         let task = graph.task(t);
         let end = now + task.cost;
         if free_cores[p] != UNBOUNDED_CORES {
@@ -307,6 +431,8 @@ pub fn simulate_heterogeneous_traced(
         running[p] += 1;
         busy[p] += task.cost;
         subiter_work[p][task.subiter as usize] += task.cost;
+        ran_on[t as usize] = p as u32;
+        active_objects[p] += u64::from(task.n_objects);
         segments.push(Segment {
             task: t,
             process: p as u32,
@@ -346,14 +472,67 @@ pub fn simulate_heterogeneous_traced(
         rec.counter_at(Clock::Virtual, "flusim.cores", p as u32, 0, c as u64);
     }
 
-    // Initial launches: a full sweep, after which every process satisfies
-    // the refill invariant (no free core, or nothing ready), so the dirty
-    // marks from the seeding pushes can be discarded.
-    for p in 0..np {
-        while free_cores[p] > 0 {
-            let Some((_, _, t)) = ready[p].pop() else {
+    // Best free process under the dynamic criterion: ascending-id scan
+    // keeping the current candidate only on strict improvement, so
+    // criterion ties always resolve to the lowest process id. O(np) per
+    // launch, allocation-free. (`Pinned` short-circuits like `FirstFree`
+    // but is never consulted — pinned refills pop per-process queues.)
+    let select_process =
+        |free_cores: &[usize], busy: &[u64], active_objects: &[u64]| -> Option<usize> {
+            let mut best: Option<usize> = None;
+            for p in 0..np {
+                if free_cores[p] == 0 {
+                    continue;
+                }
+                match strat.process {
+                    ProcessCriterion::Pinned | ProcessCriterion::FirstFree => return Some(p),
+                    ProcessCriterion::LeastLoaded => {
+                        if best.is_none_or(|b| busy[p] < busy[b]) {
+                            best = Some(p);
+                        }
+                    }
+                    ProcessCriterion::FewestActiveObjects => {
+                        if best.is_none_or(|b| active_objects[p] < active_objects[b]) {
+                            best = Some(p);
+                        }
+                    }
+                }
+            }
+            best
+        };
+
+    // Initial launches. Pinned: a full per-process sweep, after which every
+    // process satisfies the refill invariant (no free core, or nothing
+    // ready), so the dirty marks from the seeding pushes can be discarded.
+    // Dynamic: drain the global queue into the best free processes.
+    if pinned {
+        for p in 0..np {
+            while free_cores[p] > 0 {
+                let Some((_, _, t)) = ready[p].pop() else {
+                    break;
+                };
+                launch(
+                    p,
+                    t,
+                    now,
+                    &mut events,
+                    &mut free_cores,
+                    &mut running,
+                    &mut active_since,
+                    &mut busy,
+                    &mut subiter_work,
+                    &mut segments,
+                    &mut ran_on,
+                    &mut active_objects,
+                );
+            }
+        }
+    } else {
+        while !ready[0].is_empty() {
+            let Some(p) = select_process(&free_cores, &busy, &active_objects) else {
                 break;
             };
+            let (_, _, t) = ready[0].pop().unwrap();
             launch(
                 p,
                 t,
@@ -365,6 +544,8 @@ pub fn simulate_heterogeneous_traced(
                 &mut busy,
                 &mut subiter_work,
                 &mut segments,
+                &mut ran_on,
+                &mut active_objects,
             );
         }
     }
@@ -386,11 +567,13 @@ pub fn simulate_heterogeneous_traced(
             push_ready(&mut ready, t, &mut seq, &mut dirty, &mut is_dirty);
         } else {
             done += 1;
-            let p = process_of[graph.task(t).domain as usize];
+            // Credit the process the task actually ran on — its home
+            // process when pinned, the dynamically selected one otherwise.
+            let p = ran_on[t as usize] as usize;
             if free_cores[p] != UNBOUNDED_CORES {
                 free_cores[p] += 1;
             }
-            if !is_dirty[p] {
+            if pinned && !is_dirty[p] {
                 is_dirty[p] = true;
                 dirty.push(p);
             }
@@ -398,8 +581,13 @@ pub fn simulate_heterogeneous_traced(
             if running[p] == 0 {
                 active[p] += now - active_since[p];
             }
+            active_objects[p] -= u64::from(graph.task(t).n_objects);
             let tp = p;
             for &s in graph.succs(t) {
+                // The message travels from the predecessor's executing
+                // process to the successor's *home* process (where its
+                // domain's data lives) — identical to the legacy
+                // cross-process rule whenever placement is pinned.
                 let sp = process_of[graph.task(s).domain as usize];
                 if sp != tp && !comm.is_free() {
                     let arrive = now + comm.delay(graph.task(t).n_objects);
@@ -415,16 +603,46 @@ pub fn simulate_heterogeneous_traced(
                 }
             }
         }
-        // Fill freed capacity on the processes this event touched. Ascending
-        // id order replicates the historical full `0..np` sweep; untouched
-        // processes still satisfy `free == 0 || ready empty` from the end of
-        // the previous refill, so skipping them cannot change behaviour.
-        // Launching never marks new processes dirty (it only pushes
-        // completion events), so draining the snapshot is complete.
-        dirty.sort_unstable();
-        for &q in &dirty {
-            while free_cores[q] > 0 && !ready[q].is_empty() {
-                let (_, _, nt) = ready[q].pop().unwrap();
+        if pinned {
+            // Fill freed capacity on the processes this event touched.
+            // Ascending id order replicates the historical full `0..np`
+            // sweep; untouched processes still satisfy `free == 0 || ready
+            // empty` from the end of the previous refill, so skipping them
+            // cannot change behaviour. Launching never marks new processes
+            // dirty (it only pushes completion events), so draining the
+            // snapshot is complete.
+            dirty.sort_unstable();
+            for &q in &dirty {
+                while free_cores[q] > 0 && !ready[q].is_empty() {
+                    let (_, _, nt) = ready[q].pop().unwrap();
+                    launch(
+                        q,
+                        nt,
+                        now,
+                        &mut events,
+                        &mut free_cores,
+                        &mut running,
+                        &mut active_since,
+                        &mut busy,
+                        &mut subiter_work,
+                        &mut segments,
+                        &mut ran_on,
+                        &mut active_objects,
+                    );
+                }
+                is_dirty[q] = false;
+            }
+            dirty.clear();
+        } else {
+            // Dynamic refill: hand the best ready task to the best free
+            // process until either side runs out. The selection keys
+            // (busy, active_objects) are updated by every launch, so the
+            // loop re-evaluates the criterion greedily per placement.
+            while !ready[0].is_empty() {
+                let Some(q) = select_process(&free_cores, &busy, &active_objects) else {
+                    break;
+                };
+                let (_, _, nt) = ready[0].pop().unwrap();
                 launch(
                     q,
                     nt,
@@ -436,11 +654,11 @@ pub fn simulate_heterogeneous_traced(
                     &mut busy,
                     &mut subiter_work,
                     &mut segments,
+                    &mut ran_on,
+                    &mut active_objects,
                 );
             }
-            is_dirty[q] = false;
         }
-        dirty.clear();
     }
     assert_eq!(done, n, "deadlock: {} of {n} tasks executed", done);
     #[cfg(debug_assertions)]
@@ -648,5 +866,159 @@ mod tests {
         let g = TaskGraph::assemble(tasks, preds, 1, 2);
         let r = simulate(&g, &ClusterConfig::new(1, 1), &[0], Strategy::EagerFifo);
         assert_eq!(r.subiter_work[0], vec![4, 6]);
+    }
+
+    #[test]
+    fn zero_cost_tasks_schedule_cleanly_under_every_combo() {
+        // Zero-cost tasks complete at their start instant: the active
+        // interval they open closes at zero width, cost criteria rank them
+        // first/last, and the busy/total accounting must stay conserved.
+        let tasks = vec![
+            mk_task(0, 0, 0),
+            mk_task(0, 5, 0),
+            mk_task(1, 0, 0),
+            mk_task(1, 3, 0),
+        ];
+        let preds = vec![vec![], vec![0], vec![1], vec![2]];
+        let g = TaskGraph::assemble(tasks, preds, 2, 1);
+        let cluster = ClusterConfig::new(2, 1);
+        for strat in DynamicListStrategy::lattice() {
+            let r = simulate_lattice(&g, &cluster, &[0, 1], &strat);
+            assert_eq!(
+                r.total_executed(),
+                g.total_cost(),
+                "{}: cost conservation",
+                strat.label()
+            );
+            assert_eq!(
+                r.segments.len(),
+                g.len(),
+                "{}: every task ran",
+                strat.label()
+            );
+            assert_eq!(r.makespan, 8, "{}: chain 0→1→2→3 is 0+5+0+3", strat.label());
+        }
+    }
+
+    #[test]
+    fn single_process_cluster_collapses_the_process_axis() {
+        // With one process every placement rule picks process 0, so each
+        // task criterion's pinned and dynamic points must produce the very
+        // same schedule, bit for bit.
+        let g = two_chains();
+        let cluster = ClusterConfig::new(1, 2);
+        for task in TaskCriterion::ALL {
+            let pinned = simulate_lattice(
+                &g,
+                &cluster,
+                &[0, 0],
+                &DynamicListStrategy::canonical(task, ProcessCriterion::Pinned),
+            );
+            for process in [
+                ProcessCriterion::FirstFree,
+                ProcessCriterion::LeastLoaded,
+                ProcessCriterion::FewestActiveObjects,
+            ] {
+                let dynamic = simulate_lattice(
+                    &g,
+                    &cluster,
+                    &[0, 0],
+                    &DynamicListStrategy::canonical(task, process),
+                );
+                assert_eq!(
+                    pinned.segments, dynamic.segments,
+                    "{task:?}+{process:?}: single-process schedules diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn comm_model_boundary_semantics() {
+        // `is_free` is about *both* knobs: per-object cost alone still
+        // charges messages, and a zero-object message still pays latency.
+        assert!(CommModel::FREE.is_free());
+        assert!(!CommModel {
+            latency: 0,
+            cost_per_object: 1
+        }
+        .is_free());
+        assert!(!CommModel {
+            latency: 1,
+            cost_per_object: 0
+        }
+        .is_free());
+        let comm = CommModel {
+            latency: 7,
+            cost_per_object: 2,
+        };
+        assert_eq!(comm.delay(0), 7, "zero objects still pay latency");
+        assert_eq!(comm.delay(3), 13);
+    }
+
+    #[test]
+    fn dynamic_placement_charges_comm_against_the_successors_home() {
+        // Chain 0 → 1 with homes P0 and P1 under FirstFree: task 0 runs on
+        // P0 (lowest free id), the message to task 1's *home* (P1) delays
+        // its readiness, and then task 1 itself also runs on P0 — placement
+        // is free to ignore the home, but the message charge is not.
+        let tasks = vec![mk_task(0, 5, 0), mk_task(1, 3, 0)];
+        let preds = vec![vec![], vec![0]];
+        let g = TaskGraph::assemble(tasks, preds, 2, 1);
+        let cluster = ClusterConfig::new(2, 1);
+        let comm = CommModel {
+            latency: 10,
+            cost_per_object: 0,
+        };
+        let strat =
+            DynamicListStrategy::canonical(TaskCriterion::Fifo, ProcessCriterion::FirstFree);
+        let r = simulate_lattice_with_comm(&g, &cluster, &[0, 1], &strat, &comm);
+        assert_eq!(r.makespan, 5 + 10 + 3, "cross-home edge pays the delay");
+        assert!(
+            r.segments.iter().all(|s| s.process == 0),
+            "first-free placement keeps both tasks on process 0"
+        );
+        // Same-home chain pays nothing, wherever it executes.
+        let local = simulate_lattice_with_comm(&g, &cluster, &[0, 0], &strat, &comm);
+        assert_eq!(local.makespan, 8);
+    }
+
+    #[test]
+    fn least_loaded_spreads_independent_tasks() {
+        // Four independent equal-cost tasks, all homed on domain 0 of a
+        // 2-process cluster: pinned serialises all four onto process 0's
+        // one core (makespan 12); least-loaded alternates processes
+        // (makespan 6).
+        let tasks = (0..4).map(|_| mk_task(0, 3, 0)).collect::<Vec<_>>();
+        let preds = vec![vec![]; 4];
+        let g = TaskGraph::assemble(tasks, preds, 1, 1);
+        let cluster = ClusterConfig::new(2, 1);
+        let pinned = simulate_lattice(
+            &g,
+            &cluster,
+            &[0],
+            &DynamicListStrategy::canonical(TaskCriterion::Fifo, ProcessCriterion::Pinned),
+        );
+        assert_eq!(pinned.makespan, 12);
+        let spread = simulate_lattice(
+            &g,
+            &cluster,
+            &[0],
+            &DynamicListStrategy::canonical(TaskCriterion::Fifo, ProcessCriterion::LeastLoaded),
+        );
+        assert_eq!(spread.makespan, 6, "least-loaded uses both processes");
+        assert_eq!(spread.busy, vec![6, 6]);
+    }
+
+    #[test]
+    fn empty_task_graph_simulates_to_zero() {
+        let g = TaskGraph::assemble(vec![], vec![], 1, 1);
+        for strat in DynamicListStrategy::lattice() {
+            let r = simulate_lattice(&g, &ClusterConfig::new(2, 2), &[0], &strat);
+            assert_eq!(r.makespan, 0, "{}", strat.label());
+            assert_eq!(r.busy, vec![0, 0]);
+            assert_eq!(r.total_executed(), 0);
+            assert!(r.segments.is_empty());
+        }
     }
 }

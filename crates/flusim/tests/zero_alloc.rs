@@ -9,7 +9,10 @@
 //! shapes: wide fan-out, cross-process chains with comm delays, and
 //! heterogeneous core counts.
 
-use tempart_flusim::{simulate_traced, simulate_with_comm, ClusterConfig, CommModel, Strategy};
+use tempart_flusim::{
+    race, simulate_lattice_with_comm, simulate_traced, simulate_with_comm, ClusterConfig,
+    CommModel, DynamicListStrategy, Strategy,
+};
 use tempart_obs::Recorder;
 use tempart_taskgraph::{Task, TaskGraph, TaskId, TaskKind};
 use tempart_testkit::alloc::CountingAllocator;
@@ -120,6 +123,40 @@ fn traced_event_loop_is_allocation_free_with_enabled_recorder() {
     let trace = rec.take();
     assert_eq!(trace.dropped, 0);
     assert_eq!(trace.named("flusim.task").count(), g.len());
+}
+
+#[test]
+fn event_loop_is_allocation_free_on_every_lattice_combo() {
+    // Dynamic process criteria swap the per-process queues for one global
+    // ready heap; the pre-sizing arithmetic (single heap of capacity n)
+    // must keep the steady-state loop allocation-free for all 24 combos.
+    let g = layered(16, 24, 8);
+    let process_of: Vec<usize> = (0..8).map(|d| d % 4).collect();
+    let comm = CommModel {
+        latency: 2,
+        cost_per_object: 1,
+    };
+    for strat in DynamicListStrategy::lattice() {
+        let r =
+            simulate_lattice_with_comm(&g, &ClusterConfig::new(4, 2), &process_of, &strat, &comm);
+        assert_eq!(r.total_executed(), g.total_cost(), "{}", strat.label());
+    }
+}
+
+#[test]
+fn portfolio_race_event_loops_are_allocation_free() {
+    // The race fans 24 simulations across the fork-join pool; every one of
+    // them runs with the internal steady-state allocation guards armed, on
+    // worker threads whose allocator is this binary's counting allocator.
+    let g = layered(12, 16, 6);
+    let process_of: Vec<usize> = (0..6).map(|d| d % 3).collect();
+    for workers in [1usize, 4] {
+        let board = race(&g, &ClusterConfig::new(3, 2), &process_of, workers);
+        assert_eq!(board.entries.len(), 24);
+        for e in &board.entries {
+            assert_eq!(e.total_busy, g.total_cost());
+        }
+    }
 }
 
 #[test]

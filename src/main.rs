@@ -13,10 +13,10 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 use tempart::core_api::{
-    decompose_par, decompose_with_repair, env_workers, run_flusim_workers, run_sweep, Curve,
-    PartitionStrategy, PipelineConfig,
+    decompose_par, decompose_with_repair, env_workers, run_flusim_workers, run_portfolio,
+    run_sweep, Curve, PartitionStrategy, PipelineConfig,
 };
-use tempart::flusim::{ascii_gantt, ClusterConfig, CommModel, Strategy};
+use tempart::flusim::{ascii_gantt, ClusterConfig, CommModel, DynamicListStrategy, Strategy};
 use tempart::graph::PartitionQuality;
 use tempart::mesh::{level_histogram, GeneratorConfig, Mesh, MeshCase};
 use tempart::runtime::RuntimeConfig;
@@ -45,6 +45,11 @@ COMMANDS:
                Chrome-trace JSON (open in chrome://tracing or Perfetto)
     compare    SC_OC vs MC_TL side by side (--case, --depth, --domains,
                                            --processes, --cores, --svg DIR)
+    portfolio  race all 24 scheduler-lattice combos (task criterion x
+               process criterion) on one decomposition and print the ranked
+               leaderboard                 (--case, --depth, --strategy,
+                                           --domains, --processes, --cores,
+                                           --seed, --workers)
     solve      real FV solver             (--case, --depth, --strategy, --domains,
                                            --iterations, --heun, --mu X, --groups,
                                            --workers)
@@ -548,6 +553,67 @@ fn cmd_solve(o: &Options) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_portfolio(o: &Options) -> Result<(), String> {
+    let mesh = build_mesh(o);
+    let cluster = ClusterConfig::new(o.processes, o.cores);
+    let config = PipelineConfig {
+        strategy: o.strategy,
+        n_domains: o.domains,
+        cluster,
+        // Ignored by the race — every lattice point runs, including the
+        // four legacy strategies.
+        scheduling: Strategy::EagerFifo,
+        seed: o.seed,
+    };
+    let workers = fj_workers(o);
+    let out = run_portfolio(&mesh, &config, workers);
+    println!(
+        "{} × {} domains via {} on {}p×{}c — racing {} scheduler combos ({} worker{})",
+        o.case.name(),
+        o.domains,
+        o.strategy.label(),
+        o.processes,
+        o.cores,
+        out.leaderboard.entries.len(),
+        workers,
+        if workers == 1 { "" } else { "s" }
+    );
+    println!(
+        "  {:>4}  {:<20} {:>9} {:>7} {:>10}",
+        "rank", "combo", "makespan", "idle%", "max-inact%"
+    );
+    for (rank, e) in out.leaderboard.entries.iter().enumerate() {
+        let idle = e
+            .idle_fraction
+            .map_or_else(|| "    -".into(), |f| format!("{:5.1}", f * 100.0));
+        let max_inact = e.inactivity.iter().cloned().fold(0.0f64, f64::max);
+        println!(
+            "  {:>4}  {:<20} {:>9} {:>7} {:>10.1}",
+            rank,
+            e.strategy.label(),
+            e.makespan,
+            idle,
+            max_inact * 100.0
+        );
+    }
+    let winner = out.leaderboard.winner();
+    let fifo = out
+        .leaderboard
+        .entry(&DynamicListStrategy::from(Strategy::EagerFifo))
+        .expect("eager-fifo is a lattice point");
+    println!(
+        "  winner {} vs eager-fifo (pinned): {:.3}x  (critical path {})",
+        winner.strategy.label(),
+        fifo.makespan as f64 / winner.makespan as f64,
+        out.graph.critical_path()
+    );
+    println!(
+        "  leaderboard fingerprint: {:016x} (bit-identical at every --workers)",
+        out.leaderboard.fingerprint()
+    );
+    Ok(())
+}
+
 fn cmd_compare(o: &Options) -> Result<(), String> {
     let mesh = build_mesh(o);
     let cluster = ClusterConfig::new(o.processes, o.cores);
@@ -625,6 +691,7 @@ fn main() -> ExitCode {
             "simulate" => cmd_simulate(&o),
             "trace" => cmd_trace(&o),
             "compare" => cmd_compare(&o),
+            "portfolio" => cmd_portfolio(&o),
             "solve" => cmd_solve(&o),
             "help" | "--help" | "-h" => {
                 print!("{USAGE}");

@@ -19,8 +19,8 @@
 
 use std::fmt::Write as _;
 use tempart::core_api::{
-    decompose, decompose_par, env_workers, run_flusim, run_flusim_workers, PartitionStrategy,
-    PipelineConfig,
+    decompose, decompose_par, env_workers, run_flusim, run_flusim_workers, run_portfolio,
+    PartitionStrategy, PipelineConfig,
 };
 use tempart::flusim::{ClusterConfig, Segment, Strategy};
 use tempart::mesh::{cube_like, cylinder_like, GeneratorConfig, Mesh};
@@ -119,7 +119,9 @@ fn parallel_pipeline_is_bit_identical_across_widths() {
 
 /// Writes `results/fingerprints_w<N>.txt` for the current `TEMPART_WORKERS`
 /// (default 1). One line per mesh × strategy:
-/// `<mesh>/<label> part=<hex> gantt=<hex> makespan=<n>`.
+/// `<mesh>/<label> part=<hex> gantt=<hex> makespan=<n>`, then one portfolio
+/// line per mesh: `<mesh>/portfolio board=<hex> winner=<combo> makespan=<n>`
+/// covering the full 24-combo leaderboard of an MC_TL race.
 #[test]
 fn emit_fingerprints_for_worker_matrix() {
     let workers = env_workers();
@@ -138,6 +140,17 @@ fn emit_fingerprints_for_worker_matrix() {
             )
             .unwrap();
         }
+        // The portfolio race fans the lattice over the same fork-join pool;
+        // its ranked leaderboard digest must be invariant too.
+        let portfolio = run_portfolio(mesh, &config(PartitionStrategy::McTl), workers);
+        writeln!(
+            out,
+            "{name}/portfolio board={:016x} winner={} makespan={}",
+            portfolio.leaderboard.fingerprint(),
+            portfolio.leaderboard.winner().combo,
+            portfolio.leaderboard.winner().makespan,
+        )
+        .unwrap();
     }
     // Nearest ancestor `results/` (repo root when run via cargo).
     let dir = std::env::current_dir()
