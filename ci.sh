@@ -62,13 +62,17 @@ echo "== worker matrix (fork-join determinism across processes) =="
 # including the portfolio suites property_portfolio and golden_portfolio).
 TEMPART_WORKERS=1 cargo test -q --release --offline --test worker_matrix \
     emit_fingerprints >/dev/null
+TEMPART_WORKERS=2 cargo test -q --release --offline --test worker_matrix \
+    emit_fingerprints >/dev/null
 TEMPART_WORKERS=4 cargo test -q --release --offline --test worker_matrix \
     emit_fingerprints >/dev/null
-if ! diff -u results/fingerprints_w1.txt results/fingerprints_w4.txt; then
-    echo "ERROR: worker matrix diverged — 1-worker and 4-worker fingerprints differ" >&2
-    exit 1
-fi
-echo "ok (1-worker and 4-worker fingerprints identical)"
+for w in 2 4; do
+    if ! diff -u results/fingerprints_w1.txt "results/fingerprints_w$w.txt"; then
+        echo "ERROR: worker matrix diverged — 1-worker and $w-worker fingerprints differ" >&2
+        exit 1
+    fi
+done
+echo "ok (1-, 2- and 4-worker fingerprints identical)"
 
 echo "== bench gate (hot-path regression check) =="
 # Short-sample wall-clock runs of the two hot-path suites, compared against
@@ -84,8 +88,10 @@ echo "== bench gate (hot-path regression check) =="
 # the pre-instrumentation tolerance, deliberately NOT loosened) price the
 # one-relaxed-atomic-branch disabled path into every hot loop they time.
 # The partitioner suite also gates the fork-join rows
-# (`partition/parallel/MC_TL-w{1,2,4}`): on a single-core runner they bound
-# the fork-join overhead against the sequential baseline. The flusim suite
+# (`partition/parallel/MC_TL-w{1,2,4}` and the pairwise k-way fan-out
+# `partition/parallel/kway-w{1,2,4}`) — on a single-core runner they bound
+# the fork-join overhead against the sequential baseline — plus the
+# geometric `partition/sfc/{morton,hilbert}` cost floor. The flusim suite
 # additionally gates the lattice scheduler (`flusim/portfolio/*`): one
 # dynamic combo against the pinned loop, and the full 24-combo race at 1
 # and 4 workers — pricing the global-ready-heap path and the racing fan-out.

@@ -7,8 +7,8 @@ use std::hint::black_box;
 use tempart_core::{strategy_weights, PartitionStrategy};
 use tempart_mesh::{cylinder_like, GeneratorConfig};
 use tempart_partition::{
-    coarsen::coarsen, partition_graph, partition_graph_par, partition_graph_with, PartitionConfig,
-    PartitionWorkspace, Scheme, WorkspacePool,
+    coarsen::coarsen, partition_graph, partition_graph_par, partition_graph_with, sfc_partition,
+    Curve, PartitionConfig, PartitionWorkspace, Scheme, WorkspacePool,
 };
 use tempart_testkit::bench::Bencher;
 
@@ -88,6 +88,47 @@ fn bench_parallel(b: &mut Bencher) {
     }
 }
 
+/// The geometric space-filling-curve baselines: one key sort along the
+/// curve plus one weighted prefix-sum split — no graph build, no
+/// refinement. These bound the cost floor the multilevel rows are judged
+/// against.
+fn bench_sfc(b: &mut Bencher) {
+    let mesh = cylinder_like(&GeneratorConfig { base_depth: 4 });
+    let centroids: Vec<[f64; 3]> = mesh.cells().iter().map(|c| c.centroid).collect();
+    let (w, _) = strategy_weights(&mesh, PartitionStrategy::ScOc);
+    let weights: Vec<u64> = w.into_iter().map(u64::from).collect();
+    b.set_samples(10);
+    for (name, curve) in [("morton", Curve::Morton), ("hilbert", Curve::Hilbert)] {
+        b.bench(&format!("partition/sfc/{name}"), || {
+            black_box(sfc_partition(black_box(&centroids), &weights, 16, curve))
+        });
+    }
+}
+
+/// Parallel pairwise k-way refinement on the graded cylinder at k = 16:
+/// the colour-class fan-out measured end to end through
+/// [`partition_graph_par`] with a warm pool. Bit-identical to `w1` at
+/// every width; on single-core runners `w2`/`w4` bound the fork-join and
+/// atomic-slot overhead rather than showing speedup.
+fn bench_parallel_kway(b: &mut Bencher) {
+    let mesh = cylinder_like(&GeneratorConfig { base_depth: 4 });
+    let graph = mesh.to_graph();
+    let (w, ncon) = strategy_weights(&mesh, PartitionStrategy::McTl);
+    let g = graph.with_vertex_weights(w, ncon);
+    let cfg = PartitionConfig::new(16)
+        .with_ub(1.10)
+        .with_scheme(Scheme::KWayRefined);
+    b.set_samples(10);
+    for workers in [1usize, 2, 4] {
+        let pool = WorkspacePool::new(workers);
+        // Warm the pool's arenas once outside the measured region.
+        let _ = partition_graph_par(&g, &cfg, workers, &pool);
+        b.bench(&format!("partition/parallel/kway-w{workers}"), || {
+            black_box(partition_graph_par(black_box(&g), &cfg, workers, &pool))
+        });
+    }
+}
+
 fn bench_coarsening(b: &mut Bencher) {
     let mesh = cylinder_like(&GeneratorConfig { base_depth: 4 });
     let graph = mesh.to_graph();
@@ -102,6 +143,8 @@ fn main() {
     bench_schemes(&mut b);
     bench_workspace_reuse(&mut b);
     bench_parallel(&mut b);
+    bench_sfc(&mut b);
+    bench_parallel_kway(&mut b);
     bench_coarsening(&mut b);
     b.finish();
 }

@@ -111,7 +111,7 @@ pub fn run_flusim(mesh: &Mesh, config: &PipelineConfig) -> FlusimOutcome {
 pub fn run_flusim_traced(mesh: &Mesh, config: &PipelineConfig, rec: &Recorder) -> FlusimOutcome {
     let _span = rec.span("core.pipeline", 0, config.n_domains as u64);
     let part = decompose_traced(mesh, config.strategy, config.n_domains, config.seed, rec);
-    finish_flusim(mesh, part, config, rec)
+    finish_flusim(mesh, part, config, 1, rec)
 }
 
 /// [`run_flusim`] with the partitioning stage fanned out over `workers`
@@ -130,9 +130,10 @@ pub fn run_flusim_workers(mesh: &Mesh, config: &PipelineConfig, workers: usize) 
 
 /// Traced [`run_flusim_workers`]: the partitioner runs through
 /// [`decompose_par_traced`] with per-branch workspaces from `pool` (reuse
-/// one pool across calls to keep repeated runs allocation-warm); everything
-/// downstream of the partition — task-graph generation and the FLUSIM event
-/// loop — is unchanged and sequential.
+/// one pool across calls to keep repeated runs allocation-warm), and the
+/// domain-classification stage feeding the task-graph generator is sharded
+/// over the same width ([`DomainDecomposition::new_sharded`]); the
+/// task-graph generator itself and the FLUSIM event loop stay sequential.
 pub fn run_flusim_workers_traced(
     mesh: &Mesh,
     config: &PipelineConfig,
@@ -150,28 +151,28 @@ pub fn run_flusim_workers_traced(
         pool,
         rec,
     );
-    finish_flusim(mesh, part, config, rec)
+    finish_flusim(mesh, part, config, workers, rec)
 }
 
 /// The pipeline stages downstream of the partition: quality measurement,
 /// task-graph generation, FLUSIM simulation and the inter-process cut
-/// estimate. Shared by the sequential and parallel-partitioner entry points.
+/// estimate. Shared by the sequential and parallel-partitioner entry
+/// points; `workers` shards the domain-classification stage
+/// (bit-identical at every width — see
+/// [`DomainDecomposition::new_sharded`]).
 fn finish_flusim(
     mesh: &Mesh,
     part: Vec<PartId>,
     config: &PipelineConfig,
+    workers: usize,
     rec: &Recorder,
 ) -> FlusimOutcome {
     let cell_graph = mesh.to_graph();
     let quality = PartitionQuality::measure(&cell_graph, &part, config.n_domains);
-    let (graph, process_of, sim) = simulate_decomposition_traced(
-        mesh,
-        &part,
-        config.n_domains,
-        &config.cluster,
-        config.scheduling,
-        rec,
-    );
+    let dd = DomainDecomposition::new_sharded(mesh, &part, config.n_domains, workers);
+    let graph = generate_taskgraph_traced(mesh, &dd, &TaskGraphConfig::default(), rec);
+    let process_of = block_process_map(config.n_domains, config.cluster.n_processes);
+    let sim = simulate_traced(&graph, &config.cluster, &process_of, config.scheduling, rec);
 
     // Inter-process communication estimate: edges between cells whose
     // domains sit on different processes.
@@ -255,7 +256,7 @@ pub fn run_portfolio_traced(
     );
     let cell_graph = mesh.to_graph();
     let quality = PartitionQuality::measure(&cell_graph, &part, config.n_domains);
-    let dd = DomainDecomposition::new(mesh, &part, config.n_domains);
+    let dd = DomainDecomposition::new_sharded(mesh, &part, config.n_domains, workers);
     let graph = generate_taskgraph_traced(mesh, &dd, &TaskGraphConfig::default(), rec);
     let process_of = block_process_map(config.n_domains, config.cluster.n_processes);
     let leaderboard = race_traced(&graph, &config.cluster, &process_of, workers, rec);
@@ -282,26 +283,39 @@ pub fn run_sweep(jobs: &[(&Mesh, PipelineConfig)], workers: usize) -> Vec<Flusim
 
 /// Traced parallel sweep with **stable sequence re-keying**.
 ///
-/// Each job runs the full sequential pipeline ([`run_flusim_traced`])
-/// against its *own* isolated [`Recorder`], so concurrent jobs never
-/// interleave their event streams; outcomes land in disjoint per-job slots.
+/// Each job runs the full pipeline ([`run_flusim_workers_traced`], with
+/// whatever fork-join width is left over after the job list has claimed its
+/// share — see `sweep_inner_workers`) against its *own* isolated
+/// [`Recorder`], so concurrent jobs never interleave their event streams;
+/// outcomes land in disjoint per-job slots.
 /// After the fork-join scope drains, the driver absorbs each job's drained
 /// trace into `rec` **in job order** ([`Recorder::absorb`] assigns fresh,
 /// monotone sequence numbers) — the merged stream and the returned
 /// `Vec<FlusimOutcome>` (indexed like `jobs`) are pure functions of the job
 /// list, independent of worker count and steal order. The `ci.sh` worker
 /// matrix pins this end to end.
+///
+/// # Panics
+///
+/// If a job panics, the panic is caught *inside* the job (so the other
+/// jobs' recorder events are never lost to an unwinding fork-join scope),
+/// every completed job's trace is still absorbed in fixed job order, and
+/// then the first panic — by job index, not by completion time — is
+/// re-raised on the calling thread.
 pub fn run_sweep_traced(
     jobs: &[(&Mesh, PipelineConfig)],
     workers: usize,
     rec: &Recorder,
 ) -> Vec<FlusimOutcome> {
+    type JobSlot = Result<(FlusimOutcome, tempart_obs::Trace), Box<dyn std::any::Any + Send>>;
     let _span = rec.span("core.sweep", 0, jobs.len() as u64);
     let tracing = rec.enabled();
-    let slots: Vec<Mutex<Option<(FlusimOutcome, tempart_obs::Trace)>>> =
-        jobs.iter().map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<JobSlot>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
+    let inner_workers = sweep_inner_workers(workers, jobs.len());
+    let pool = WorkspacePool::new(workers.max(1));
     {
         let slots = &slots;
+        let pool = &pool;
         fork_join(workers, move |ctx| {
             for (i, (mesh, config)) in jobs.iter().enumerate() {
                 ctx.spawn(move |_| {
@@ -310,23 +324,46 @@ pub fn run_sweep_traced(
                     } else {
                         Recorder::off().clone()
                     };
-                    let outcome = run_flusim_traced(mesh, config, &job_rec);
+                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        run_flusim_workers_traced(mesh, config, inner_workers, pool, &job_rec)
+                    }));
                     let trace = job_rec.take();
-                    *slots[i].lock().expect("sweep slot poisoned") = Some((outcome, trace));
+                    *slots[i].lock().expect("sweep slot poisoned") =
+                        Some(outcome.map(|o| (o, trace)));
                 });
             }
         });
     }
     let mut outcomes = Vec::with_capacity(jobs.len());
+    let mut first_panic: Option<Box<dyn std::any::Any + Send>> = None;
     for slot in slots {
-        let (outcome, trace) = slot
+        match slot
             .into_inner()
             .expect("sweep slot poisoned")
-            .expect("sweep job did not run");
-        rec.absorb(&trace);
-        outcomes.push(outcome);
+            .expect("sweep job did not run")
+        {
+            Ok((outcome, trace)) => {
+                rec.absorb(&trace);
+                outcomes.push(outcome);
+            }
+            Err(payload) => {
+                first_panic.get_or_insert(payload);
+            }
+        }
+    }
+    if let Some(payload) = first_panic {
+        std::panic::resume_unwind(payload);
     }
     outcomes
+}
+
+/// Fork-join width each sweep job may use *internally* (the sharded
+/// `decompose → taskgraph` stage): the leftover parallelism once the job
+/// list itself has claimed its share. With at least as many jobs as
+/// workers this is 1 (all parallelism spent across jobs); a short job list
+/// on a wide pool hands the spare width to each job's intra-job stages.
+fn sweep_inner_workers(workers: usize, n_jobs: usize) -> usize {
+    (workers / n_jobs.max(1)).max(1)
 }
 
 #[cfg(test)]
@@ -468,6 +505,53 @@ mod tests {
                 .map(|e| (e.name, e.track, e.t, e.val, e.a, e.b))
                 .collect();
             assert_eq!(virt, virt1, "workers={workers}: merged stream diverged");
+        }
+    }
+
+    #[test]
+    fn sweep_job_panic_propagates_after_absorbing_completed_jobs() {
+        // A single bad job (n_domains = 0 trips the partitioner's assert)
+        // must not hang the sweep, and must not silently discard the
+        // recorder events of the jobs that finished.
+        let m = small_mesh();
+        let mk = |n_domains, seed| PipelineConfig {
+            strategy: PartitionStrategy::ScOc,
+            n_domains,
+            cluster: ClusterConfig::new(4, 2),
+            scheduling: Strategy::EagerFifo,
+            seed,
+        };
+        let jobs: Vec<(&Mesh, PipelineConfig)> = vec![
+            (&m, mk(8, 1)),
+            (&m, mk(0, 1)), // panics: "need at least one domain"
+            (&m, mk(8, 2)),
+        ];
+        for workers in [1usize, 2, 4] {
+            let rec = Recorder::new(1 << 18);
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                run_sweep_traced(&jobs, workers, &rec)
+            }));
+            let err = result.expect_err("sweep must re-raise the job panic");
+            let msg = err
+                .downcast_ref::<String>()
+                .cloned()
+                .unwrap_or_else(|| (*err.downcast_ref::<&str>().unwrap()).to_string());
+            assert!(
+                msg.contains("need at least one domain"),
+                "workers={workers}: {msg}"
+            );
+            // Both healthy jobs were absorbed before the re-raise: their
+            // pipeline spans are present in the merged trace.
+            let trace = rec.take();
+            let pipelines = trace
+                .events
+                .iter()
+                .filter(|e| e.name == "core.pipeline")
+                .count();
+            assert!(
+                pipelines >= 2,
+                "workers={workers}: expected both completed jobs' traces, saw {pipelines} pipeline event(s)"
+            );
         }
     }
 

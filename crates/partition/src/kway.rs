@@ -14,7 +14,7 @@ use tempart_testkit::rng::Rng;
 
 /// Fills `tot` with the per-constraint weight totals of `graph` (the
 /// allocation-free sibling of [`CsrGraph::total_weights`]).
-fn total_weights_into(graph: &CsrGraph, tot: &mut Vec<i64>) {
+pub(crate) fn total_weights_into(graph: &CsrGraph, tot: &mut Vec<i64>) {
     let ncon = graph.ncon();
     tot.clear();
     tot.resize(ncon, 0);
@@ -304,7 +304,8 @@ pub fn multilevel_kway(graph: &CsrGraph, config: &PartitionConfig) -> Vec<PartId
 
 /// Full multilevel k-way partitioning: one global coarsening pass, an
 /// initial k-way split of the coarsest graph by recursive bisection, then
-/// greedy k-way refinement at every uncoarsening level.
+/// pairwise k-way refinement ([`crate::par_kway`]) at every uncoarsening
+/// level.
 ///
 /// Compared to recursive bisection of the full graph this trades some cut
 /// quality (the paper found RB better on its meshes) for a single coarsening
@@ -314,6 +315,24 @@ pub fn multilevel_kway_ws(
     graph: &CsrGraph,
     config: &PartitionConfig,
     ws: &mut PartitionWorkspace,
+) -> Vec<PartId> {
+    multilevel_kway_core(graph, config, ws, &mut |g, part, ws| {
+        crate::par_kway::pairwise_kway_refine_ws(g, part, config, ws);
+    })
+}
+
+/// The multilevel k-way driver with a pluggable per-level refinement pass:
+/// [`multilevel_kway_ws`] refines with the pinned sequential pairwise
+/// schedule, the parallel entry point
+/// ([`crate::partition_graph_par_traced`]) plugs in the fork-join pairwise
+/// driver — everything else (coarsening, initial split, rebalance,
+/// projection) is shared code, so the two are bit-identical whenever the
+/// two refinement passes are.
+pub(crate) fn multilevel_kway_core(
+    graph: &CsrGraph,
+    config: &PartitionConfig,
+    ws: &mut PartitionWorkspace,
+    refine: &mut dyn FnMut(&CsrGraph, &mut [PartId], &mut PartitionWorkspace),
 ) -> Vec<PartId> {
     let k = config.nparts;
     if k <= 1 || graph.nvtx() <= 1 {
@@ -326,7 +345,7 @@ pub fn multilevel_kway_ws(
 
     let mut part = crate::bisect::recursive_bisection_ws(coarsest, config, ws);
     kway_rebalance_ws(coarsest, &mut part, config, ws);
-    kway_refine_ws(coarsest, &mut part, config, ws);
+    refine(coarsest, &mut part, ws);
 
     let mut fine: Vec<PartId> = ws.take_u32();
     for i in (0..hierarchy.levels.len()).rev() {
@@ -341,7 +360,7 @@ pub fn multilevel_kway_ws(
         fine.extend(map.iter().map(|&cv| part[cv as usize]));
         std::mem::swap(&mut part, &mut fine);
         kway_rebalance_ws(fine_graph, &mut part, config, ws);
-        kway_refine_ws(fine_graph, &mut part, config, ws);
+        refine(fine_graph, &mut part, ws);
     }
     ws.give_u32(fine);
     ws.give_hierarchy(hierarchy);

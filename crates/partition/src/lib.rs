@@ -24,6 +24,7 @@ pub mod geometric;
 pub mod initial;
 pub mod kway;
 pub mod par;
+pub mod par_kway;
 pub mod refine;
 pub mod repair;
 pub mod workspace;
@@ -33,6 +34,7 @@ use tempart_graph::{CsrGraph, PartId};
 pub use geometric::{hilbert_index, morton_index, sfc_partition, Curve};
 pub use kway::{kway_rebalance, multilevel_kway};
 pub use par::{partition_graph_par, partition_graph_par_traced, WorkspacePool};
+pub use par_kway::{colour_pairs, pairwise_kway_refine, pairwise_kway_refine_par};
 pub use repair::{repair_contiguity, repair_contiguity_traced, RepairReport};
 pub use workspace::{GainBuckets, PartitionWorkspace};
 
@@ -74,6 +76,17 @@ pub struct PartitionConfig {
     /// the share of every constraint's total weight part `p` should receive.
     /// `None` means uniform. Must have `nparts` entries summing to ~1.
     pub target_fracs: Option<Vec<f64>>,
+    /// Parallel bisection grain: subgraphs at or below this vertex count run
+    /// their whole subtree sequentially instead of spawning further
+    /// fork-join jobs, and parallel pairwise k-way refinement falls back to
+    /// the sequential driver below it. Scheduling-only — never affects
+    /// results, only where the fan-out stops.
+    pub par_seq_cutoff: usize,
+    /// Parallel pairwise k-way refinement grain: the minimum number of
+    /// boundary candidates a colour-class chunk must accumulate before it is
+    /// worth a fork-join task of its own. Scheduling-only — same-colour
+    /// pairs commute, so chunking never affects results.
+    pub pair_grain: usize,
 }
 
 impl PartitionConfig {
@@ -88,6 +101,8 @@ impl PartitionConfig {
             initial_tries: 8,
             refine_passes: 6,
             target_fracs: None,
+            par_seq_cutoff: 512,
+            pair_grain: 256,
         }
     }
 
@@ -195,7 +210,7 @@ pub fn partition_graph_with(
         Scheme::RecursiveBisection => bisect::recursive_bisection_ws(graph, config, ws),
         Scheme::KWayRefined => {
             let mut part = bisect::recursive_bisection_ws(graph, config, ws);
-            kway::kway_refine_ws(graph, &mut part, config, ws);
+            par_kway::pairwise_kway_refine_ws(graph, &mut part, config, ws);
             part
         }
         Scheme::MultilevelKWay => kway::multilevel_kway_ws(graph, config, ws),

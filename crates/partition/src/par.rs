@@ -45,13 +45,6 @@ use tempart_graph::{CsrGraph, PartId};
 use tempart_obs::{Clock, Recorder};
 use tempart_runtime::{fork_join, ForkCtx};
 
-/// Subgraphs at or below this vertex count (or with ≤ 2 leaves) run their
-/// whole subtree sequentially through [`split_recursive`] instead of
-/// spawning further jobs. The constant is part of the determinism story only
-/// in that it must not depend on worker count — it never affects results,
-/// only where the fan-out stops.
-const PAR_SEQ_CUTOFF: usize = 512;
-
 /// A striped pool of [`PartitionWorkspace`]s for concurrent branches.
 ///
 /// Each stripe is an independent mutex-guarded free-list; callers pass a
@@ -199,7 +192,12 @@ fn node_par<'e>(
     let g = ng.graph();
     let n = g.nvtx();
 
-    if k <= 2 || n <= PAR_SEQ_CUTOFF {
+    // Subgraphs at or below `par_seq_cutoff` vertices (or with ≤ 2 leaves)
+    // run their whole subtree sequentially through `split_recursive` instead
+    // of spawning further jobs. The cutoff is part of the determinism story
+    // only in that it must not depend on worker count — it never affects
+    // results, only where the fan-out stops.
+    if k <= 2 || n <= sh.config.par_seq_cutoff {
         // Sequential subtree: the exact code the sequential driver runs,
         // writing through the node's root-vertex map into the shared slots.
         let mut ws = sh.pool.checkout(ctx.worker_index());
@@ -394,10 +392,12 @@ pub fn partition_graph_par(
 /// workspace, with `rec` installed for the full phase-level span tree); with
 /// more workers the bisection tree fans out as fork-join jobs and `rec`
 /// receives the self-contained `part.par.*` events described in the module
-/// docs. [`Scheme::KWayRefined`] runs its k-way refinement pass sequentially
-/// after the parallel bisection (the pass is a single global sweep);
-/// [`Scheme::MultilevelKWay`] has no independent subproblems to fan out and
-/// always runs sequentially.
+/// docs. [`Scheme::KWayRefined`] follows the parallel bisection with the
+/// parallel pairwise k-way refinement
+/// ([`crate::par_kway::pairwise_kway_refine_par`], `part.kway.*` events);
+/// [`Scheme::MultilevelKWay`] coarsens and rebalances sequentially on a
+/// pooled workspace but fans the same pairwise refinement out at every
+/// uncoarsening level.
 ///
 /// # Panics
 ///
@@ -415,7 +415,7 @@ pub fn partition_graph_par_traced(
     if config.nparts == 1 || graph.nvtx() <= 1 {
         return vec![0; graph.nvtx()];
     }
-    if n_workers == 1 || config.scheme == Scheme::MultilevelKWay {
+    if n_workers == 1 {
         // Sequential path on a pooled workspace: identical to
         // `partition_graph_with`, with the caller's recorder installed so
         // the phase-level span tree (single-threaded B/E nesting) appears.
@@ -427,14 +427,34 @@ pub fn partition_graph_par_traced(
     }
     let _span = tempart_obs::span!(rec, "part.par", track = 0, arg = n_workers as u64);
     rec.counter("part.nvtx", 0, graph.nvtx() as u64);
-    let mut part = recursive_bisection_par(graph, config, n_workers, pool, rec);
-    if config.scheme == Scheme::KWayRefined {
-        let mut ws = pool.checkout(0);
-        ws.obs = rec.clone();
-        kway::kway_refine_ws(graph, &mut part, config, &mut ws);
-        pool.give_back(0, ws);
+    match config.scheme {
+        Scheme::MultilevelKWay => {
+            // Coarsening / initial split / rebalance run sequentially on a
+            // pooled workspace; every level's pairwise refinement fans out.
+            let mut ws = pool.checkout(0);
+            ws.obs = rec.clone();
+            let out = kway::multilevel_kway_core(graph, config, &mut ws, &mut |g, part, ws| {
+                if g.nvtx() <= config.par_seq_cutoff {
+                    crate::par_kway::pairwise_kway_refine_ws(g, part, config, ws);
+                } else {
+                    crate::par_kway::pairwise_kway_refine_par(
+                        g, part, config, n_workers, pool, rec,
+                    );
+                }
+            });
+            pool.give_back(0, ws);
+            out
+        }
+        _ => {
+            let mut part = recursive_bisection_par(graph, config, n_workers, pool, rec);
+            if config.scheme == Scheme::KWayRefined {
+                crate::par_kway::pairwise_kway_refine_par(
+                    graph, &mut part, config, n_workers, pool, rec,
+                );
+            }
+            part
+        }
     }
-    part
 }
 
 #[cfg(test)]
@@ -500,9 +520,22 @@ mod tests {
     }
 
     #[test]
-    fn multilevel_kway_falls_back_sequentially() {
+    fn multilevel_kway_parallel_matches_sequential() {
         let g = grid_graph(24, 24);
         let cfg = PartitionConfig::new(6).with_scheme(Scheme::MultilevelKWay);
+        check_all_widths(&g, &cfg);
+    }
+
+    #[test]
+    fn multilevel_kway_parallel_matches_sequential_forced_fanout() {
+        // Zero cutoff + tiny grain: every level's refinement takes the
+        // parallel driver even on this small instance.
+        let g = grid_graph(32, 32);
+        let cfg = PartitionConfig {
+            par_seq_cutoff: 0,
+            pair_grain: 4,
+            ..PartitionConfig::new(8).with_scheme(Scheme::MultilevelKWay)
+        };
         check_all_widths(&g, &cfg);
     }
 

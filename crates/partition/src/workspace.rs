@@ -343,6 +343,11 @@ impl PartitionWorkspace {
         self.pool_u32.push(v);
     }
 
+    /// Returns a `Vec<usize>` to the pool.
+    pub(crate) fn give_usize(&mut self, v: Vec<usize>) {
+        self.pool_usize.push(v);
+    }
+
     /// Returns a `Vec<u8>` to the pool.
     pub(crate) fn give_u8(&mut self, v: Vec<u8>) {
         self.pool_u8.push(v);

@@ -105,15 +105,25 @@ where
         return;
     }
     let shared = &shared;
+    let mut payload: Option<Box<dyn std::any::Any + Send>> = None;
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(n_workers);
         for (index, local) in deques.iter().enumerate() {
             handles.push(scope.spawn(move || worker_loop(shared, local, index)));
         }
+        // Join every worker before propagating: a panicking job's pending
+        // decrement happens in a drop guard (see `worker_loop`), so the
+        // survivors drain the remaining queued jobs and exit normally
+        // instead of spinning on a count that never reaches zero.
         for h in handles {
-            h.join().expect("fork-join worker panicked");
+            if let Err(p) = h.join() {
+                payload.get_or_insert(p);
+            }
         }
     });
+    if let Some(p) = payload {
+        std::panic::resume_unwind(p);
+    }
 }
 
 /// One worker's drain loop: run jobs until the scope's pending count hits
@@ -137,12 +147,22 @@ fn worker_loop<'env>(shared: &FjShared<'env>, local: &Worker<Job<'env>>, index: 
             continue;
         };
         idle_rounds = 0;
+        // The decrement lives in a drop guard so a panicking job still
+        // retires its pending count — without it, the sibling workers of a
+        // panicked thread would spin forever waiting for zero while the
+        // scope waits for them: a deadlock instead of a propagated panic.
+        struct Retire<'a>(&'a AtomicUsize);
+        impl Drop for Retire<'_> {
+            fn drop(&mut self) {
+                self.0.fetch_sub(1, Ordering::AcqRel);
+            }
+        }
+        let _retire = Retire(&shared.pending);
         job(&ForkCtx {
             shared,
             local,
             index,
         });
-        shared.pending.fetch_sub(1, Ordering::AcqRel);
     }
 }
 
@@ -246,6 +266,44 @@ mod tests {
                 assert_eq!(std::thread::current().id(), main_id);
             });
         });
+    }
+
+    #[test]
+    fn panicking_job_propagates_without_deadlock() {
+        // A job that panics must not hang the scope: its pending count is
+        // retired by the drop guard, siblings finish their work, and the
+        // panic payload surfaces from `fork_join` itself.
+        for workers in [1usize, 4] {
+            let done = AtomicU64::new(0);
+            let done_ref = &done;
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                fork_join(workers, move |ctx| {
+                    for i in 0..32 {
+                        ctx.spawn(move |_| {
+                            if i == 13 {
+                                panic!("boom from job {i}");
+                            }
+                            done_ref.fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                });
+            }));
+            let err = result.expect_err("panic must propagate");
+            let msg = err
+                .downcast_ref::<String>()
+                .cloned()
+                .unwrap_or_else(|| (*err.downcast_ref::<&str>().unwrap()).to_string());
+            assert!(msg.contains("boom from job 13"), "workers={workers}: {msg}");
+            // At workers > 1 the survivors drain the remaining queue; at
+            // workers == 1 the panic unwinds straight through the drain
+            // loop, so only jobs popped before the panicking one ran (the
+            // owner deque is LIFO: 31 down to 14, then 13 panics).
+            if workers > 1 {
+                assert_eq!(done.load(Ordering::Relaxed), 31, "workers={workers}");
+            } else {
+                assert_eq!(done.load(Ordering::Relaxed), 18, "workers={workers}");
+            }
+        }
     }
 
     #[test]

@@ -3,6 +3,16 @@
 use tempart_graph::PartId;
 use tempart_mesh::{FaceNeighbor, Mesh};
 
+/// Bounds of shard `s` of `n` items split into `shards` near-equal
+/// contiguous ranges (the first `n % shards` ranges get one extra item).
+fn shard_range(n: usize, shards: usize, s: usize) -> (usize, usize) {
+    let base = n / shards;
+    let extra = n % shards;
+    let start = s * base + s.min(extra);
+    let len = base + usize::from(s < extra);
+    (start, start + len)
+}
+
 /// Whether an object (cell or face) sits strictly inside its domain or on the
 /// border to another domain.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -16,7 +26,7 @@ pub enum ObjectClass {
 /// A mesh + partition bundle with everything Algorithm 1 needs precomputed:
 /// per-domain, per-level object lists split into internal/external classes,
 /// and the domain adjacency (which domains share faces).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DomainDecomposition {
     /// Domain of every cell.
     pub cell_domain: Vec<PartId>,
@@ -96,6 +106,144 @@ impl DomainDecomposition {
                 ext.push(fid as u32);
             } else {
                 int.push(fid as u32);
+            }
+        }
+
+        Self {
+            cell_domain: part.to_vec(),
+            n_domains,
+            n_levels: mesh.n_tau_levels(),
+            cells,
+            faces,
+            neighbors,
+        }
+    }
+
+    /// [`Self::new`] with the classification stage sharded over `workers`
+    /// fork-join workers. Bit-identical to the sequential build at every
+    /// worker count.
+    ///
+    /// The cross-domain analysis (which cells are external, which domains
+    /// neighbour which) stays sequential — it is one cheap face scan — and
+    /// the expensive part, binning every cell and face into its
+    /// `(domain, τ, class)` list, is split into contiguous id ranges, one
+    /// per worker. Because [`Self::new`] fills each list in ascending id
+    /// order and the ranges are contiguous, concatenating the per-range
+    /// lists in range order reproduces the sequential lists exactly; the
+    /// schedule only decides *when* each range is classified, never what
+    /// ends up where.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `part.len() != mesh.n_cells()` or a part id is
+    /// `>= n_domains`.
+    pub fn new_sharded(mesh: &Mesh, part: &[PartId], n_domains: usize, workers: usize) -> Self {
+        // One shard per worker; below that there is nothing to overlap.
+        let n_cells = mesh.n_cells();
+        let shards = workers.min(n_cells.max(1));
+        if shards <= 1 {
+            return Self::new(mesh, part, n_domains);
+        }
+        assert_eq!(part.len(), n_cells, "partition vector length");
+        assert!(
+            part.iter().all(|&p| (p as usize) < n_domains),
+            "part id out of range"
+        );
+        let nl = mesh.n_tau_levels() as usize;
+
+        // Sequential cross-domain pass (identical to `new`).
+        let mut neighbors: Vec<Vec<PartId>> = vec![Vec::new(); n_domains];
+        let mut cell_external = vec![false; n_cells];
+        for f in mesh.faces() {
+            if let FaceNeighbor::Interior(nb) = f.neighbor {
+                let d0 = part[f.owner as usize];
+                let d1 = part[nb as usize];
+                if d0 != d1 {
+                    cell_external[f.owner as usize] = true;
+                    cell_external[nb as usize] = true;
+                    if !neighbors[d0 as usize].contains(&d1) {
+                        neighbors[d0 as usize].push(d1);
+                    }
+                    if !neighbors[d1 as usize].contains(&d0) {
+                        neighbors[d1 as usize].push(d0);
+                    }
+                }
+            }
+        }
+        for d in &mut neighbors {
+            d.sort_unstable();
+        }
+
+        // Parallel classification over contiguous id ranges: scoped
+        // threads, one per shard, each returning its own binned lists
+        // through its join handle (this crate sits below the fork-join
+        // runtime in the dependency graph, so it cannot borrow that pool;
+        // the shard count is tiny and the threads are short-lived).
+        type Binned = Vec<Vec<(Vec<u32>, Vec<u32>)>>;
+        let n_faces = mesh.n_faces();
+        let cell_external = &cell_external;
+        let classify_shard = move |s: usize| -> (Binned, Binned) {
+            let (c0, c1) = shard_range(n_cells, shards, s);
+            let (f0, f1) = shard_range(n_faces, shards, s);
+            let mut cells: Binned = vec![vec![(Vec::new(), Vec::new()); nl]; n_domains];
+            let mut faces: Binned = vec![vec![(Vec::new(), Vec::new()); nl]; n_domains];
+            for (c, &tau) in mesh.tau().iter().enumerate().take(c1).skip(c0) {
+                let d = part[c] as usize;
+                let (int, ext) = &mut cells[d][tau as usize];
+                if cell_external[c] {
+                    ext.push(c as u32);
+                } else {
+                    int.push(c as u32);
+                }
+            }
+            for (fid, f) in mesh.faces().iter().enumerate().take(f1).skip(f0) {
+                let d = part[f.owner as usize] as usize;
+                let tau = mesh.face_tau(fid as u32) as usize;
+                let external = match f.neighbor {
+                    FaceNeighbor::Interior(nb) => part[nb as usize] as usize != d,
+                    FaceNeighbor::Boundary => false,
+                };
+                let (int, ext) = &mut faces[d][tau];
+                if external {
+                    ext.push(fid as u32);
+                } else {
+                    int.push(fid as u32);
+                }
+            }
+            (cells, faces)
+        };
+        let binned: Vec<(Binned, Binned)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (1..shards)
+                .map(|s| scope.spawn(move || classify_shard(s)))
+                .collect();
+            // The calling thread takes shard 0 instead of idling.
+            let first = classify_shard(0);
+            // Joining in spawn order = shard order; a panicked shard (only
+            // possible via an inconsistent Mesh) propagates here.
+            std::iter::once(first)
+                .chain(handles.into_iter().map(|h| match h.join() {
+                    Ok(b) => b,
+                    Err(p) => std::panic::resume_unwind(p),
+                }))
+                .collect()
+        });
+
+        // Fixed-order merge: shard 0's ids precede shard 1's within every
+        // (domain, τ, class) list, matching the sequential fill order.
+        let mut cells: Binned = vec![vec![(Vec::new(), Vec::new()); nl]; n_domains];
+        let mut faces: Binned = vec![vec![(Vec::new(), Vec::new()); nl]; n_domains];
+        for (sc, sf) in binned {
+            for (dst_d, src_d) in cells.iter_mut().zip(sc) {
+                for (dst, src) in dst_d.iter_mut().zip(src_d) {
+                    dst.0.extend(src.0);
+                    dst.1.extend(src.1);
+                }
+            }
+            for (dst_d, src_d) in faces.iter_mut().zip(sf) {
+                for (dst, src) in dst_d.iter_mut().zip(src_d) {
+                    dst.0.extend(src.0);
+                    dst.1.extend(src.1);
+                }
             }
         }
 
@@ -226,6 +374,36 @@ mod tests {
             }
         }
         assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn sharded_build_is_bit_identical_to_sequential() {
+        let m = grid_mesh(2);
+        // A scattered assignment (round-robin over 4 domains) maximises
+        // externals and exercises every (domain, τ, class) bucket.
+        let scattered: Vec<PartId> = (0..64).map(|i| (i % 4) as PartId).collect();
+        let half = half_split(&m);
+        for part in [&scattered, &half] {
+            let seq = DomainDecomposition::new(&m, part, 4);
+            for workers in [1usize, 2, 3, 4, 7] {
+                let sharded = DomainDecomposition::new_sharded(&m, part, 4, workers);
+                assert_eq!(sharded, seq, "workers={workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn shard_range_partitions_exactly() {
+        for (n, shards) in [(64usize, 4usize), (65, 4), (3, 7), (0, 2), (1, 1)] {
+            let mut next = 0;
+            for s in 0..shards {
+                let (lo, hi) = shard_range(n, shards, s);
+                assert_eq!(lo, next, "n={n} shards={shards} s={s}");
+                assert!(hi >= lo);
+                next = hi;
+            }
+            assert_eq!(next, n, "n={n} shards={shards}");
+        }
     }
 
     #[test]

@@ -43,7 +43,8 @@ COMMANDS:
                pipeline stage through tempart-obs, verifies the trace replays
                to the simulator's exact makespan/idle stats, then writes
                Chrome-trace JSON (open in chrome://tracing or Perfetto)
-    compare    SC_OC vs MC_TL side by side (--case, --depth, --domains,
+    compare    SC_OC vs MC_TL vs SFC side by side
+                                          (--case, --depth, --domains,
                                            --processes, --cores, --svg DIR)
     portfolio  race all 24 scheduler-lattice combos (task criterion x
                process criterion) on one decomposition and print the ranked
@@ -625,9 +626,20 @@ fn cmd_compare(o: &Options) -> Result<(), String> {
         o.processes,
         o.cores
     );
-    // The two strategies are independent experiments: fan them out as
-    // parallel sweep jobs (results are bit-identical at every width).
-    let strategies = [PartitionStrategy::ScOc, PartitionStrategy::McTl];
+    // Independent experiments: fan them out as parallel sweep jobs
+    // (results are bit-identical at every width). SC_OC and MC_TL stay in
+    // slots 0/1 — the headline speedup line below reads them by index; the
+    // SFC baselines ride along for the quality columns.
+    let strategies = [
+        PartitionStrategy::ScOc,
+        PartitionStrategy::McTl,
+        PartitionStrategy::SfcOc {
+            curve: Curve::Morton,
+        },
+        PartitionStrategy::SfcOc {
+            curve: Curve::Hilbert,
+        },
+    ];
     let jobs: Vec<(&Mesh, PipelineConfig)> = strategies
         .iter()
         .map(|&strategy| {
@@ -647,7 +659,7 @@ fn cmd_compare(o: &Options) -> Result<(), String> {
     let mut spans = Vec::new();
     for (strategy, out) in strategies.iter().copied().zip(outcomes) {
         println!(
-            "  {:<6} makespan {:>8}  idle {:>5.1}%  cut {:>7}  interprocess {:>7}",
+            "  {:<9} makespan {:>8}  idle {:>5.1}%  cut {:>7}  interprocess {:>7}",
             strategy.label(),
             out.makespan(),
             out.sim.idle_fraction(&cluster) * 100.0,
@@ -656,7 +668,10 @@ fn cmd_compare(o: &Options) -> Result<(), String> {
         );
         if let Some(dir) = &o.svg {
             std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
-            let path = dir.join(format!("{}.svg", strategy.label().to_lowercase()));
+            let path = dir.join(format!(
+                "{}.svg",
+                strategy.label().to_lowercase().replace(['(', ')'], "")
+            ));
             tempart::flusim::write_gantt_svg(
                 &out.graph,
                 &out.sim.segments,
