@@ -60,6 +60,9 @@ echo "== worker matrix (fork-join determinism across processes) =="
 # thread-count-dependent state can't hide inside one test binary (the
 # in-process cross-check at widths 1/2/4 already ran in the suites above,
 # including the portfolio suites property_portfolio and golden_portfolio).
+# The fingerprint file also carries the geometric rows (`cylinder4/sfc-*`,
+# above SFC_RADIX_CUTOFF), so the parallel radix sort's shard merge is
+# diffed across process-level worker counts here too.
 TEMPART_WORKERS=1 cargo test -q --release --offline --test worker_matrix \
     emit_fingerprints >/dev/null
 TEMPART_WORKERS=2 cargo test -q --release --offline --test worker_matrix \
@@ -73,6 +76,21 @@ for w in 2 4; do
     fi
 done
 echo "ok (1-, 2- and 4-worker fingerprints identical)"
+
+echo "== paper-scale suite (opt-in) =="
+# Opt-in because it costs minutes and ~1 GB RSS: generates the 12.6M-cell
+# PPRIME_NOZZLE-class cloud (faces-free, calibrated to Table I), partitions
+# it through the parallel radix SFC path, diffs 1-vs-4-worker part vectors
+# at full scale, sorts ≥1M random points against the comparison sort bit
+# for bit, and asserts the whole run stays under the 4 GiB RSS budget.
+# The matching `partition/paper/*` bench rows run in the bench gate below
+# when the same variable is set.
+if [[ "${TEMPART_PAPER_SCALE:-0}" == "1" ]]; then
+    TEMPART_PAPER_SCALE=1 cargo test --release --offline --test paper_scale -- --nocapture
+    echo "ok (paper-scale suite green)"
+else
+    echo "skipped (set TEMPART_PAPER_SCALE=1 to run the 12.6M-cell suite)"
+fi
 
 echo "== bench gate (hot-path regression check) =="
 # Short-sample wall-clock runs of the two hot-path suites, compared against
@@ -91,7 +109,11 @@ echo "== bench gate (hot-path regression check) =="
 # (`partition/parallel/MC_TL-w{1,2,4}` and the pairwise k-way fan-out
 # `partition/parallel/kway-w{1,2,4}`) — on a single-core runner they bound
 # the fork-join overhead against the sequential baseline — plus the
-# geometric `partition/sfc/{morton,hilbert}` cost floor. The flusim suite
+# geometric `partition/sfc/{morton,hilbert}` cost floor. With
+# TEMPART_PAPER_SCALE=1 the partitioner suite additionally emits the
+# `partition/paper/*` rows (12.6M-cell SFC runs + the SFC-vs-multilevel
+# race) and checks them against the committed baseline; on normal runs
+# those rows are simply absent and the gate ignores them. The flusim suite
 # additionally gates the lattice scheduler (`flusim/portfolio/*`): one
 # dynamic combo against the pinned loop, and the full 24-combo race at 1
 # and 4 workers — pricing the global-ready-heap path and the racing fan-out.

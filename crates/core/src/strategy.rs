@@ -5,8 +5,8 @@ use tempart_mesh::{operating_cost, Mesh};
 use tempart_obs::Recorder;
 use tempart_partition::{
     bisect::extract_subgraph, partition_graph_par_traced, partition_graph_with,
-    repair_contiguity_traced, sfc_partition, Curve, PartitionConfig, PartitionWorkspace,
-    RepairReport, WorkspacePool,
+    repair_contiguity_traced, sfc_partition_with, Curve, PartitionConfig, PartitionWorkspace,
+    RepairReport, SfcWorkspace, WorkspacePool,
 };
 
 /// How to weight and partition the cell graph.
@@ -139,7 +139,9 @@ pub fn decompose_traced(
             let centroids: Vec<[f64; 3]> = mesh.cells().iter().map(|c| c.centroid).collect();
             let (w, _) = strategy_weights(mesh, strategy);
             let weights: Vec<u64> = w.into_iter().map(u64::from).collect();
-            sfc_partition(&centroids, &weights, n_domains, curve)
+            let mut sfc_ws = SfcWorkspace::new();
+            sfc_ws.obs = rec.clone();
+            sfc_partition_with(&centroids, &weights, n_domains, curve, 1, &mut sfc_ws)
         }
         _ => {
             let (w, ncon) = strategy_weights(mesh, strategy);
@@ -186,8 +188,9 @@ pub fn decompose_par(
 /// The result is **bit-identical** to [`decompose`] for every strategy at
 /// every worker count: the multilevel strategies inherit the parallel
 /// driver's fixed tree-order merge, the dual-phase inner splits reuse the
-/// same seeds per process slot, and the SFC strategies are cheap scans that
-/// simply run sequentially.
+/// same seeds per process slot, and the SFC strategies run the parallel
+/// radix pipeline whose stable fixed-order merge is worker-count-invariant
+/// (`tempart_partition::geometric`).
 pub fn decompose_par_traced(
     mesh: &Mesh,
     strategy: PartitionStrategy,
@@ -226,7 +229,9 @@ pub fn decompose_par_traced(
             let centroids: Vec<[f64; 3]> = mesh.cells().iter().map(|c| c.centroid).collect();
             let (w, _) = strategy_weights(mesh, strategy);
             let weights: Vec<u64> = w.into_iter().map(u64::from).collect();
-            sfc_partition(&centroids, &weights, n_domains, curve)
+            let mut sfc_ws = SfcWorkspace::new();
+            sfc_ws.obs = rec.clone();
+            sfc_partition_with(&centroids, &weights, n_domains, curve, workers, &mut sfc_ws)
         }
         _ => {
             let (w, ncon) = strategy_weights(mesh, strategy);

@@ -67,9 +67,14 @@ impl GraphBuilder {
     }
 
     /// Finalizes the CSR arrays, merging duplicate edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the merged adjacency exceeds the `u32` offset range
+    /// (> ~4.29G directed edges) — far beyond the paper's 12.6M-cell meshes.
     pub fn build(mut self) -> CsrGraph {
         let mut xadj = Vec::with_capacity(self.nvtx + 1);
-        xadj.push(0usize);
+        xadj.push(0u32);
         let mut adjncy = Vec::new();
         let mut adjwgt = Vec::new();
         for list in &mut self.adj {
@@ -86,7 +91,11 @@ impl GraphBuilder {
                 adjwgt.push(w);
                 i = j;
             }
-            xadj.push(adjncy.len());
+            assert!(
+                adjncy.len() <= u32::MAX as usize,
+                "adjacency exceeds u32 offset range"
+            );
+            xadj.push(adjncy.len() as u32);
         }
         CsrGraph::from_parts_unchecked(xadj, adjncy, adjwgt, self.vwgt, self.ncon)
     }

@@ -10,8 +10,11 @@ use crate::Weight;
 /// `vwgt[v*ncon .. (v+1)*ncon]`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CsrGraph {
-    /// Adjacency-list offsets; `xadj.len() == nvtx + 1`.
-    xadj: Vec<usize>,
+    /// Adjacency-list offsets; `xadj.len() == nvtx + 1`. Stored as `u32`
+    /// (half the RSS of `usize` offsets at paper scale): a 12.6M-cell mesh
+    /// has ~75M adjacency entries, comfortably below `u32::MAX`. Enforced by
+    /// [`Self::validate`] and asserted by the builders.
+    xadj: Vec<u32>,
     /// Concatenated adjacency lists (neighbour vertex ids).
     adjncy: Vec<u32>,
     /// Edge weights, parallel to `adjncy`.
@@ -30,7 +33,7 @@ impl CsrGraph {
     /// Panics if array lengths are inconsistent, a neighbour index is out of
     /// range, a self-loop is present, or the adjacency is not symmetric.
     pub fn from_parts(
-        xadj: Vec<usize>,
+        xadj: Vec<u32>,
         adjncy: Vec<u32>,
         adjwgt: Vec<Weight>,
         vwgt: Vec<Weight>,
@@ -47,7 +50,7 @@ impl CsrGraph {
     /// guarantees the invariants; call [`Self::validate`] explicitly when in
     /// doubt.
     pub fn from_parts_unchecked(
-        xadj: Vec<usize>,
+        xadj: Vec<u32>,
         adjncy: Vec<u32>,
         adjwgt: Vec<Weight>,
         vwgt: Vec<Weight>,
@@ -72,7 +75,13 @@ impl CsrGraph {
         if self.xadj[0] != 0 {
             return Err("xadj[0] must be 0".into());
         }
-        if *self.xadj.last().unwrap() != self.adjncy.len() {
+        if self.adjncy.len() > u32::MAX as usize {
+            return Err(format!(
+                "adjncy has {} entries, exceeding the u32 offset range",
+                self.adjncy.len()
+            ));
+        }
+        if *self.xadj.last().unwrap() as usize != self.adjncy.len() {
             return Err("xadj must end at adjncy.len()".into());
         }
         if self.adjwgt.len() != self.adjncy.len() {
@@ -135,13 +144,13 @@ impl CsrGraph {
     /// Degree of vertex `v`.
     #[inline]
     pub fn degree(&self, v: u32) -> usize {
-        self.xadj[v as usize + 1] - self.xadj[v as usize]
+        (self.xadj[v as usize + 1] - self.xadj[v as usize]) as usize
     }
 
     /// Iterator over the neighbours of `v`.
     #[inline]
     pub fn neighbors(&self, v: u32) -> std::iter::Copied<std::slice::Iter<'_, u32>> {
-        self.adjncy[self.xadj[v as usize]..self.xadj[v as usize + 1]]
+        self.adjncy[self.xadj[v as usize] as usize..self.xadj[v as usize + 1] as usize]
             .iter()
             .copied()
     }
@@ -149,7 +158,7 @@ impl CsrGraph {
     /// Iterator over the edge weights of `v`, parallel to [`Self::neighbors`].
     #[inline]
     pub fn edge_weights(&self, v: u32) -> std::iter::Copied<std::slice::Iter<'_, Weight>> {
-        self.adjwgt[self.xadj[v as usize]..self.xadj[v as usize + 1]]
+        self.adjwgt[self.xadj[v as usize] as usize..self.xadj[v as usize + 1] as usize]
             .iter()
             .copied()
     }
@@ -157,7 +166,7 @@ impl CsrGraph {
     /// Neighbour/edge-weight pairs of `v` as parallel slices.
     #[inline]
     pub fn adjacency(&self, v: u32) -> (&[u32], &[Weight]) {
-        let r = self.xadj[v as usize]..self.xadj[v as usize + 1];
+        let r = self.xadj[v as usize] as usize..self.xadj[v as usize + 1] as usize;
         (&self.adjncy[r.clone()], &self.adjwgt[r])
     }
 
@@ -168,9 +177,10 @@ impl CsrGraph {
         &self.vwgt[v * self.ncon..(v + 1) * self.ncon]
     }
 
-    /// Raw CSR offset array (`nvtx + 1` entries).
+    /// Raw CSR offset array (`nvtx + 1` entries, u32 offsets into
+    /// [`Self::adjncy`]).
     #[inline]
-    pub fn xadj(&self) -> &[usize] {
+    pub fn xadj(&self) -> &[u32] {
         &self.xadj
     }
 
@@ -214,7 +224,7 @@ impl CsrGraph {
     /// The inverse of [`Self::from_parts_unchecked`]; hot paths (the
     /// partitioner's workspace pools) use it to recycle a dead graph's
     /// buffers instead of dropping and re-allocating them.
-    pub fn into_parts(self) -> (Vec<usize>, Vec<u32>, Vec<Weight>, Vec<Weight>, usize) {
+    pub fn into_parts(self) -> (Vec<u32>, Vec<u32>, Vec<Weight>, Vec<Weight>, usize) {
         (self.xadj, self.adjncy, self.adjwgt, self.vwgt, self.ncon)
     }
 

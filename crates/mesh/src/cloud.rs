@@ -1,0 +1,221 @@
+//! Faces-free paper-scale point clouds for the SFC fast path.
+//!
+//! Building a full [`Mesh`](crate::Mesh) materialises every face (~48 bytes
+//! each, ~6 per cell), which at the paper's 6.4M–12.6M-cell sizes is
+//! gigabytes of geometry the geometric partitioner never reads. An
+//! [`SfcCloud`] generates only what the space-filling-curve pipeline needs —
+//! one centroid and one temporal level per cell — by recursive descent with
+//! the same per-stage hotspot rules the octree generators use
+//! ([`MeshCase::refine_stage`]), skipping the 2:1 balance pass and the face
+//! extraction entirely.
+//!
+//! The base grid is an arbitrary `nside³` lattice rather than a
+//! power-of-eight octree level, so the total can be tuned to the paper's
+//! exact Table I cell counts ([`paper_scale_nside`]) instead of the nearest
+//! octave. Memory is ~25 bytes per cell (24 centroid + 1 level): the
+//! 12.6M-cell PPRIME_NOZZLE cloud fits in ~315 MB.
+
+use crate::generators::MeshCase;
+use crate::temporal::operating_cost;
+
+/// A point cloud standing in for a paper-scale mesh: per-cell centroid and
+/// temporal level, no connectivity.
+#[derive(Debug, Clone)]
+pub struct SfcCloud {
+    /// Cell centroids in the unit cube.
+    pub centroids: Vec<[f64; 3]>,
+    /// Temporal level per cell (0 = finest / most subiterations).
+    pub tau: Vec<u8>,
+    /// Number of temporal levels (`tau` values are `0..n_levels`).
+    pub n_levels: u8,
+}
+
+impl SfcCloud {
+    /// Number of cells in the cloud.
+    pub fn n_points(&self) -> usize {
+        self.centroids.len()
+    }
+
+    /// Per-cell operating cost `2^(τmax−τ)` — the SC_OC / SFC_OC weight.
+    pub fn operating_costs(&self) -> Vec<u64> {
+        let tau_max = self.n_levels - 1;
+        self.tau
+            .iter()
+            .map(|&t| u64::from(operating_cost(t, tau_max)))
+            .collect()
+    }
+}
+
+/// Recursive descent over one base cell: split while the stage rule holds,
+/// emit a leaf otherwise. `half` is the half-width of the current cell.
+fn descend(
+    case: MeshCase,
+    c: [f64; 3],
+    stage: u8,
+    extra: u8,
+    half: f64,
+    emit: &mut impl FnMut([f64; 3], u8),
+) {
+    if stage < extra && case.refine_stage(c, stage as usize) {
+        let q = half / 2.0;
+        for dz in [-q, q] {
+            for dy in [-q, q] {
+                for dx in [-q, q] {
+                    descend(
+                        case,
+                        [c[0] + dx, c[1] + dy, c[2] + dz],
+                        stage + 1,
+                        extra,
+                        q,
+                        emit,
+                    );
+                }
+            }
+        }
+    } else {
+        emit(c, stage);
+    }
+}
+
+/// Walks the whole refinement forest for an `nside³` base grid, calling
+/// `emit(centroid, stage)` once per leaf in a fixed deterministic order
+/// (x-fastest over the base grid, then the fixed octant order per split).
+fn walk(case: MeshCase, nside: usize, emit: &mut impl FnMut([f64; 3], u8)) {
+    assert!(nside >= 1, "need at least one base cell per axis");
+    let extra = case.extra_depth();
+    let h = 1.0 / nside as f64;
+    for z in 0..nside {
+        for y in 0..nside {
+            for x in 0..nside {
+                let c = [
+                    (x as f64 + 0.5) * h,
+                    (y as f64 + 0.5) * h,
+                    (z as f64 + 0.5) * h,
+                ];
+                descend(case, c, 0, extra, h / 2.0, emit);
+            }
+        }
+    }
+}
+
+/// Generates the faces-free cloud for `case` on an `nside³` base grid.
+///
+/// Temporal levels follow the mesh rule (`TemporalScheme::assign`): the
+/// deepest cells present get τ = 0 and each stage of coarsening increments
+/// τ, saturating at `n_levels - 1`.
+pub fn sfc_cloud(case: MeshCase, nside: usize) -> SfcCloud {
+    let mut centroids = Vec::new();
+    let mut stages = Vec::new();
+    walk(case, nside, &mut |c, s| {
+        centroids.push(c);
+        stages.push(s);
+    });
+    let deepest = stages.iter().copied().max().unwrap_or(0);
+    let tau_max = case.n_levels() - 1;
+    let tau = stages
+        .into_iter()
+        .map(|s| (deepest - s).min(tau_max))
+        .collect();
+    SfcCloud {
+        centroids,
+        tau,
+        n_levels: case.n_levels(),
+    }
+}
+
+/// Counts the cells [`sfc_cloud`] would generate without allocating any of
+/// them — the zero-allocation size check used to calibrate
+/// [`paper_scale_nside`] and to gate paper-scale runs before committing
+/// memory.
+pub fn cloud_cell_count(case: MeshCase, nside: usize) -> usize {
+    let mut n = 0usize;
+    walk(case, nside, &mut |_, _| n += 1);
+    n
+}
+
+/// Base resolution per axis that lands [`cloud_cell_count`] within a few
+/// percent of the paper's Table I cell count for `case`
+/// ([`MeshCase::paper_cell_count`]); calibrated by
+/// `tests/paper_scale.rs::cloud_counts_match_table1`.
+pub fn paper_scale_nside(case: MeshCase) -> usize {
+    match case {
+        // 6,395,584 cells vs the paper's 6,400,505 (−0.08 %).
+        MeshCase::Cylinder => 159,
+        // 152,510 cells vs the paper's 151,817 (+0.46 %).
+        MeshCase::Cube => 50,
+        // 12,609,871 cells vs the paper's 12,594,374 (+0.12 %).
+        MeshCase::PprimeNozzle => 191,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::GeneratorConfig;
+    use crate::temporal::level_histogram;
+
+    #[test]
+    fn cloud_count_matches_generation() {
+        for case in MeshCase::ALL {
+            let n = cloud_cell_count(case, 24);
+            let cloud = sfc_cloud(case, 24);
+            assert_eq!(cloud.n_points(), n, "{}", case.name());
+            assert_eq!(cloud.tau.len(), n);
+        }
+    }
+
+    #[test]
+    fn cloud_is_deterministic() {
+        let a = sfc_cloud(MeshCase::Cylinder, 20);
+        let b = sfc_cloud(MeshCase::Cylinder, 20);
+        assert_eq!(a.centroids, b.centroids);
+        assert_eq!(a.tau, b.tau);
+    }
+
+    #[test]
+    fn cloud_levels_match_mesh_fractions() {
+        // On a power-of-two base grid the cloud must reproduce the octree
+        // generators' per-τ fractions up to the (small) 2:1-balance
+        // correction the cloud deliberately skips.
+        for case in MeshCase::ALL {
+            let mesh = case.generate(&GeneratorConfig { base_depth: 5 });
+            let hist = level_histogram(&mesh);
+            let mesh_frac: Vec<f64> = hist
+                .iter()
+                .map(|&n| n as f64 / mesh.n_cells() as f64)
+                .collect();
+            let cloud = sfc_cloud(case, 32);
+            let mut cloud_hist = vec![0usize; case.n_levels() as usize];
+            for &t in &cloud.tau {
+                cloud_hist[t as usize] += 1;
+            }
+            for (t, &n) in cloud_hist.iter().enumerate() {
+                let f = n as f64 / cloud.n_points() as f64;
+                assert!(
+                    (f - mesh_frac[t]).abs() < 0.05,
+                    "{} τ={t}: cloud {f:.3} vs mesh {:.3}",
+                    case.name(),
+                    mesh_frac[t]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn operating_costs_follow_levels() {
+        let cloud = sfc_cloud(MeshCase::PprimeNozzle, 16);
+        let costs = cloud.operating_costs();
+        let tau_max = cloud.n_levels - 1;
+        for (i, &t) in cloud.tau.iter().enumerate() {
+            assert_eq!(costs[i], 1u64 << (tau_max - t));
+        }
+    }
+
+    #[test]
+    fn non_power_of_two_base_grid_works() {
+        let n27 = cloud_cell_count(MeshCase::Cube, 27);
+        let n32 = cloud_cell_count(MeshCase::Cube, 32);
+        assert!(n27 >= 27 * 27 * 27);
+        assert!(n32 > n27);
+    }
+}

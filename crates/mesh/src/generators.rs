@@ -87,6 +87,61 @@ impl MeshCase {
     pub fn generate_default(self) -> Mesh {
         self.generate(&GeneratorConfig::for_case(self))
     }
+
+    /// Number of refinement stages above the base grid (`max_depth -
+    /// base_depth` of the octree build).
+    pub fn extra_depth(self) -> u8 {
+        match self {
+            MeshCase::Cylinder | MeshCase::Cube => 3,
+            MeshCase::PprimeNozzle => 2,
+        }
+    }
+
+    /// The stage-`k` hotspot rule shared by the octree generators and the
+    /// faces-free paper-scale cloud ([`crate::cloud`]): a cell centred at
+    /// `c` that has already been refined `k` stages past the base grid is
+    /// split once more iff this returns `true`. Capture radii per stage were
+    /// solved analytically from Table I's per-τ cell fractions (DESIGN.md
+    /// §2) and are independent of the base resolution.
+    pub fn refine_stage(self, c: [f64; 3], k: usize) -> bool {
+        match self {
+            MeshCase::Cylinder => {
+                // One vertical capsule around the domain centre axis; the
+                // capsule half-height tracks the radius so the region volume
+                // is ~4πR³ (cylinder of height 4R).
+                const RADII: [f64; 3] = [0.162, 0.0437, 0.0123];
+                let r = RADII[k];
+                let a = [0.5, 0.5, 0.5 - 2.0 * r];
+                let b = [0.5, 0.5, 0.5 + 2.0 * r];
+                segment_distance(c, a, b) < r
+            }
+            MeshCase::Cube => {
+                // Three non-contiguous spherical hotspots; r1 ≈ r0 makes the
+                // τ=2 shell vanishingly thin (the paper's 0.3 %).
+                const CENTRES: [[f64; 3]; 3] =
+                    [[0.25, 0.25, 0.3], [0.75, 0.35, 0.7], [0.4, 0.75, 0.55]];
+                const RADII: [f64; 3] = [0.0650, 0.0648, 0.0156];
+                let r = RADII[k];
+                CENTRES.iter().any(|&h| {
+                    let dx = c[0] - h[0];
+                    let dy = c[1] - h[1];
+                    let dz = c[2] - h[2];
+                    dx * dx + dy * dy + dz * dz < r * r
+                })
+            }
+            MeshCase::PprimeNozzle => {
+                // Jet capsule expanding from the nozzle exit along +x, with
+                // the radius flaring downstream.
+                const NOZZLE: [f64; 3] = [0.15, 0.5, 0.5];
+                const SPANS: [f64; 2] = [0.70, 0.50];
+                const RADII: [f64; 2] = [0.155, 0.0445];
+                let end = [NOZZLE[0] + SPANS[k], NOZZLE[1], NOZZLE[2]];
+                let t = ((c[0] - NOZZLE[0]) / SPANS[k]).clamp(0.0, 1.0);
+                let r = RADII[k] * (0.85 + 0.45 * t);
+                segment_distance(c, NOZZLE, end) < r
+            }
+        }
+    }
 }
 
 /// Scale configuration for the generators.
@@ -133,72 +188,33 @@ fn segment_distance(p: [f64; 3], a: [f64; 3], b: [f64; 3]) -> f64 {
 /// (62.3 / 32.6 / 4.3 / 0.8 % for τ = 3..0): the stage-k region is a vertical
 /// capsule of radius `R_k` around the domain centre axis.
 pub fn cylinder_like(config: &GeneratorConfig) -> Mesh {
+    case_mesh(MeshCase::Cylinder, config)
+}
+
+/// Octree build shared by the three cases: refine by
+/// [`MeshCase::refine_stage`] for [`MeshCase::extra_depth`] stages past the
+/// base grid, then assign temporal levels.
+fn case_mesh(case: MeshCase, config: &GeneratorConfig) -> Mesh {
     let b = config.base_depth;
     let cfg = OctreeConfig {
         base_depth: b,
-        max_depth: b + 3,
+        max_depth: b + case.extra_depth(),
     };
-    // Radii derived in DESIGN.md §2; capsule half-height tracks the radius so
-    // the region volume is ~4πR³ (cylinder of height 4R).
-    const RADII: [f64; 3] = [0.162, 0.0437, 0.0123];
-    let axis_a = |r: f64| [0.5, 0.5, 0.5 - 2.0 * r];
-    let axis_b = |r: f64| [0.5, 0.5, 0.5 + 2.0 * r];
-    let tree = Octree::build(&cfg, |c, _, d| {
-        let k = (d - b) as usize;
-        let r = RADII[k];
-        segment_distance(c, axis_a(r), axis_b(r)) < r
-    });
-    finish(&tree, 4)
+    let tree = Octree::build(&cfg, |c, _, d| case.refine_stage(c, (d - b) as usize));
+    finish(&tree, case.n_levels())
 }
 
 /// CUBE-like mesh: three non-contiguous spherical hotspots, 4 temporal
 /// levels. The paper's CUBE is peculiar: a large τ=1 population but a nearly
 /// empty τ=2 shell (0.3 %), so the stage-1 radius hugs the stage-0 radius.
 pub fn cube_like(config: &GeneratorConfig) -> Mesh {
-    let b = config.base_depth;
-    let cfg = OctreeConfig {
-        base_depth: b,
-        max_depth: b + 3,
-    };
-    const CENTRES: [[f64; 3]; 3] = [[0.25, 0.25, 0.3], [0.75, 0.35, 0.7], [0.4, 0.75, 0.55]];
-    // Stage radii from Table I fractions (82.2 / 0.3 / 15.5 / 2.0 % for
-    // τ = 3..0): r1 ≈ r0 makes the τ=2 shell vanishingly thin.
-    const RADII: [f64; 3] = [0.0650, 0.0648, 0.0156];
-    let tree = Octree::build(&cfg, |c, _, d| {
-        let k = (d - b) as usize;
-        let r = RADII[k];
-        CENTRES.iter().any(|&h| {
-            let dx = c[0] - h[0];
-            let dy = c[1] - h[1];
-            let dz = c[2] - h[2];
-            dx * dx + dy * dy + dz * dz < r * r
-        })
-    });
-    finish(&tree, 4)
+    case_mesh(MeshCase::Cube, config)
 }
 
 /// PPRIME_NOZZLE-like mesh: a jet cone expanding from a nozzle exit along
 /// +x, 3 temporal levels (11.9 / 32.2 / 55.9 % for τ = 0..2).
 pub fn pprime_nozzle_like(config: &GeneratorConfig) -> Mesh {
-    let b = config.base_depth;
-    let cfg = OctreeConfig {
-        base_depth: b,
-        max_depth: b + 2,
-    };
-    // Jet axis from the nozzle exit; each stage is a capsule around a
-    // truncated span of the axis with radius growing slightly downstream.
-    const NOZZLE: [f64; 3] = [0.15, 0.5, 0.5];
-    const SPANS: [f64; 2] = [0.70, 0.50];
-    const RADII: [f64; 2] = [0.155, 0.0445];
-    let tree = Octree::build(&cfg, |c, _, d| {
-        let k = (d - b) as usize;
-        let end = [NOZZLE[0] + SPANS[k], NOZZLE[1], NOZZLE[2]];
-        // Radius flares by 30% from nozzle to far end.
-        let t = ((c[0] - NOZZLE[0]) / SPANS[k]).clamp(0.0, 1.0);
-        let r = RADII[k] * (0.85 + 0.45 * t);
-        segment_distance(c, NOZZLE, end) < r
-    });
-    finish(&tree, 3)
+    case_mesh(MeshCase::PprimeNozzle, config)
 }
 
 #[cfg(test)]

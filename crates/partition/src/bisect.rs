@@ -134,7 +134,7 @@ pub fn extract_subgraph_ws(
     let n = graph.nvtx();
     let ncon = graph.ncon();
     let mut to_orig = ws.take_u32();
-    let mut xadj = ws.take_usize();
+    let mut xadj = ws.take_u32();
     let mut adjncy = ws.take_u32();
     let mut adjwgt = ws.take_u32();
     let mut vwgt = ws.take_u32();
@@ -149,7 +149,7 @@ pub fn extract_subgraph_ws(
     }
     let ns = to_orig.len();
     xadj.reserve(ns + 1);
-    xadj.push(0usize);
+    xadj.push(0u32);
     vwgt.reserve(ns * ncon);
     for &ov in &to_orig {
         for (u, w) in graph.neighbors(ov).zip(graph.edge_weights(ov)) {
@@ -158,7 +158,7 @@ pub fn extract_subgraph_ws(
                 adjwgt.push(w);
             }
         }
-        xadj.push(adjncy.len());
+        xadj.push(adjncy.len() as u32);
         vwgt.extend_from_slice(graph.vertex_weights(ov));
     }
     (

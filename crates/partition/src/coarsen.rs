@@ -138,11 +138,11 @@ pub(crate) fn contract_ws(
 
     // Coarse adjacency: accumulate per coarse vertex with a dense scratch map
     // (coarse-neighbour -> weight), reset between vertices via a stamp array.
-    let mut xadj = ws.take_usize();
+    let mut xadj = ws.take_u32();
     xadj.reserve(nc + 1);
     let mut adjncy = ws.take_u32();
     let mut adjwgt = ws.take_u32();
-    xadj.push(0usize);
+    xadj.push(0u32);
 
     // For each coarse vertex, the list of fine vertices mapping to it.
     let members_off = &mut ws.members_off;
@@ -204,7 +204,7 @@ pub(crate) fn contract_ws(
             adjncy[start + i] = u;
             adjwgt[start + i] = w;
         }
-        xadj.push(adjncy.len());
+        xadj.push(adjncy.len() as u32);
     }
 
     CoarseLevel {

@@ -8,8 +8,36 @@
 //! compact, cheap partitions but ignore connectivity — and support only a
 //! single balancing criterion, which is precisely why the paper needs the
 //! multi-constraint machinery of the multilevel partitioner.
+//!
+//! # Paper-scale fast path
+//!
+//! SFC partitioning is the O(n) route to the paper's 6.4M–12.6M-cell meshes
+//! (Borrell et al., "Parallel SFC-based mesh partitioning and load
+//! balancing"): above [`SFC_RADIX_CUTOFF`] points the pipeline
+//!
+//! 1. computes every 48-bit curve key **once** into a pooled arena, sharded
+//!    over [`tempart_runtime::fork_join`] in contiguous id ranges,
+//! 2. sorts `(key, id)` with a **deterministic parallel LSD radix sort**
+//!    (six 8-bit passes; per-shard counting, one fixed-order digit-major /
+//!    shard-minor prefix-sum merge, parallel scatter into disjoint slots),
+//! 3. walks the curve once, cutting it into `k` chunks with a
+//!    running-remainder weight target.
+//!
+//! Every buffer is leased from an [`SfcWorkspace`], so steady-state calls
+//! are allocation-free apart from the returned part vector. The output is
+//! **bit-identical at every worker count** and identical to the
+//! comparison-sort path used below the cutoff: both realise the canonical
+//! lexicographic `(key, id)` order (LSD radix is stable, so ties keep
+//! ascending-id order; the small path sorts the `(key, id)` pair directly).
+//! Shard boundaries are a pure function of `n` — never of the worker count —
+//! and the merge visits shards in a fixed order, so `TEMPART_WORKERS` can
+//! only change wall-clock, never bytes (enforced by the `ci.sh` worker
+//! matrix and `tests/property_sfc.rs`).
 
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use tempart_graph::PartId;
+use tempart_obs::Recorder;
+use tempart_runtime::fork_join;
 
 /// Which space-filling curve to order cells by.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -20,8 +48,28 @@ pub enum Curve {
     Hilbert,
 }
 
-/// Number of bits per coordinate used for curve indexing.
+/// Number of bits per coordinate used for curve indexing. Three axes at 16
+/// bits interleave into 48 significant bits, so every curve key fits a `u64`
+/// with room to spare.
 const BITS: u32 = 16;
+
+/// Below this many points the comparison sort wins (no histogram setup, no
+/// ping-pong buffers); above it the pipeline switches to the parallel LSD
+/// radix sort. Both paths produce identical output (canonical `(key, id)`
+/// order), so the cutoff is a pure scheduling knob.
+pub const SFC_RADIX_CUTOFF: usize = 4096;
+
+/// Contiguous points per radix shard. A pure function of `n` only — shard
+/// boundaries (and therefore the fixed merge order) never depend on the
+/// worker count.
+const SHARD_GRAIN: usize = 2048;
+
+/// Radix-sort digit width: six 8-bit passes cover all 48 key bits.
+const RADIX_BITS: u32 = 8;
+/// Number of buckets per radix pass.
+const RADIX: usize = 1 << RADIX_BITS;
+/// Radix passes needed for a 48-bit key.
+const PASSES: u32 = 3 * BITS / RADIX_BITS;
 
 /// Quantises a coordinate in `[0, 1]` to `BITS` bits.
 fn quantise(x: f64) -> u64 {
@@ -29,22 +77,30 @@ fn quantise(x: f64) -> u64 {
     ((x.clamp(0.0, 1.0) * max as f64).round() as u64).min(max)
 }
 
-/// Morton (Z-order) index of a point in the unit cube.
-pub fn morton_index(p: [f64; 3]) -> u128 {
+/// Spreads the low 16 bits of `v` so bit `b` lands at bit `3*b` — the
+/// classic mask-shift dilation (constant-time, no per-bit loop).
+#[inline]
+fn spread16(v: u64) -> u64 {
+    let mut v = v & 0xFFFF;
+    v = (v | v << 32) & 0x001F_0000_0000_FFFF;
+    v = (v | v << 16) & 0x001F_0000_FF00_00FF;
+    v = (v | v << 8) & 0x100F_00F0_0F00_F00F;
+    v = (v | v << 4) & 0x10C3_0C30_C30C_30C3;
+    v = (v | v << 2) & 0x1249_2492_4924_9249;
+    v
+}
+
+/// Morton (Z-order) index of a point in the unit cube: 48 significant bits
+/// (bit `b` of x/y/z lands at `3b` / `3b+1` / `3b+2`).
+pub fn morton_index(p: [f64; 3]) -> u64 {
     let (x, y, z) = (quantise(p[0]), quantise(p[1]), quantise(p[2]));
-    let mut out: u128 = 0;
-    for b in 0..BITS {
-        out |= (((x >> b) & 1) as u128) << (3 * b);
-        out |= (((y >> b) & 1) as u128) << (3 * b + 1);
-        out |= (((z >> b) & 1) as u128) << (3 * b + 2);
-    }
-    out
+    spread16(x) | spread16(y) << 1 | spread16(z) << 2
 }
 
 /// Hilbert index of a point in the unit cube (3-D Hilbert curve of order
-/// `BITS`), via the classic Gray-code / rotation construction (Butz
-/// algorithm, compact form).
-pub fn hilbert_index(p: [f64; 3]) -> u128 {
+/// `BITS`), via the transpose-form construction (Skilling's algorithm):
+/// 48 significant bits.
+pub fn hilbert_index(p: [f64; 3]) -> u64 {
     let mut x = [quantise(p[0]), quantise(p[1]), quantise(p[2])];
     // Transpose-form Hilbert encoding (Skilling's algorithm, inverse step).
     let m = 1u64 << (BITS - 1);
@@ -79,54 +135,351 @@ pub fn hilbert_index(p: [f64; 3]) -> u128 {
         *xi ^= t;
     }
     // Interleave the transposed coordinates into the Hilbert index: bit b of
-    // axis a becomes bit (3*b + (2 - a)) — most significant axis first.
-    let mut out: u128 = 0;
-    for b in 0..BITS {
-        for (a, &xi) in x.iter().enumerate() {
-            out |= (((xi >> b) & 1) as u128) << (3 * b + (2 - a as u32) as u128 as u32);
+    // axis a becomes bit 3*b + (2 - a) — most significant axis first.
+    spread16(x[0]) << 2 | spread16(x[1]) << 1 | spread16(x[2])
+}
+
+#[inline]
+fn curve_key(curve: Curve, p: [f64; 3]) -> u64 {
+    match curve {
+        Curve::Morton => morton_index(p),
+        Curve::Hilbert => hilbert_index(p),
+    }
+}
+
+/// Reusable scratch for [`sfc_partition_with`], in the
+/// [`PartitionWorkspace`](crate::PartitionWorkspace) mould: buffers grow to
+/// the largest instance seen and are never shrunk, so a long-lived workspace
+/// makes repeated SFC partitioning allocation-free apart from the returned
+/// part vector. Carries **no state** between calls — only capacity.
+///
+/// The key/id arrays are atomics because the radix scatter writes to
+/// globally disjoint but non-contiguous slots from several workers at once
+/// (the repo's safe-code idiom for disjoint-slot output; the fork-join scope
+/// join provides the happens-before edge between phases).
+#[derive(Debug, Default)]
+pub struct SfcWorkspace {
+    /// Structured-event recorder for the `part.sfc.*` spans and counters.
+    /// Defaults to the process-wide disabled recorder; install an enabled
+    /// one (`ws.obs = rec.clone()`) to trace the geometric path.
+    pub obs: Recorder,
+    /// Primary key buffer (holds the final curve keys after an even number
+    /// of scatter passes).
+    keys: Vec<AtomicU64>,
+    /// Ping-pong partner of `keys`.
+    keys_tmp: Vec<AtomicU64>,
+    /// Point ids, permuted alongside the keys.
+    ids: Vec<AtomicU32>,
+    /// Ping-pong partner of `ids`.
+    ids_tmp: Vec<AtomicU32>,
+    /// Per-shard digit histograms, `shards * RADIX` entries; turned into
+    /// scatter cursors in place by the prefix-sum merge.
+    hist: Vec<u32>,
+    /// `(key, id)` pairs for the comparison-sort path below the cutoff.
+    pairs: Vec<(u64, u32)>,
+}
+
+impl SfcWorkspace {
+    /// An empty workspace (allocates nothing until first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Grows the radix buffers to hold `n` points and `shards` histograms.
+    fn ensure(&mut self, n: usize, shards: usize) {
+        if self.keys.len() < n {
+            self.keys.resize_with(n, || AtomicU64::new(0));
+            self.keys_tmp.resize_with(n, || AtomicU64::new(0));
+            self.ids.resize_with(n, || AtomicU32::new(0));
+            self.ids_tmp.resize_with(n, || AtomicU32::new(0));
+        }
+        if self.hist.len() < shards * RADIX {
+            self.hist.resize(shards * RADIX, 0);
         }
     }
-    out
+
+    /// Total bytes currently held by the workspace's buffers — the
+    /// peak-buffer figure the paper-scale audit reports through `obs`.
+    pub fn peak_bytes(&self) -> u64 {
+        (self.keys.capacity() * 8
+            + self.keys_tmp.capacity() * 8
+            + self.ids.capacity() * 4
+            + self.ids_tmp.capacity() * 4
+            + self.hist.capacity() * 4
+            + self.pairs.capacity() * std::mem::size_of::<(u64, u32)>()) as u64
+    }
 }
 
 /// Partitions points along a space-filling curve into `k` chunks of
 /// (approximately) equal total weight.
 ///
 /// Returns one part id per point. Weights must be non-negative; at least one
-/// must be positive.
+/// must be positive. Convenience wrapper over [`sfc_partition_with`] with a
+/// fresh workspace and one worker; loops should hold a long-lived
+/// [`SfcWorkspace`] and call the `_with` form directly.
 pub fn sfc_partition(
     centroids: &[[f64; 3]],
     weights: &[u64],
     k: usize,
     curve: Curve,
 ) -> Vec<PartId> {
+    sfc_partition_with(centroids, weights, k, curve, 1, &mut SfcWorkspace::new())
+}
+
+/// [`sfc_partition`] with explicit worker count and leased scratch: the
+/// paper-scale entry point.
+///
+/// Above [`SFC_RADIX_CUTOFF`] points the curve keys are computed in
+/// parallel shards and sorted by the deterministic parallel LSD radix sort
+/// (see the module docs); below it a sequential comparison sort on the
+/// `(key, id)` pairs is used. The result is bit-identical across paths and
+/// across every `workers` value.
+///
+/// Emits `part.sfc` / `part.sfc.{keys,sort,chunk}` spans and
+/// `part.sfc.{points,shards,peak_bytes}` counters into `ws.obs`.
+pub fn sfc_partition_with(
+    centroids: &[[f64; 3]],
+    weights: &[u64],
+    k: usize,
+    curve: Curve,
+    workers: usize,
+    ws: &mut SfcWorkspace,
+) -> Vec<PartId> {
+    sfc_partition_impl(centroids, weights, k, curve, workers, ws, SFC_RADIX_CUTOFF)
+}
+
+/// Test-only entry that overrides the radix cutoff, so the comparison and
+/// radix paths can be forced onto the same input and diffed bit for bit.
+#[doc(hidden)]
+pub fn sfc_partition_forced(
+    centroids: &[[f64; 3]],
+    weights: &[u64],
+    k: usize,
+    curve: Curve,
+    workers: usize,
+    ws: &mut SfcWorkspace,
+    radix_cutoff: usize,
+) -> Vec<PartId> {
+    sfc_partition_impl(centroids, weights, k, curve, workers, ws, radix_cutoff)
+}
+
+fn sfc_partition_impl(
+    centroids: &[[f64; 3]],
+    weights: &[u64],
+    k: usize,
+    curve: Curve,
+    workers: usize,
+    ws: &mut SfcWorkspace,
+    radix_cutoff: usize,
+) -> Vec<PartId> {
     assert_eq!(centroids.len(), weights.len(), "one weight per point");
     assert!(k >= 1, "need at least one part");
+    assert!(workers >= 1, "need at least one worker");
     let n = centroids.len();
-    let mut order: Vec<u32> = (0..n as u32).collect();
-    let key = |i: u32| -> u128 {
-        let c = centroids[i as usize];
-        match curve {
-            Curve::Morton => morton_index(c),
-            Curve::Hilbert => hilbert_index(c),
-        }
-    };
-    order.sort_by_key(|&i| key(i));
-
-    let total: u64 = weights.iter().sum();
+    let rec = ws.obs.clone();
+    let _span = tempart_obs::span!(&rec, "part.sfc", track = 0, arg = n as u64);
+    rec.counter("part.sfc.points", 0, n as u64);
     let mut part = vec![0 as PartId; n];
-    let mut acc = 0u64;
-    let mut cut = 0usize; // parts already closed
-    for &i in &order {
-        // Close the current part when its share is reached (greedy prefix).
-        let target_end = total as u128 * (cut as u128 + 1) / k as u128;
-        if acc as u128 >= target_end && cut + 1 < k {
-            cut += 1;
-        }
-        part[i as usize] = cut as PartId;
-        acc += weights[i as usize];
+    if n == 0 {
+        return part;
     }
+
+    if n < radix_cutoff {
+        // Small path: sort the (key, id) pairs directly. Sorting the full
+        // pair (id breaks key ties) realises the same canonical order as the
+        // stable radix sort, and `sort_unstable` keeps the path in-place.
+        let pairs = &mut ws.pairs;
+        {
+            let _s = tempart_obs::span!(&rec, "part.sfc.keys", track = 0, arg = n as u64);
+            pairs.clear();
+            pairs.extend(
+                centroids
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &c)| (curve_key(curve, c), i as u32)),
+            );
+        }
+        {
+            let _s = tempart_obs::span!(&rec, "part.sfc.sort", track = 0, arg = n as u64);
+            pairs.sort_unstable();
+        }
+        let _s = tempart_obs::span!(&rec, "part.sfc.chunk", track = 0, arg = k as u64);
+        chunk_greedy(pairs.iter().map(|&(_, id)| id), n, weights, k, &mut part);
+        rec.counter("part.sfc.peak_bytes", 0, ws.peak_bytes());
+        return part;
+    }
+
+    // Shard layout: contiguous id ranges, a pure function of n alone.
+    let shards = n.div_ceil(SHARD_GRAIN);
+    // Job grouping is a scheduling choice (it may depend on the worker
+    // count): each job owns a contiguous run of shards. Which thread runs
+    // which job never affects the bytes produced.
+    let jobs = shards.min(workers * 8).max(1);
+    let job_range = |j: usize| -> (usize, usize) {
+        // Balanced contiguous split of `shards` into `jobs` runs.
+        (shards * j / jobs, shards * (j + 1) / jobs)
+    };
+    let shard_range =
+        |s: usize| -> (usize, usize) { (s * SHARD_GRAIN, ((s + 1) * SHARD_GRAIN).min(n)) };
+    ws.ensure(n, shards);
+    rec.counter("part.sfc.shards", 0, shards as u64);
+
+    // Phase 1: every curve key computed exactly once, sharded over the
+    // fork-join pool in contiguous id ranges.
+    let keys = &ws.keys[..n];
+    let keys_tmp = &ws.keys_tmp[..n];
+    let ids = &ws.ids[..n];
+    let ids_tmp = &ws.ids_tmp[..n];
+    {
+        let _s = tempart_obs::span!(&rec, "part.sfc.keys", track = 0, arg = n as u64);
+        fork_join(workers, |ctx| {
+            for j in 0..jobs {
+                let (s0, s1) = job_range(j);
+                let (lo, hi) = (shard_range(s0).0, shard_range(s1 - 1).1);
+                ctx.spawn(move |_| {
+                    for i in lo..hi {
+                        keys[i].store(curve_key(curve, centroids[i]), Ordering::Relaxed);
+                        ids[i].store(i as u32, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+    }
+
+    // Phase 2: deterministic parallel LSD radix sort of (key, id), least
+    // significant 8-bit digit first. Each pass: per-shard counting
+    // (disjoint &mut histogram slices), one sequential digit-major /
+    // shard-minor exclusive prefix sum (the fixed-order merge), then a
+    // parallel scatter where shard s writes bucket d at positions
+    // start[d][s] .. start[d][s] + count[s][d] — globally disjoint slots.
+    // Stability: within a digit, elements stay in (shard, in-shard) order =
+    // ascending previous position, so six passes realise the canonical
+    // lexicographic (key, id) order regardless of shard or worker count.
+    let (mut src_k, mut dst_k) = (keys, keys_tmp);
+    let (mut src_i, mut dst_i) = (ids, ids_tmp);
+    {
+        let _s = tempart_obs::span!(&rec, "part.sfc.sort", track = 0, arg = n as u64);
+        for pass in 0..PASSES {
+            let shift = pass * RADIX_BITS;
+            let hist = &mut ws.hist[..shards * RADIX];
+            hist.fill(0);
+            fork_join(workers, |ctx| {
+                let mut rest = hist;
+                let mut s0 = 0usize;
+                for j in 0..jobs {
+                    let (_, s1) = job_range(j);
+                    let (mine, r) = rest.split_at_mut((s1 - s0) * RADIX);
+                    rest = r;
+                    ctx.spawn(move |_| {
+                        for (s, h) in (s0..s1).zip(mine.chunks_mut(RADIX)) {
+                            let (lo, hi) = shard_range(s);
+                            for e in &src_k[lo..hi] {
+                                let d = (e.load(Ordering::Relaxed) >> shift) as usize & (RADIX - 1);
+                                h[d] += 1;
+                            }
+                        }
+                    });
+                    s0 = s1;
+                }
+            });
+            let hist = &mut ws.hist[..shards * RADIX];
+            // If every key shares this digit the scatter would be the
+            // identity permutation: skip the pass (a data-dependent — hence
+            // deterministic — shortcut that pays off on clustered inputs).
+            let uniform = (0..RADIX).any(|d| {
+                (0..shards)
+                    .map(|s| hist[s * RADIX + d] as usize)
+                    .sum::<usize>()
+                    == n
+            });
+            if uniform {
+                continue;
+            }
+            // Fixed-order merge: exclusive prefix sum over (digit, shard) in
+            // digit-major, shard-minor order turns counts into the start
+            // cursor of every (shard, digit) output run.
+            let mut running = 0u32;
+            for d in 0..RADIX {
+                for s in 0..shards {
+                    let c = hist[s * RADIX + d];
+                    hist[s * RADIX + d] = running;
+                    running += c;
+                }
+            }
+            fork_join(workers, |ctx| {
+                let mut rest = hist;
+                let mut s0 = 0usize;
+                for j in 0..jobs {
+                    let (_, s1) = job_range(j);
+                    let (mine, r) = rest.split_at_mut((s1 - s0) * RADIX);
+                    rest = r;
+                    ctx.spawn(move |_| {
+                        for (s, cur) in (s0..s1).zip(mine.chunks_mut(RADIX)) {
+                            let (lo, hi) = shard_range(s);
+                            for i in lo..hi {
+                                let key = src_k[i].load(Ordering::Relaxed);
+                                let d = (key >> shift) as usize & (RADIX - 1);
+                                let pos = cur[d] as usize;
+                                cur[d] += 1;
+                                dst_k[pos].store(key, Ordering::Relaxed);
+                                dst_i[pos]
+                                    .store(src_i[i].load(Ordering::Relaxed), Ordering::Relaxed);
+                            }
+                        }
+                    });
+                    s0 = s1;
+                }
+            });
+            std::mem::swap(&mut src_k, &mut dst_k);
+            std::mem::swap(&mut src_i, &mut dst_i);
+        }
+    }
+
+    // Phase 3: one sequential walk along the curve.
+    let _s = tempart_obs::span!(&rec, "part.sfc.chunk", track = 0, arg = k as u64);
+    chunk_greedy(
+        src_i.iter().map(|id| id.load(Ordering::Relaxed)),
+        n,
+        weights,
+        k,
+        &mut part,
+    );
+    rec.counter("part.sfc.peak_bytes", 0, ws.peak_bytes());
     part
+}
+
+/// Cuts the curve order into `k` consecutive chunks with a
+/// **running-remainder** weight target: when part `p` opens, its target is
+/// `ceil(remaining_weight / remaining_parts)` (at least 1), so weight
+/// swallowed early by a huge cell shrinks the targets of the parts after it
+/// instead of starving the tail. A must-close guard (`points left ==
+/// parts still unopened`) additionally hands every remaining part one point
+/// each, so the last part can never be starved to zero when `k` is large
+/// relative to the number of distinct keys.
+fn chunk_greedy(
+    order: impl Iterator<Item = u32>,
+    n: usize,
+    weights: &[u64],
+    k: usize,
+    part: &mut [PartId],
+) {
+    let total: u64 = weights.iter().sum();
+    let mut remaining = total;
+    let mut parts_left = k as u64;
+    let mut target = (remaining.div_ceil(parts_left)).max(1);
+    let mut cur = 0usize;
+    let mut part_w = 0u64;
+    for (pos, id) in order.enumerate() {
+        if cur + 1 < k && (part_w >= target || n - pos < k - cur) {
+            cur += 1;
+            remaining -= part_w;
+            parts_left -= 1;
+            target = (remaining.div_ceil(parts_left)).max(1);
+            part_w = 0;
+        }
+        part[id as usize] = cur as PartId;
+        part_w += weights[id as usize];
+    }
 }
 
 #[cfg(test)]
@@ -141,6 +494,28 @@ mod tests {
         let c = morton_index([0.25, 0.75, 0.25]);
         let e = morton_index([0.75, 0.75, 0.75]);
         assert!(a < b && b < c && c < e);
+    }
+
+    #[test]
+    fn spread16_matches_naive_interleave() {
+        // The mask-shift dilation must place bit b at bit 3b exactly like
+        // the per-bit loop it replaced.
+        for v in [0u64, 1, 0xFFFF, 0x8000, 0xA5A5, 0x1234, 0x7FFF] {
+            let mut naive = 0u64;
+            for b in 0..BITS {
+                naive |= ((v >> b) & 1) << (3 * b);
+            }
+            assert_eq!(spread16(v), naive, "v={v:#x}");
+        }
+    }
+
+    #[test]
+    fn keys_fit_48_bits() {
+        for p in [[0.0, 0.0, 0.0], [1.0, 1.0, 1.0], [0.37, 0.91, 0.02]] {
+            assert!(morton_index(p) < 1u64 << 48);
+            assert!(hilbert_index(p) < 1u64 << 48);
+        }
+        assert_eq!(morton_index([1.0, 1.0, 1.0]), (1u64 << 48) - 1);
     }
 
     #[test]
@@ -232,5 +607,132 @@ mod tests {
     fn single_part_trivial() {
         let part = sfc_partition(&[[0.1, 0.2, 0.3]], &[5], 1, Curve::Hilbert);
         assert_eq!(part, vec![0]);
+    }
+
+    #[test]
+    fn trailing_heavy_weights_do_not_starve_parts() {
+        // Regression: the old absolute-fraction close (`acc >=
+        // total*(cut+1)/k`) left parts 1..k empty when the weight sat at the
+        // end of the curve — the running-remainder target closes each part
+        // after its fair share of the *remaining* weight.
+        let centroids: Vec<[f64; 3]> = (0..4).map(|i| [i as f64 / 4.0, 0.5, 0.5]).collect();
+        let weights = vec![1u64, 1, 1, 100];
+        let part = sfc_partition(&centroids, &weights, 4, Curve::Morton);
+        let mut counts = vec![0usize; 4];
+        for &p in &part {
+            counts[p as usize] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 0), "{counts:?}");
+    }
+
+    #[test]
+    fn duplicate_centroids_fill_every_part() {
+        // All keys identical: the must-close guard still hands each of the
+        // k parts at least one point, in canonical ascending-id order.
+        let centroids = vec![[0.5, 0.5, 0.5]; 10];
+        let weights = vec![1u64; 10];
+        let part = sfc_partition(&centroids, &weights, 4, Curve::Hilbert);
+        let mut counts = vec![0usize; 4];
+        for &p in &part {
+            counts[p as usize] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 0), "{counts:?}");
+        // Canonical order over equal keys is ascending id, so the part
+        // vector must be monotone.
+        let mut sorted = part.clone();
+        sorted.sort_unstable();
+        assert_eq!(part, sorted);
+    }
+
+    /// Pseudo-random point cloud (splitmix64 over the index).
+    fn random_points(n: usize, seed: u64) -> Vec<[f64; 3]> {
+        let mut s = seed;
+        let mut next = move || {
+            s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        (0..n)
+            .map(|_| {
+                [
+                    (next() % 65536) as f64 / 65535.0,
+                    (next() % 65536) as f64 / 65535.0,
+                    (next() % 65536) as f64 / 65535.0,
+                ]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn radix_matches_comparison_sort_bit_for_bit() {
+        // The two sort paths on the same input, at several worker counts
+        // and ns straddling shard boundaries (including duplicate keys from
+        // the quantiser at n > 2^16 distinct values per axis).
+        for n in [64usize, 2048, 2049, 4096, 5000] {
+            let pts = random_points(n, 42 + n as u64);
+            let weights: Vec<u64> = (0..n as u64).map(|i| 1 + i % 7).collect();
+            for curve in [Curve::Morton, Curve::Hilbert] {
+                let mut ws = SfcWorkspace::new();
+                let expect =
+                    sfc_partition_forced(&pts, &weights, 16, curve, 1, &mut ws, usize::MAX);
+                for workers in [1usize, 2, 4] {
+                    let got = sfc_partition_forced(&pts, &weights, 16, curve, workers, &mut ws, 1);
+                    assert_eq!(got, expect, "{curve:?} n={n} workers={workers}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn workspace_reuse_is_deterministic() {
+        // One workspace across calls of different sizes: capacity carries
+        // over, results do not.
+        let mut ws = SfcWorkspace::new();
+        let big = random_points(6000, 7);
+        let small = random_points(300, 9);
+        let wb = vec![1u64; big.len()];
+        let wsm = vec![1u64; small.len()];
+        let b1 = sfc_partition_with(&big, &wb, 8, Curve::Hilbert, 2, &mut ws);
+        let s1 = sfc_partition_with(&small, &wsm, 8, Curve::Hilbert, 2, &mut ws);
+        let b2 = sfc_partition_with(&big, &wb, 8, Curve::Hilbert, 2, &mut ws);
+        let s2 = sfc_partition_with(&small, &wsm, 8, Curve::Hilbert, 2, &mut ws);
+        assert_eq!(b1, b2);
+        assert_eq!(s1, s2);
+        assert_eq!(b1, sfc_partition(&big, &wb, 8, Curve::Hilbert));
+        assert!(ws.peak_bytes() > 0);
+    }
+
+    #[test]
+    fn sfc_emits_spans_and_counters() {
+        let rec = Recorder::new(1 << 12);
+        let pts = random_points(5000, 3);
+        let weights = vec![1u64; pts.len()];
+        let mut ws = SfcWorkspace::new();
+        ws.obs = rec.clone();
+        let _ = sfc_partition_with(&pts, &weights, 8, Curve::Morton, 2, &mut ws);
+        let trace = rec.take();
+        assert_eq!(trace.dropped, 0);
+        for name in [
+            "part.sfc",
+            "part.sfc.keys",
+            "part.sfc.sort",
+            "part.sfc.chunk",
+        ] {
+            assert!(
+                trace.events.iter().any(|e| e.name == name),
+                "missing span {name}: {:?}",
+                trace.events.iter().map(|e| e.name).collect::<Vec<_>>()
+            );
+        }
+        assert!(trace
+            .events
+            .iter()
+            .any(|e| e.name == "part.sfc.peak_bytes" && e.val > 0));
+        assert_eq!(
+            trace.last_counter("part.sfc.shards"),
+            Some(5000u64.div_ceil(SHARD_GRAIN as u64))
+        );
     }
 }

@@ -31,7 +31,10 @@ pub mod workspace;
 
 use tempart_graph::{CsrGraph, PartId};
 
-pub use geometric::{hilbert_index, morton_index, sfc_partition, Curve};
+pub use geometric::{
+    hilbert_index, morton_index, sfc_partition, sfc_partition_with, Curve, SfcWorkspace,
+    SFC_RADIX_CUTOFF,
+};
 pub use kway::{kway_rebalance, multilevel_kway};
 pub use par::{partition_graph_par, partition_graph_par_traced, WorkspacePool};
 pub use par_kway::{colour_pairs, pairwise_kway_refine, pairwise_kway_refine_par};

@@ -356,7 +356,7 @@ impl PartitionWorkspace {
     /// Decomposes a dead graph and pools its CSR arrays for reuse.
     pub(crate) fn give_graph(&mut self, g: CsrGraph) {
         let (xadj, adjncy, adjwgt, vwgt, _ncon) = g.into_parts();
-        self.pool_usize.push(xadj);
+        self.pool_u32.push(xadj);
         self.pool_u32.push(adjncy);
         self.pool_u32.push(adjwgt);
         self.pool_u32.push(vwgt);

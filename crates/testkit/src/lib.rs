@@ -28,9 +28,11 @@
 
 pub mod alloc;
 pub mod bench;
+pub mod mem;
 pub mod prop;
 pub mod rng;
 
 pub use bench::{BenchConfig, BenchStats, Bencher};
+pub use mem::{current_rss_bytes, peak_rss_bytes};
 pub use prop::{run_cases, PropConfig, Strategy, StrategyExt};
 pub use rng::{Rng, SplitMix64};

@@ -1,0 +1,127 @@
+//! Opt-in paper-scale suite (`TEMPART_PAPER_SCALE=1`).
+//!
+//! These tests exercise the SFC fast path at the paper's actual Table I
+//! sizes — a 12.6M-cell PPRIME_NOZZLE-class cloud — which takes tens of
+//! seconds and hundreds of MB, so they no-op (with a note) unless the
+//! environment opts in. ci.sh runs them in its `paper-scale` stage; the
+//! default tier-1 / workspace stages never pay for them.
+
+use tempart::mesh::{cloud_cell_count, paper_scale_nside, sfc_cloud, MeshCase};
+use tempart::partition::geometric::sfc_partition_forced;
+use tempart::partition::{sfc_partition_with, Curve, SfcWorkspace, SFC_RADIX_CUTOFF};
+use tempart_testkit::{peak_rss_bytes, SplitMix64};
+
+fn enabled(test: &str) -> bool {
+    if std::env::var("TEMPART_PAPER_SCALE").as_deref() == Ok("1") {
+        true
+    } else {
+        eprintln!("{test}: skipped (set TEMPART_PAPER_SCALE=1 to run)");
+        false
+    }
+}
+
+/// The calibration contract behind `paper_scale_nside`: each case's cloud
+/// lands within 1 % of the paper's Table I cell count.
+#[test]
+fn cloud_counts_match_table1() {
+    if !enabled("cloud_counts_match_table1") {
+        return;
+    }
+    for case in MeshCase::ALL {
+        let n = cloud_cell_count(case, paper_scale_nside(case));
+        let paper = case.paper_cell_count();
+        let drift = (n as f64 - paper as f64).abs() / paper as f64;
+        assert!(
+            drift < 0.01,
+            "{}: cloud {n} vs Table I {paper} ({:+.2} %)",
+            case.name(),
+            (n as f64 / paper as f64 - 1.0) * 100.0
+        );
+    }
+}
+
+/// The radix sort at a size where every digit pass has real work: ≥1M
+/// uniformly random points, parallel widths 1/2/4 diffed bit for bit
+/// against the forced comparison sort.
+#[test]
+fn million_point_sort_matches_sequential() {
+    if !enabled("million_point_sort_matches_sequential") {
+        return;
+    }
+    let n = 1 << 20;
+    let mut rng = SplitMix64::new(0x9A9E_125C_A1E5);
+    let mut centroids = Vec::with_capacity(n);
+    let mut weights = Vec::with_capacity(n);
+    for _ in 0..n {
+        let f = |r: &mut SplitMix64| (r.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        centroids.push([f(&mut rng), f(&mut rng), f(&mut rng)]);
+        weights.push(1 + rng.next_u64() % 8);
+    }
+    assert!(n > SFC_RADIX_CUTOFF);
+    let k = 96;
+    for curve in [Curve::Morton, Curve::Hilbert] {
+        let mut seq_ws = SfcWorkspace::new();
+        let seq = sfc_partition_forced(&centroids, &weights, k, curve, 1, &mut seq_ws, usize::MAX);
+        let mut ws = SfcWorkspace::new();
+        for workers in [1usize, 2, 4] {
+            let par = sfc_partition_with(&centroids, &weights, k, curve, workers, &mut ws);
+            assert_eq!(par, seq, "{curve:?} w{workers} diverged at n = {n}");
+        }
+    }
+}
+
+/// The headline acceptance: a 12.6M-cell-class cloud partitions through the
+/// parallel SFC pipeline in bounded memory, every part populated and
+/// balanced, with the RSS numbers printed for the bench report.
+#[test]
+fn pprime_scale_cloud_partitions_in_bounded_memory() {
+    if !enabled("pprime_scale_cloud_partitions_in_bounded_memory") {
+        return;
+    }
+    let case = MeshCase::PprimeNozzle;
+    let cloud = sfc_cloud(case, paper_scale_nside(case));
+    let n = cloud.n_points();
+    assert!(n > 12_000_000, "expected a 12.6M-class cloud, got {n}");
+    let weights = cloud.operating_costs();
+    let total: u64 = weights.iter().sum();
+    let k = 96;
+    let mut ws = SfcWorkspace::new();
+    let part = sfc_partition_with(&cloud.centroids, &weights, k, Curve::Hilbert, 4, &mut ws);
+    assert_eq!(part.len(), n);
+    // Every part populated, and no part above ~1.05× the ideal load (the
+    // greedy splitter's worst case is ideal + one max-weight point, which
+    // at 12.6M points is far below 5 %).
+    let mut loads = vec![0u64; k];
+    for (i, &p) in part.iter().enumerate() {
+        loads[p as usize] += weights[i];
+    }
+    let ideal = total as f64 / k as f64;
+    for (p, &l) in loads.iter().enumerate() {
+        assert!(l > 0, "part {p} is empty");
+        assert!(
+            (l as f64) < ideal * 1.05,
+            "part {p} load {l} vs ideal {ideal:.0}"
+        );
+    }
+    // Parallel and sequential agree at full scale too.
+    let seq = sfc_partition_with(&cloud.centroids, &weights, k, Curve::Hilbert, 1, &mut ws);
+    assert_eq!(part, seq, "w4 diverged from w1 at n = {n}");
+    // Bounded memory: the whole run — cloud, weights, sort arenas, part
+    // vectors — must stay well under 4 GiB peak RSS (the seed's u128-keyed
+    // comparison sort with a full faces mesh needed several times that).
+    eprintln!(
+        "paper-scale RSS report: workspace peak {} MiB",
+        ws.peak_bytes() / (1024 * 1024)
+    );
+    if let Some(rss) = peak_rss_bytes() {
+        eprintln!(
+            "paper-scale RSS report: process peak {} MiB",
+            rss / (1024 * 1024)
+        );
+        assert!(
+            rss < 4 << 30,
+            "peak RSS {} MiB exceeds the 4 GiB paper-scale budget",
+            rss / (1024 * 1024)
+        );
+    }
+}

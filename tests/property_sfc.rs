@@ -1,0 +1,76 @@
+//! Property tests for the geometric SFC fast path.
+//!
+//! The contract under test: the parallel LSD radix pipeline inside
+//! `sfc_partition_with` is **bit-identical** to the sequential comparison
+//! sort at every fork-join width — the shard decomposition and the
+//! fixed-order histogram merge decide only *where* each key is counted,
+//! never the final curve order. `sfc_partition_forced` lets the tests pin
+//! the radix cutoff so both code paths run on the same (small) random
+//! meshes, rather than trusting n to land on the right side of
+//! `SFC_RADIX_CUTOFF`.
+
+use tempart::core_api::{strategy_weights, PartitionStrategy};
+use tempart::mesh::{Mesh, Octree, OctreeConfig, TemporalScheme};
+use tempart::partition::geometric::sfc_partition_forced;
+use tempart::partition::{sfc_partition, Curve, SfcWorkspace};
+use tempart_testkit::{prop_assert, prop_assert_eq, proptest};
+
+/// Builds a random graded mesh from octant refinement choices.
+fn random_mesh(r1: bool, r2: bool, levels: u8) -> Mesh {
+    let cfg = OctreeConfig {
+        base_depth: 2,
+        max_depth: 4,
+    };
+    let tree = Octree::build(&cfg, |c, _, d| {
+        let near_origin = c[0] < 0.4 && c[1] < 0.4 && c[2] < 0.4;
+        let near_far = c[0] > 0.6 && c[1] > 0.6;
+        (d == 2 && r1 && near_origin) || (d == 3 && r2 && near_origin) || (d == 2 && near_far)
+    });
+    let mut m = Mesh::from_octree(&tree);
+    TemporalScheme::new(levels).assign(&mut m);
+    m
+}
+
+proptest! {
+    #![config(cases = 8, seed = 0x5FC_2026)]
+
+    fn parallel_radix_is_bit_identical_to_sequential_sort(
+        r1 in tempart_testkit::prop::bools(),
+        r2 in tempart_testkit::prop::bools(),
+        k_idx in 0usize..3,
+    ) {
+        let m = random_mesh(r1, r2, 3);
+        let centroids: Vec<[f64; 3]> = m.cells().iter().map(|c| c.centroid).collect();
+        let (w, _) = strategy_weights(&m, PartitionStrategy::ScOc);
+        let weights: Vec<u64> = w.into_iter().map(u64::from).collect();
+        let k = [4usize, 16, 48][k_idx];
+        for curve in [Curve::Morton, Curve::Hilbert] {
+            // Reference: the comparison sort, forced by an unreachable cutoff.
+            let mut seq_ws = SfcWorkspace::new();
+            let seq = sfc_partition_forced(
+                &centroids, &weights, k, curve, 1, &mut seq_ws, usize::MAX,
+            );
+            prop_assert_eq!(seq.len(), m.n_cells());
+            // The public small-n wrapper must agree with the forced path.
+            let pub_part = sfc_partition(&centroids, &weights, k, curve);
+            prop_assert_eq!(&pub_part, &seq);
+            // Radix path, forced by a zero cutoff, at widths 1..=4 with a
+            // workspace reused across widths (warm-arena steady state).
+            let mut ws = SfcWorkspace::new();
+            for workers in 1usize..=4 {
+                let par = sfc_partition_forced(
+                    &centroids, &weights, k, curve, workers, &mut ws, 1,
+                );
+                prop_assert_eq!(&par, &seq);
+            }
+            // Every part is used when enough points exist.
+            if m.n_cells() >= k {
+                let mut seen = vec![false; k];
+                for &p in &seq {
+                    seen[p as usize] = true;
+                }
+                prop_assert!(seen.iter().all(|&s| s));
+            }
+        }
+    }
+}

@@ -20,10 +20,11 @@
 use std::fmt::Write as _;
 use tempart::core_api::{
     decompose, decompose_par, env_workers, run_flusim, run_flusim_workers, run_portfolio,
-    PartitionStrategy, PipelineConfig,
+    strategy_weights, PartitionStrategy, PipelineConfig,
 };
 use tempart::flusim::{ClusterConfig, Segment, Strategy};
 use tempart::mesh::{cube_like, cylinder_like, GeneratorConfig, Mesh};
+use tempart::partition::{sfc_partition_with, Curve, SfcWorkspace, SFC_RADIX_CUTOFF};
 
 const SEED: u64 = 0x3A7_2026;
 const N_DOMAINS: usize = 16;
@@ -152,6 +153,29 @@ fn emit_fingerprints_for_worker_matrix() {
         )
         .unwrap();
     }
+    // Geometric SFC path on a mesh above `SFC_RADIX_CUTOFF`, so the
+    // parallel radix sort engages (not the small-n comparison sort). The
+    // digest lines name only the curve — never the worker count — so a
+    // schedule-dependent divergence shows up as a file diff in ci.sh.
+    let sfc_mesh = cylinder_like(&GeneratorConfig { base_depth: 4 });
+    assert!(
+        sfc_mesh.n_cells() > SFC_RADIX_CUTOFF,
+        "SFC fingerprint mesh must exercise the radix path"
+    );
+    let centroids: Vec<[f64; 3]> = sfc_mesh.cells().iter().map(|c| c.centroid).collect();
+    let (w, _) = strategy_weights(&sfc_mesh, PartitionStrategy::ScOc);
+    let weights: Vec<u64> = w.into_iter().map(u64::from).collect();
+    let mut sfc_ws = SfcWorkspace::new();
+    for (curve_name, curve) in [("morton", Curve::Morton), ("hilbert", Curve::Hilbert)] {
+        let part = sfc_partition_with(&centroids, &weights, N_DOMAINS, curve, workers, &mut sfc_ws);
+        writeln!(
+            out,
+            "cylinder4/sfc-{curve_name} part={:016x}",
+            part_fingerprint(&part),
+        )
+        .unwrap();
+    }
+
     // Nearest ancestor `results/` (repo root when run via cargo).
     let dir = std::env::current_dir()
         .ok()
