@@ -54,8 +54,10 @@ cargo test -q --offline --workspace --doc
 echo "== worker matrix (fork-join determinism across processes) =="
 # The fork-join pipeline must be a pure function of its inputs: the same
 # fingerprint file — FNV-1a digests of every strategy x mesh part vector and
-# Gantt chart, plus one portfolio-leaderboard digest per mesh (the full
-# ranked 24-combo race) — must come out byte-identical whether the work runs
+# Gantt chart, plus per mesh one portfolio-leaderboard digest (the full
+# ranked 24-combo race) and the network-mode rows (`net-uniform` /
+# `net-twolevel` priced Gantt + transfer-ledger digests and the comm-bound
+# `net-portfolio` race) — must come out byte-identical whether the work runs
 # sequentially or forked across 4 workers. Run in separate processes so
 # thread-count-dependent state can't hide inside one test binary (the
 # in-process cross-check at widths 1/2/4 already ran in the suites above,
@@ -116,7 +118,10 @@ echo "== bench gate (hot-path regression check) =="
 # those rows are simply absent and the gate ignores them. The flusim suite
 # additionally gates the lattice scheduler (`flusim/portfolio/*`): one
 # dynamic combo against the pinned loop, and the full 24-combo race at 1
-# and 4 workers — pricing the global-ready-heap path and the racing fan-out.
+# and 4 workers — pricing the global-ready-heap path and the racing fan-out
+# — and the network model (`flusim/comm/{uniform,two-level,race}`): the
+# priced event loop's NIC-channel bookkeeping and transfer ledger on both
+# topology presets, plus the comm-bound 24-combo race.
 if [[ "${CI_SKIP_BENCH:-0}" == "1" ]]; then
     echo "skipped (CI_SKIP_BENCH=1)"
 else

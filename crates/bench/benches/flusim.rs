@@ -6,8 +6,8 @@
 use std::hint::black_box;
 use tempart_core::{decompose, PartitionStrategy};
 use tempart_flusim::{
-    race, simulate, simulate_lattice, ClusterConfig, DynamicListStrategy, ProcessCriterion,
-    Strategy, TaskCriterion, TieBreak,
+    race, race_network, simulate, simulate_lattice, simulate_lattice_with_network, ClusterConfig,
+    DynamicListStrategy, Link, NetworkModel, ProcessCriterion, Strategy, TaskCriterion, TieBreak,
 };
 use tempart_mesh::{cylinder_like, GeneratorConfig};
 use tempart_taskgraph::{
@@ -65,6 +65,69 @@ fn bench_portfolio(b: &mut Bencher) {
     }
 }
 
+fn bench_network(b: &mut Bencher) {
+    // The priced event loop on the same instance as flusim/scheduling/*:
+    // these rows bound the cost of NIC-channel bookkeeping, the transfer
+    // ledger and the post-loop overlap statistics over the free loop.
+    let mesh = cylinder_like(&GeneratorConfig { base_depth: 4 });
+    let part = decompose(&mesh, PartitionStrategy::ScOc, 64, 1);
+    let dd = DomainDecomposition::new(&mesh, &part, 64);
+    let graph = generate_taskgraph(&mesh, &dd, &TaskGraphConfig::default());
+    let cluster = ClusterConfig::new(16, 4);
+    let process_of = block_process_map(64, 16);
+    let fifo = DynamicListStrategy::from(Strategy::EagerFifo);
+    let uniform = NetworkModel::uniform(
+        Link {
+            latency: 200,
+            cost_per_byte: 2,
+        },
+        2,
+    )
+    .with_halo(&dd, TaskGraphConfig::default().face_payload_bytes);
+    let two_level = NetworkModel::two_level(
+        4,
+        Link {
+            latency: 40,
+            cost_per_byte: 1,
+        },
+        Link {
+            latency: 400,
+            cost_per_byte: 2,
+        },
+        2,
+    )
+    .with_halo(&dd, TaskGraphConfig::default().face_payload_bytes);
+    b.bench("flusim/comm/uniform", || {
+        black_box(simulate_lattice_with_network(
+            black_box(&graph),
+            &cluster,
+            &process_of,
+            &fifo,
+            &uniform,
+        ))
+    });
+    b.bench("flusim/comm/two-level", || {
+        black_box(simulate_lattice_with_network(
+            black_box(&graph),
+            &cluster,
+            &process_of,
+            &fifo,
+            &two_level,
+        ))
+    });
+    // The comm-bound 24-combo race on the fork-join pool.
+    b.set_samples(10);
+    b.bench("flusim/comm/race", || {
+        black_box(race_network(
+            black_box(&graph),
+            &cluster,
+            &process_of,
+            &uniform,
+            4,
+        ))
+    });
+}
+
 fn bench_end_to_end(b: &mut Bencher) {
     let mesh = cylinder_like(&GeneratorConfig { base_depth: 4 });
     b.set_samples(10);
@@ -83,6 +146,7 @@ fn main() {
     let mut b = Bencher::new("flusim");
     bench_scheduling_strategies(&mut b);
     bench_portfolio(&mut b);
+    bench_network(&mut b);
     bench_end_to_end(&mut b);
     b.finish();
 }

@@ -3,27 +3,28 @@
 //! The paper's FLUSIM ignores communication and *expects* most of MC_TL's
 //! extra volume to be overlapped by the task-based runtime. This experiment
 //! quantifies where that stops being true: sweeping the per-message latency
-//! of the communication model shows the crossover at which MC_TL's larger
-//! cut erodes its balance advantage — and where the §VII dual-phase
-//! compromise pays off.
+//! of the network model shows the crossover at which MC_TL's larger cut
+//! erodes its balance advantage — and where the §VII dual-phase compromise
+//! pays off.
+//!
+//! The sweep itself is the first-class `tempart_core::comm_crossover`
+//! (uniform latency-only links, unbounded channels, halo-derived message
+//! sizes — numerically identical to the legacy `CommModel` sweep this
+//! binary used to hand-roll).
 //!
 //! Run: `cargo run -p tempart-bench --release --bin ext_comm [--depth N]`
 
 use tempart_bench::{rule, ExpOptions};
 use tempart_core::report::table;
-use tempart_core::{decompose, PartitionStrategy};
-use tempart_flusim::{simulate_with_comm, ClusterConfig, CommModel, Strategy};
+use tempart_core::{comm_crossover, PartitionStrategy};
+use tempart_flusim::ClusterConfig;
 use tempart_mesh::MeshCase;
-use tempart_taskgraph::{
-    generate_taskgraph, stats::block_process_map, DomainDecomposition, TaskGraphConfig,
-};
 
 fn main() {
     let opts = ExpOptions::from_args();
     let mesh = opts.mesh(MeshCase::Cylinder);
     let n_domains = 128;
     let cluster = ClusterConfig::new(16, 32);
-    let process_of = block_process_map(n_domains, 16);
     let strategies = [
         PartitionStrategy::ScOc,
         PartitionStrategy::McTl,
@@ -36,34 +37,34 @@ fn main() {
         rule("Extension — makespan vs per-message latency (CYLINDER, 128 dom)")
     );
 
-    // Pre-generate one task graph per strategy.
-    let graphs: Vec<_> = strategies
+    let latencies = [0u64, 50, 200, 500, 2000];
+    let sweep = comm_crossover(
+        &mesh,
+        n_domains,
+        &cluster,
+        &strategies,
+        &latencies,
+        opts.seed,
+        1,
+    );
+
+    let rows: Vec<Vec<String>> = sweep
+        .rows
         .iter()
-        .map(|&s| {
-            let part = decompose(&mesh, s, n_domains, opts.seed);
-            let dd = DomainDecomposition::new(&mesh, &part, n_domains);
-            generate_taskgraph(&mesh, &dd, &TaskGraphConfig::default())
+        .map(|r| {
+            let mut row = vec![r.latency.to_string()];
+            row.extend(r.makespans.iter().map(|m| m.to_string()));
+            row.push(format!(
+                "{:.2}",
+                r.makespans[0] as f64 / r.makespans[1] as f64
+            ));
+            row.push(format!(
+                "{:.2}",
+                r.makespans[0] as f64 / r.makespans[2] as f64
+            ));
+            row
         })
         .collect();
-
-    let latencies = [0u64, 50, 200, 500, 2000];
-    let mut rows = Vec::new();
-    for &lat in &latencies {
-        let comm = CommModel {
-            latency: lat,
-            cost_per_object: 0,
-        };
-        let mut row = vec![lat.to_string()];
-        let mut spans = Vec::new();
-        for g in &graphs {
-            let sim = simulate_with_comm(g, &cluster, &process_of, Strategy::EagerFifo, &comm);
-            spans.push(sim.makespan);
-            row.push(sim.makespan.to_string());
-        }
-        row.push(format!("{:.2}", spans[0] as f64 / spans[1] as f64));
-        row.push(format!("{:.2}", spans[0] as f64 / spans[2] as f64));
-        rows.push(row);
-    }
     println!(
         "{}",
         table(
@@ -78,6 +79,10 @@ fn main() {
             &rows
         )
     );
+    match sweep.crossover_latency(1, 0) {
+        Some(lat) => println!("MC_TL falls behind SC_OC at latency {lat} (first swept point)."),
+        None => println!("MC_TL holds its advantage across the whole sweep."),
+    }
     println!(
         "Expected shape: at zero latency MC_TL wins ~2x; as latency grows its advantage\n\
          shrinks faster than DUAL_PHASE's (fewer cross-process edges), matching the\n\

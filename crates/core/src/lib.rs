@@ -21,9 +21,11 @@ pub mod report;
 pub mod strategy;
 
 pub use pipeline::{
-    run_flusim, run_flusim_traced, run_flusim_workers, run_flusim_workers_traced, run_portfolio,
-    run_portfolio_traced, run_sweep, run_sweep_traced, simulate_decomposition,
-    simulate_decomposition_traced, FlusimOutcome, PipelineConfig, PortfolioOutcome,
+    comm_crossover, comm_crossover_with, run_flusim, run_flusim_network, run_flusim_network_traced,
+    run_flusim_traced, run_flusim_workers, run_flusim_workers_traced, run_portfolio,
+    run_portfolio_network, run_portfolio_network_traced, run_portfolio_traced, run_sweep,
+    run_sweep_traced, simulate_decomposition, simulate_decomposition_traced, CommCrossover,
+    CommCrossoverRow, FlusimOutcome, PipelineConfig, PortfolioOutcome,
 };
 pub use strategy::{
     decompose, decompose_par, decompose_par_traced, decompose_traced, decompose_with_repair,

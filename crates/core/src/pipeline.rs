@@ -3,8 +3,11 @@
 
 use crate::strategy::{decompose_par_traced, decompose_traced, PartitionStrategy};
 use std::sync::Mutex;
-use tempart_flusim::portfolio::{race_traced, Leaderboard};
-use tempart_flusim::{simulate_traced, ClusterConfig, SimResult, Strategy};
+use tempart_flusim::portfolio::{race_network_traced, race_traced, Leaderboard};
+use tempart_flusim::{
+    simulate_lattice_with_network_traced, simulate_traced, ClusterConfig, Link, NetworkModel,
+    SimResult, Strategy, UNBOUNDED_CHANNELS,
+};
 use tempart_graph::{PartId, PartitionQuality};
 use tempart_mesh::Mesh;
 use tempart_obs::Recorder;
@@ -111,7 +114,54 @@ pub fn run_flusim(mesh: &Mesh, config: &PipelineConfig) -> FlusimOutcome {
 pub fn run_flusim_traced(mesh: &Mesh, config: &PipelineConfig, rec: &Recorder) -> FlusimOutcome {
     let _span = rec.span("core.pipeline", 0, config.n_domains as u64);
     let part = decompose_traced(mesh, config.strategy, config.n_domains, config.seed, rec);
-    finish_flusim(mesh, part, config, 1, rec)
+    finish_flusim(mesh, part, config, None, 1, rec)
+}
+
+/// [`run_flusim`] under an explicit [`NetworkModel`]: cross-process halo
+/// exchanges become first-class NIC transfers priced by the model. The
+/// model's message sizes are *replaced* by the halo byte table of this
+/// run's own decomposition ([`NetworkModel::with_halo`], per-face payload
+/// from [`TaskGraphConfig::face_payload_bytes`]) — callers pick a topology
+/// preset; the pipeline derives what each pair of domains actually
+/// exchanges.
+pub fn run_flusim_network(
+    mesh: &Mesh,
+    config: &PipelineConfig,
+    net: &NetworkModel,
+) -> FlusimOutcome {
+    run_flusim_network_traced(
+        mesh,
+        config,
+        net,
+        1,
+        &WorkspacePool::new(1),
+        Recorder::off(),
+    )
+}
+
+/// Traced [`run_flusim_network`] with the partitioning and
+/// domain-classification stages fanned out over `workers` (bit-identical
+/// at every width). Adds the simulator's `net.*` events to the usual
+/// pipeline vocabulary.
+pub fn run_flusim_network_traced(
+    mesh: &Mesh,
+    config: &PipelineConfig,
+    net: &NetworkModel,
+    workers: usize,
+    pool: &WorkspacePool,
+    rec: &Recorder,
+) -> FlusimOutcome {
+    let _span = rec.span("core.pipeline", 0, config.n_domains as u64);
+    let part = decompose_par_traced(
+        mesh,
+        config.strategy,
+        config.n_domains,
+        config.seed,
+        workers,
+        pool,
+        rec,
+    );
+    finish_flusim(mesh, part, config, Some(net), workers, rec)
 }
 
 /// [`run_flusim`] with the partitioning stage fanned out over `workers`
@@ -151,7 +201,7 @@ pub fn run_flusim_workers_traced(
         pool,
         rec,
     );
-    finish_flusim(mesh, part, config, workers, rec)
+    finish_flusim(mesh, part, config, None, workers, rec)
 }
 
 /// The pipeline stages downstream of the partition: quality measurement,
@@ -159,20 +209,37 @@ pub fn run_flusim_workers_traced(
 /// estimate. Shared by the sequential and parallel-partitioner entry
 /// points; `workers` shards the domain-classification stage
 /// (bit-identical at every width — see
-/// [`DomainDecomposition::new_sharded`]).
+/// [`DomainDecomposition::new_sharded`]). With `net` set, the simulation
+/// runs under the network model with halo-derived message sizes attached
+/// from this decomposition.
 fn finish_flusim(
     mesh: &Mesh,
     part: Vec<PartId>,
     config: &PipelineConfig,
+    net: Option<&NetworkModel>,
     workers: usize,
     rec: &Recorder,
 ) -> FlusimOutcome {
     let cell_graph = mesh.to_graph();
     let quality = PartitionQuality::measure(&cell_graph, &part, config.n_domains);
     let dd = DomainDecomposition::new_sharded(mesh, &part, config.n_domains, workers);
-    let graph = generate_taskgraph_traced(mesh, &dd, &TaskGraphConfig::default(), rec);
+    let tg_config = TaskGraphConfig::default();
+    let graph = generate_taskgraph_traced(mesh, &dd, &tg_config, rec);
     let process_of = block_process_map(config.n_domains, config.cluster.n_processes);
-    let sim = simulate_traced(&graph, &config.cluster, &process_of, config.scheduling, rec);
+    let sim = match net {
+        Some(model) => {
+            let model = model.clone().with_halo(&dd, tg_config.face_payload_bytes);
+            simulate_lattice_with_network_traced(
+                &graph,
+                &config.cluster,
+                &process_of,
+                &config.scheduling.into(),
+                &model,
+                rec,
+            )
+        }
+        None => simulate_traced(&graph, &config.cluster, &process_of, config.scheduling, rec),
+    };
 
     // Inter-process communication estimate: edges between cells whose
     // domains sit on different processes.
@@ -266,6 +333,193 @@ pub fn run_portfolio_traced(
         graph,
         process_of,
         leaderboard,
+    }
+}
+
+/// [`run_portfolio`] under a [`NetworkModel`]: every lattice combo pays
+/// for its halo exchanges (message sizes attached from this run's own
+/// decomposition, like [`run_flusim_network`]). Comm-bound leaderboards
+/// reward combos that keep successors near their predecessors.
+pub fn run_portfolio_network(
+    mesh: &Mesh,
+    config: &PipelineConfig,
+    net: &NetworkModel,
+    workers: usize,
+) -> PortfolioOutcome {
+    run_portfolio_network_traced(
+        mesh,
+        config,
+        net,
+        workers,
+        &WorkspacePool::new(workers),
+        Recorder::off(),
+    )
+}
+
+/// Traced [`run_portfolio_network`] — the event vocabulary of
+/// [`run_portfolio_traced`] plus every combo's `net.*` stream. The
+/// leaderboard stays bit-identical at every worker count.
+pub fn run_portfolio_network_traced(
+    mesh: &Mesh,
+    config: &PipelineConfig,
+    net: &NetworkModel,
+    workers: usize,
+    pool: &WorkspacePool,
+    rec: &Recorder,
+) -> PortfolioOutcome {
+    let _span = rec.span("core.portfolio", 0, config.n_domains as u64);
+    let part = decompose_par_traced(
+        mesh,
+        config.strategy,
+        config.n_domains,
+        config.seed,
+        workers,
+        pool,
+        rec,
+    );
+    let cell_graph = mesh.to_graph();
+    let quality = PartitionQuality::measure(&cell_graph, &part, config.n_domains);
+    let dd = DomainDecomposition::new_sharded(mesh, &part, config.n_domains, workers);
+    let tg_config = TaskGraphConfig::default();
+    let graph = generate_taskgraph_traced(mesh, &dd, &tg_config, rec);
+    let process_of = block_process_map(config.n_domains, config.cluster.n_processes);
+    let model = net.clone().with_halo(&dd, tg_config.face_payload_bytes);
+    let leaderboard =
+        race_network_traced(&graph, &config.cluster, &process_of, &model, workers, rec);
+    PortfolioOutcome {
+        part,
+        quality,
+        graph,
+        process_of,
+        leaderboard,
+    }
+}
+
+/// One swept latency point of a [`comm_crossover`] experiment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommCrossoverRow {
+    /// Uniform per-message latency of this row's network model.
+    pub latency: u64,
+    /// Makespan per partitioning strategy, indexed like the `strategies`
+    /// argument.
+    pub makespans: Vec<u64>,
+}
+
+/// Result of a [`comm_crossover`] latency sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommCrossover {
+    /// The compared partitioning strategies, in caller order.
+    pub strategies: Vec<PartitionStrategy>,
+    /// One row per swept latency, ascending caller order.
+    pub rows: Vec<CommCrossoverRow>,
+}
+
+impl CommCrossover {
+    /// The smallest swept latency at which strategy `challenger` is
+    /// *strictly slower* than strategy `baseline` (both indices into
+    /// [`Self::strategies`]); `None` if the challenger holds on across the
+    /// whole sweep. This is the paper-motivated question "above which
+    /// network latency does MC_TL's balance advantage erode?".
+    pub fn crossover_latency(&self, challenger: usize, baseline: usize) -> Option<u64> {
+        self.rows
+            .iter()
+            .find(|r| r.makespans[challenger] > r.makespans[baseline])
+            .map(|r| r.latency)
+    }
+}
+
+/// Sweeps a uniform-latency network model over `latencies` for each
+/// partitioning strategy: partition once per strategy, generate its task
+/// graph once, then simulate under
+/// `NetworkModel::uniform({latency, cost_per_byte: 0}, unbounded)` with
+/// halo-derived message sizes. Every cross-process halo exchange then
+/// costs exactly `latency` — the sweep the `ext_comm` experiment reports,
+/// now first-class. Results are a pure function of the inputs,
+/// bit-identical at every `workers` width.
+pub fn comm_crossover(
+    mesh: &Mesh,
+    n_domains: usize,
+    cluster: &ClusterConfig,
+    strategies: &[PartitionStrategy],
+    latencies: &[u64],
+    seed: u64,
+    workers: usize,
+) -> CommCrossover {
+    comm_crossover_with(
+        mesh,
+        n_domains,
+        cluster,
+        strategies,
+        latencies,
+        0,
+        UNBOUNDED_CHANNELS,
+        seed,
+        workers,
+    )
+}
+
+/// [`comm_crossover`] with the remaining network knobs exposed: every
+/// swept point uses `Link { latency, cost_per_byte }` links and `channels`
+/// NIC channels per process. A non-zero per-byte cost makes a strategy's
+/// *cut size* matter (bigger halos pay more), and bounded channels make
+/// its total inbound volume serialize — the regime where MC_TL's larger
+/// cut genuinely erodes its balance advantage.
+#[allow(clippy::too_many_arguments)]
+pub fn comm_crossover_with(
+    mesh: &Mesh,
+    n_domains: usize,
+    cluster: &ClusterConfig,
+    strategies: &[PartitionStrategy],
+    latencies: &[u64],
+    cost_per_byte: u64,
+    channels: usize,
+    seed: u64,
+    workers: usize,
+) -> CommCrossover {
+    let pool = WorkspacePool::new(workers.max(1));
+    let process_of = block_process_map(n_domains, cluster.n_processes);
+    let tg_config = TaskGraphConfig::default();
+    // Partition once per strategy; keep each decomposition for its halo
+    // byte table.
+    let prepared: Vec<_> = strategies
+        .iter()
+        .map(|&s| {
+            let part =
+                decompose_par_traced(mesh, s, n_domains, seed, workers, &pool, Recorder::off());
+            let dd = DomainDecomposition::new_sharded(mesh, &part, n_domains, workers);
+            let graph = generate_taskgraph_traced(mesh, &dd, &tg_config, Recorder::off());
+            (dd, graph)
+        })
+        .collect();
+    let rows = latencies
+        .iter()
+        .map(|&latency| {
+            let link = Link {
+                latency,
+                cost_per_byte,
+            };
+            let makespans = prepared
+                .iter()
+                .map(|(dd, graph)| {
+                    let net = NetworkModel::uniform(link, channels)
+                        .with_halo(dd, tg_config.face_payload_bytes);
+                    simulate_lattice_with_network_traced(
+                        graph,
+                        cluster,
+                        &process_of,
+                        &Strategy::EagerFifo.into(),
+                        &net,
+                        Recorder::off(),
+                    )
+                    .makespan
+                })
+                .collect();
+            CommCrossoverRow { latency, makespans }
+        })
+        .collect();
+    CommCrossover {
+        strategies: strategies.to_vec(),
+        rows,
     }
 }
 
@@ -552,6 +806,105 @@ mod tests {
                 pipelines >= 2,
                 "workers={workers}: expected both completed jobs' traces, saw {pipelines} pipeline event(s)"
             );
+        }
+    }
+
+    #[test]
+    fn zero_cost_network_pipeline_matches_the_free_pipeline() {
+        let m = small_mesh();
+        let cfg = PipelineConfig {
+            strategy: PartitionStrategy::McTl,
+            n_domains: 8,
+            cluster: ClusterConfig::new(4, 2),
+            scheduling: Strategy::EagerFifo,
+            seed: 7,
+        };
+        let free = run_flusim(&m, &cfg);
+        let zero = run_flusim_network(&m, &cfg, &NetworkModel::zero_cost());
+        assert_eq!(zero.sim.makespan, free.sim.makespan);
+        assert_eq!(zero.sim.segments, free.sim.segments);
+        // Zero-byte links deliver instantly, so no transfer ever gates a
+        // task — but the transfers themselves are still priced (at zero).
+        assert!(zero.sim.net.is_some());
+        assert!(free.sim.net.is_none());
+    }
+
+    #[test]
+    fn priced_network_pipeline_slows_and_stays_worker_invariant() {
+        let m = small_mesh();
+        let cfg = PipelineConfig {
+            strategy: PartitionStrategy::McTl,
+            n_domains: 8,
+            cluster: ClusterConfig::new(4, 2),
+            scheduling: Strategy::EagerFifo,
+            seed: 7,
+        };
+        let net = NetworkModel::uniform(
+            Link {
+                latency: 100,
+                cost_per_byte: 1,
+            },
+            2,
+        );
+        let free = run_flusim(&m, &cfg);
+        let paid = run_flusim_network(&m, &cfg, &net);
+        assert!(paid.sim.makespan > free.sim.makespan);
+        let stats = paid.sim.net.as_ref().expect("network stats");
+        assert!(stats.total_messages() > 0);
+        assert!(stats.total_bytes() > 0);
+        let pool = WorkspacePool::new(4);
+        for workers in [2usize, 4] {
+            let par = run_flusim_network_traced(&m, &cfg, &net, workers, &pool, Recorder::off());
+            assert_eq!(par.sim.segments, paid.sim.segments, "workers={workers}");
+            assert_eq!(par.sim.transfers, paid.sim.transfers, "workers={workers}");
+            assert_eq!(par.sim.net, paid.sim.net, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn comm_crossover_matches_the_legacy_latency_sweep() {
+        // The first-class sweep must reproduce the numbers the old ad-hoc
+        // ext_comm loop produced with `CommModel { latency, 0 }`: under
+        // pinned placement every cross-process halo exchange costs exactly
+        // the latency, because every adjacent-domain pair shares at least
+        // one face.
+        use tempart_flusim::{simulate_with_comm, CommModel};
+        let m = small_mesh();
+        let cluster = ClusterConfig::new(4, 4);
+        let strategies = [PartitionStrategy::ScOc, PartitionStrategy::McTl];
+        let latencies = [0u64, 50, 500];
+        let sweep = comm_crossover(&m, 8, &cluster, &strategies, &latencies, 3, 2);
+        assert_eq!(sweep.rows.len(), latencies.len());
+        let process_of = block_process_map(8, 4);
+        for (row, &lat) in sweep.rows.iter().zip(&latencies) {
+            assert_eq!(row.latency, lat);
+            for (i, &s) in strategies.iter().enumerate() {
+                let part = crate::strategy::decompose(&m, s, 8, 3);
+                let dd = DomainDecomposition::new(&m, &part, 8);
+                let graph = generate_taskgraph_traced(
+                    &m,
+                    &dd,
+                    &TaskGraphConfig::default(),
+                    Recorder::off(),
+                );
+                let legacy = simulate_with_comm(
+                    &graph,
+                    &cluster,
+                    &process_of,
+                    Strategy::EagerFifo,
+                    &CommModel {
+                        latency: lat,
+                        cost_per_object: 0,
+                    },
+                );
+                assert_eq!(row.makespans[i], legacy.makespan, "{s:?} latency={lat}");
+            }
+        }
+        // Monotone in latency for each strategy (unbounded channels).
+        for i in 0..strategies.len() {
+            for w in sweep.rows.windows(2) {
+                assert!(w[0].makespans[i] <= w[1].makespans[i]);
+            }
         }
     }
 

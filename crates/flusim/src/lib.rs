@@ -5,12 +5,16 @@
 //! Reimplementation of the paper's FLUSIM submodule (Section III-A): given a
 //! cluster configuration (processes × cores), a domain→process mapping and a
 //! scheduling strategy, it replays a task DAG with list scheduling and
-//! reports makespan, per-process activity and a Gantt trace. No communication
-//! or runtime overheads are modelled — deliberately, so that any remaining
-//! idleness is attributable to the *shape of the task graph* alone.
+//! reports makespan, per-process activity and a Gantt trace. By default no
+//! communication or runtime overheads are modelled — deliberately, so that
+//! any remaining idleness is attributable to the *shape of the task graph*
+//! alone. The [`network`] module lifts that idealisation: a deterministic
+//! per-process-pair latency/bandwidth model prices the halo edge cut as
+//! first-class NIC transfers that overlap with compute.
 
 pub mod cluster;
 pub mod lattice;
+pub mod network;
 pub mod portfolio;
 pub mod sim;
 pub mod svg;
@@ -18,11 +22,20 @@ pub mod trace;
 
 pub use cluster::{ClusterConfig, UNBOUNDED_CORES};
 pub use lattice::{DynamicListStrategy, ProcessCriterion, TaskCriterion, TieBreak};
-pub use portfolio::{race, race_traced, ComboOutcome, Leaderboard};
+pub use network::{
+    parse_preset, HaloBytes, Link, MessageSizes, NetworkModel, Topology, TransferSegment,
+    UNBOUNDED_CHANNELS,
+};
+pub use portfolio::{
+    race, race_network, race_network_traced, race_traced, ComboOutcome, Leaderboard,
+};
 pub use sim::{
     simulate, simulate_heterogeneous, simulate_heterogeneous_traced, simulate_lattice,
     simulate_lattice_heterogeneous_traced, simulate_lattice_traced, simulate_lattice_with_comm,
-    simulate_traced, simulate_with_comm, CommModel, SimResult, Strategy,
+    simulate_lattice_with_network, simulate_lattice_with_network_traced,
+    simulate_network_heterogeneous_traced, simulate_traced, simulate_with_comm, CommModel,
+    SimResult, Strategy,
 };
 pub use svg::{gantt_svg, write_gantt_svg, SvgOptions};
+pub use tempart_obs::replay::NetStats;
 pub use trace::{ascii_gantt, bin_occupancy, segments_csv, Segment};

@@ -1,0 +1,511 @@
+//! Deterministic network model: per-process-pair links, halo-derived
+//! message sizes and NIC-channel transfer scheduling.
+//!
+//! The paper's FLUSIM deliberately models zero communication; this module
+//! makes the edge cut of a decomposition cost something. A cross-process
+//! dependency edge becomes an inbound *transfer* on the destination
+//! process: it occupies one NIC channel for
+//! `latency + bytes × cost_per_byte` cost units (store-and-forward, not
+//! pipelined), overlaps freely with unrelated compute on the same process,
+//! and gates only the waiting task's readiness. The legacy
+//! [`CommModel`] is a pinned special case ([`NetworkModel::from_comm`]):
+//! a uniform topology, per-object sizes and unbounded channels reproduce
+//! the old `latency + n_objects × cost_per_object` delays bit for bit.
+//!
+//! Everything is a pure function of its inputs — no clocks, no randomness —
+//! so network-mode simulations stay bit-identical at every worker count.
+
+use crate::sim::CommModel;
+use tempart_taskgraph::{DomainDecomposition, TaskGraph, TaskId};
+
+/// `channels` value meaning a process can receive any number of transfers
+/// concurrently — no inbound NIC contention.
+pub const UNBOUNDED_CHANNELS: usize = usize::MAX;
+
+/// One directed link: a fixed wire latency plus a per-byte serialization
+/// cost (the inverse bandwidth).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Link {
+    /// Fixed per-message delay, in cost units.
+    pub latency: u64,
+    /// Cost per transferred byte, in cost units — the inverse bandwidth
+    /// (`0` = infinite bandwidth).
+    pub cost_per_byte: u64,
+}
+
+impl Link {
+    /// A link that costs nothing.
+    pub const FREE: Link = Link {
+        latency: 0,
+        cost_per_byte: 0,
+    };
+
+    /// Store-and-forward duration of one `bytes`-sized message.
+    pub fn duration(&self, bytes: u64) -> u64 {
+        self.latency + bytes * self.cost_per_byte
+    }
+}
+
+/// Which link each ordered process pair uses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Topology {
+    /// Every pair of distinct processes uses the same link.
+    Uniform(Link),
+    /// Processes are packed onto nodes of `procs_per_node` consecutive
+    /// ranks: pairs on the same node use `intra`, pairs on different nodes
+    /// use `inter`.
+    TwoLevel {
+        /// Consecutive ranks per node (≥ 1).
+        procs_per_node: usize,
+        /// Link between processes on the same node.
+        intra: Link,
+        /// Link between processes on different nodes.
+        inter: Link,
+    },
+    /// Explicit per-pair matrix: the link from `src` to `dst` is
+    /// `links[src * n + dst]`.
+    Matrix {
+        /// Number of processes the matrix covers.
+        n: usize,
+        /// Row-major `n × n` link matrix.
+        links: Vec<Link>,
+    },
+}
+
+impl Topology {
+    /// The link a message from `src` to `dst` travels over.
+    pub fn link(&self, src: usize, dst: usize) -> Link {
+        match self {
+            Topology::Uniform(l) => *l,
+            Topology::TwoLevel {
+                procs_per_node,
+                intra,
+                inter,
+            } => {
+                if src / procs_per_node == dst / procs_per_node {
+                    *intra
+                } else {
+                    *inter
+                }
+            }
+            Topology::Matrix { n, links } => links[src * n + dst],
+        }
+    }
+}
+
+/// How many bytes a cross-process dependency edge carries. Zero-byte
+/// messages are never sent: they cost nothing and occupy no channel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MessageSizes {
+    /// One byte per transferred object of the predecessor task — the size
+    /// rule of the legacy [`CommModel`], kept so that model stays a pinned
+    /// special case.
+    PerObject,
+    /// Halo-exchange sizes: the bytes between two *domains* are their
+    /// shared interface faces times a per-face payload. Cross-process edges
+    /// between tasks of the *same* domain carry nothing — the domain's
+    /// state already lives at its home process.
+    Halo(HaloBytes),
+}
+
+/// Per-domain-pair message sizes derived from the halo edge cut of a
+/// [`DomainDecomposition`] (CSR over the sorted neighbour lists).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HaloBytes {
+    offsets: Vec<u32>,
+    neighbor: Vec<u32>,
+    bytes: Vec<u64>,
+}
+
+impl HaloBytes {
+    /// Sizes from a decomposition: domain pair `(a, b)` exchanges
+    /// `halo_faces_between(a, b) × payload_per_face` bytes.
+    pub fn from_decomposition(dd: &DomainDecomposition, payload_per_face: u64) -> Self {
+        let mut offsets = Vec::with_capacity(dd.n_domains + 1);
+        let mut neighbor = Vec::new();
+        let mut bytes = Vec::new();
+        offsets.push(0u32);
+        for d in 0..dd.n_domains as u32 {
+            for (n, faces) in dd.halo_of(d) {
+                neighbor.push(n);
+                bytes.push(u64::from(faces) * payload_per_face);
+            }
+            offsets.push(neighbor.len() as u32);
+        }
+        Self {
+            offsets,
+            neighbor,
+            bytes,
+        }
+    }
+
+    /// Sizes from explicit symmetric `(domain_a, domain_b, bytes)` pairs —
+    /// handy for synthetic task graphs that have no mesh behind them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a pair is listed twice or connects a domain to itself.
+    pub fn from_pairs(n_domains: usize, pairs: &[(u32, u32, u64)]) -> Self {
+        let mut rows: Vec<Vec<(u32, u64)>> = vec![Vec::new(); n_domains];
+        for &(a, b, sz) in pairs {
+            assert_ne!(a, b, "a domain has no halo with itself");
+            rows[a as usize].push((b, sz));
+            rows[b as usize].push((a, sz));
+        }
+        let mut offsets = Vec::with_capacity(n_domains + 1);
+        let mut neighbor = Vec::new();
+        let mut bytes = Vec::new();
+        offsets.push(0u32);
+        for mut row in rows {
+            row.sort_unstable_by_key(|&(n, _)| n);
+            for w in row.windows(2) {
+                assert_ne!(w[0].0, w[1].0, "duplicate domain pair");
+            }
+            for (n, sz) in row {
+                neighbor.push(n);
+                bytes.push(sz);
+            }
+            offsets.push(neighbor.len() as u32);
+        }
+        Self {
+            offsets,
+            neighbor,
+            bytes,
+        }
+    }
+
+    /// Bytes of one halo message between domains `a` and `b` (0 when not
+    /// adjacent or equal).
+    pub fn between(&self, a: u32, b: u32) -> u64 {
+        let lo = self.offsets[a as usize] as usize;
+        let hi = self.offsets[a as usize + 1] as usize;
+        match self.neighbor[lo..hi].binary_search(&b) {
+            Ok(i) => self.bytes[lo + i],
+            Err(_) => 0,
+        }
+    }
+}
+
+/// The deterministic network model the event loop prices transfers with:
+/// a topology (who is far from whom), a per-process inbound channel budget
+/// and a message-size rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetworkModel {
+    /// Per-process-pair links.
+    pub topology: Topology,
+    /// Inbound NIC channels per process — concurrent transfers beyond this
+    /// queue on the earliest-free channel. [`UNBOUNDED_CHANNELS`] disables
+    /// contention entirely.
+    pub channels: usize,
+    /// Message-size rule.
+    pub sizes: MessageSizes,
+}
+
+impl NetworkModel {
+    /// A uniform topology with `channels` inbound channels per process and
+    /// per-object message sizes (attach halo sizes with
+    /// [`Self::with_halo`]).
+    pub fn uniform(link: Link, channels: usize) -> Self {
+        Self {
+            topology: Topology::Uniform(link),
+            channels,
+            sizes: MessageSizes::PerObject,
+        }
+    }
+
+    /// A two-level node/cluster topology (see [`Topology::TwoLevel`]).
+    pub fn two_level(procs_per_node: usize, intra: Link, inter: Link, channels: usize) -> Self {
+        Self {
+            topology: Topology::TwoLevel {
+                procs_per_node,
+                intra,
+                inter,
+            },
+            channels,
+            sizes: MessageSizes::PerObject,
+        }
+    }
+
+    /// An explicit `n × n` link matrix (row-major, `links[src * n + dst]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `links.len() != n * n`.
+    pub fn matrix(n: usize, links: Vec<Link>, channels: usize) -> Self {
+        assert_eq!(links.len(), n * n, "matrix topology needs n×n links");
+        Self {
+            topology: Topology::Matrix { n, links },
+            channels,
+            sizes: MessageSizes::PerObject,
+        }
+    }
+
+    /// The zero-cost network: free links, no contention. Simulating under
+    /// this model reproduces the no-comm `simulate_lattice` schedules bit
+    /// for bit (transfers of zero duration never delay readiness).
+    pub fn zero_cost() -> Self {
+        Self::uniform(Link::FREE, UNBOUNDED_CHANNELS)
+    }
+
+    /// The legacy [`CommModel`] as a network model: uniform
+    /// `{latency, cost_per_byte = cost_per_object}` links, per-object
+    /// sizes, unbounded channels. For any task graph whose tasks all carry
+    /// at least one object (every generated graph — the generator skips
+    /// empty object sets) the resulting schedule is bit-identical to the
+    /// old `simulate_with_comm` arithmetic.
+    pub fn from_comm(comm: &CommModel) -> Self {
+        Self::uniform(
+            Link {
+                latency: comm.latency,
+                cost_per_byte: comm.cost_per_object,
+            },
+            UNBOUNDED_CHANNELS,
+        )
+    }
+
+    /// Switches the size rule to halo-exchange sizes derived from `dd` at
+    /// `payload_per_face` bytes per shared interface face.
+    pub fn with_halo(mut self, dd: &DomainDecomposition, payload_per_face: u64) -> Self {
+        self.sizes = MessageSizes::Halo(HaloBytes::from_decomposition(dd, payload_per_face));
+        self
+    }
+
+    /// Bytes of the message for dependency edge `t → s` (0 = no message).
+    pub fn message_bytes(&self, graph: &TaskGraph, t: TaskId, s: TaskId) -> u64 {
+        match &self.sizes {
+            MessageSizes::PerObject => u64::from(graph.task(t).n_objects),
+            MessageSizes::Halo(h) => h.between(graph.task(t).domain, graph.task(s).domain),
+        }
+    }
+
+    /// Checks the model is consistent with an `np`-process cluster.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero channels, a zero-size node, or a matrix whose order
+    /// differs from `np`.
+    pub fn validate(&self, np: usize) {
+        assert!(self.channels >= 1, "a process needs at least one channel");
+        match &self.topology {
+            Topology::Uniform(_) => {}
+            Topology::TwoLevel { procs_per_node, .. } => {
+                assert!(*procs_per_node >= 1, "a node holds at least one process");
+            }
+            Topology::Matrix { n, .. } => {
+                assert_eq!(*n, np, "matrix topology order must match the cluster");
+            }
+        }
+    }
+}
+
+/// One inbound transfer scheduled on a destination NIC channel — the
+/// communication counterpart of a Gantt [`crate::trace::Segment`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransferSegment {
+    /// The waiting (successor) task the message unblocks.
+    pub task: TaskId,
+    /// Sending process (where the predecessor executed).
+    pub src: u32,
+    /// Receiving process (the successor's home).
+    pub dst: u32,
+    /// NIC channel index on the destination (always 0 under
+    /// [`UNBOUNDED_CHANNELS`]).
+    pub channel: u32,
+    /// Transfer start, in cost units.
+    pub start: u64,
+    /// Transfer end — the delivery instant the successor may start at.
+    pub end: u64,
+    /// Message size in bytes.
+    pub bytes: u64,
+}
+
+/// Parses a `--net` CLI preset into a [`NetworkModel`]. Message sizes
+/// default to [`MessageSizes::PerObject`]; pipeline entry points attach
+/// halo sizes from the decomposition they build.
+///
+/// Grammar (all numeric fields optional, colon-separated):
+///
+/// * `zero` — the zero-cost network;
+/// * `uniform[:LAT[:CPB[:CH]]]` — uniform links, default `200:2:2`;
+/// * `two-level[:LAT[:CPB[:PPN[:CH]]]]` — `LAT`/`CPB` describe the
+///   *inter-node* link, the intra-node link is 10× lower latency and half
+///   the per-byte cost; default `400:2:4:2` (4 processes per node).
+///
+/// `CH` may be `unbounded` for [`UNBOUNDED_CHANNELS`].
+pub fn parse_preset(s: &str) -> Result<NetworkModel, String> {
+    let mut fields = s.split(':');
+    let kind = fields.next().unwrap_or("");
+    let mut num = |default: u64| -> Result<u64, String> {
+        match fields.next() {
+            None | Some("") => Ok(default),
+            Some(f) => f.parse().map_err(|_| format!("bad --net field {f:?}")),
+        }
+    };
+    let channels = |c: u64| -> usize {
+        if c == u64::MAX {
+            UNBOUNDED_CHANNELS
+        } else {
+            c as usize
+        }
+    };
+    let model = match kind {
+        "zero" => NetworkModel::zero_cost(),
+        "uniform" => {
+            let lat = num(200)?;
+            let cpb = num(2)?;
+            let ch = num(2)?;
+            NetworkModel::uniform(
+                Link {
+                    latency: lat,
+                    cost_per_byte: cpb,
+                },
+                channels(ch),
+            )
+        }
+        "two-level" => {
+            let lat = num(400)?;
+            let cpb = num(2)?;
+            let ppn = num(4)?;
+            let ch = num(2)?;
+            NetworkModel::two_level(
+                ppn as usize,
+                Link {
+                    latency: lat / 10,
+                    cost_per_byte: cpb / 2,
+                },
+                Link {
+                    latency: lat,
+                    cost_per_byte: cpb,
+                },
+                channels(ch),
+            )
+        }
+        other => return Err(format!("unknown --net preset {other:?}")),
+    };
+    if let Some(extra) = fields.next() {
+        return Err(format!("trailing --net field {extra:?}"));
+    }
+    Ok(model)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn link_duration_is_latency_plus_serialization() {
+        let l = Link {
+            latency: 10,
+            cost_per_byte: 3,
+        };
+        assert_eq!(l.duration(0), 10);
+        assert_eq!(l.duration(4), 22);
+        assert_eq!(Link::FREE.duration(1000), 0);
+    }
+
+    #[test]
+    fn two_level_topology_distinguishes_nodes() {
+        let intra = Link {
+            latency: 5,
+            cost_per_byte: 1,
+        };
+        let inter = Link {
+            latency: 50,
+            cost_per_byte: 4,
+        };
+        let t = Topology::TwoLevel {
+            procs_per_node: 2,
+            intra,
+            inter,
+        };
+        assert_eq!(t.link(0, 1), intra);
+        assert_eq!(t.link(2, 3), intra);
+        assert_eq!(t.link(1, 2), inter);
+        assert_eq!(t.link(0, 3), inter);
+    }
+
+    #[test]
+    fn matrix_topology_is_per_pair() {
+        let mk = |latency| Link {
+            latency,
+            cost_per_byte: 0,
+        };
+        let links = (0..9).map(mk).collect::<Vec<_>>();
+        let t = Topology::Matrix { n: 3, links };
+        assert_eq!(t.link(0, 2).latency, 2);
+        assert_eq!(t.link(2, 1).latency, 7);
+    }
+
+    #[test]
+    fn halo_bytes_from_pairs_is_symmetric() {
+        let h = HaloBytes::from_pairs(4, &[(0, 1, 640), (1, 2, 320)]);
+        assert_eq!(h.between(0, 1), 640);
+        assert_eq!(h.between(1, 0), 640);
+        assert_eq!(h.between(1, 2), 320);
+        assert_eq!(h.between(0, 2), 0, "non-adjacent pair is free");
+        assert_eq!(h.between(3, 0), 0, "isolated domain");
+        assert_eq!(h.between(2, 2), 0, "no self-halo");
+    }
+
+    #[test]
+    fn from_comm_reproduces_the_legacy_delay_arithmetic() {
+        let comm = CommModel {
+            latency: 7,
+            cost_per_object: 2,
+        };
+        let net = NetworkModel::from_comm(&comm);
+        assert_eq!(net.channels, UNBOUNDED_CHANNELS);
+        let link = net.topology.link(0, 1);
+        for n_objects in [1u32, 3, 100] {
+            assert_eq!(link.duration(u64::from(n_objects)), comm.delay(n_objects));
+        }
+    }
+
+    #[test]
+    fn preset_grammar() {
+        assert_eq!(parse_preset("zero").unwrap(), NetworkModel::zero_cost());
+        let u = parse_preset("uniform").unwrap();
+        assert_eq!(
+            u.topology,
+            Topology::Uniform(Link {
+                latency: 200,
+                cost_per_byte: 2
+            })
+        );
+        assert_eq!(u.channels, 2);
+        let u = parse_preset("uniform:500:0:1").unwrap();
+        assert_eq!(
+            u.topology,
+            Topology::Uniform(Link {
+                latency: 500,
+                cost_per_byte: 0
+            })
+        );
+        assert_eq!(u.channels, 1);
+        let t = parse_preset("two-level:400:2:4:2").unwrap();
+        assert_eq!(
+            t.topology,
+            Topology::TwoLevel {
+                procs_per_node: 4,
+                intra: Link {
+                    latency: 40,
+                    cost_per_byte: 1
+                },
+                inter: Link {
+                    latency: 400,
+                    cost_per_byte: 2
+                },
+            }
+        );
+        assert_eq!(parse_preset("two-level").unwrap(), t, "defaults match");
+        assert!(parse_preset("mesh").is_err());
+        assert!(parse_preset("uniform:a").is_err());
+        assert!(parse_preset("zero:1").is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "matrix topology order")]
+    fn matrix_order_must_match_cluster() {
+        NetworkModel::matrix(2, vec![Link::FREE; 4], 1).validate(3);
+    }
+}

@@ -17,7 +17,8 @@
 
 use crate::cluster::ClusterConfig;
 use crate::lattice::DynamicListStrategy;
-use crate::sim::simulate_lattice_traced;
+use crate::network::NetworkModel;
+use crate::sim::{simulate_lattice_traced, simulate_lattice_with_network_traced};
 use std::sync::Mutex;
 use tempart_obs::{Clock, Recorder, Trace};
 use tempart_runtime::fork_join;
@@ -25,10 +26,12 @@ use tempart_taskgraph::TaskGraph;
 
 /// Per-combo event capacity of the isolated racing recorders: one
 /// `flusim.task` per task plus the run span and closing counters, with the
-/// same 8×n headroom the trace tests use. Overflow is never silent —
-/// dropped counts are carried into the parent by [`Recorder::absorb`].
-fn combo_capacity(n_tasks: usize) -> usize {
-    8 * n_tasks + 64
+/// same 8×n headroom the trace tests use — plus room for one `net.xfer`
+/// per dependency edge and the `net.*` counters when a network model races.
+/// Overflow is never silent — dropped counts are carried into the parent by
+/// [`Recorder::absorb`].
+fn combo_capacity(graph: &TaskGraph) -> usize {
+    8 * graph.len() + 2 * graph.n_edges() + 64
 }
 
 /// Summary of one lattice combination's simulated schedule.
@@ -130,6 +133,42 @@ pub fn race_traced(
     workers: usize,
     rec: &Recorder,
 ) -> Leaderboard {
+    race_inner(graph, cluster, process_of, None, workers, rec)
+}
+
+/// [`race`] under a [`NetworkModel`]: every combo is simulated with
+/// communication priced, so the leaderboard ranks the lattice in a
+/// comm-bound regime. Same determinism contract as [`race`].
+pub fn race_network(
+    graph: &TaskGraph,
+    cluster: &ClusterConfig,
+    process_of: &[usize],
+    net: &NetworkModel,
+    workers: usize,
+) -> Leaderboard {
+    race_network_traced(graph, cluster, process_of, net, workers, Recorder::off())
+}
+
+/// Traced [`race_network`] (see [`race_traced`] for the absorb contract).
+pub fn race_network_traced(
+    graph: &TaskGraph,
+    cluster: &ClusterConfig,
+    process_of: &[usize],
+    net: &NetworkModel,
+    workers: usize,
+    rec: &Recorder,
+) -> Leaderboard {
+    race_inner(graph, cluster, process_of, Some(net), workers, rec)
+}
+
+fn race_inner(
+    graph: &TaskGraph,
+    cluster: &ClusterConfig,
+    process_of: &[usize],
+    net: Option<&NetworkModel>,
+    workers: usize,
+    rec: &Recorder,
+) -> Leaderboard {
     let combos = DynamicListStrategy::lattice();
     let _span = rec.span("portfolio.race", 0, combos.len() as u64);
     let tracing = rec.enabled();
@@ -142,12 +181,18 @@ pub fn race_traced(
             for (i, strategy) in combos.iter().enumerate() {
                 ctx.spawn(move |_| {
                     let combo_rec = if tracing {
-                        Recorder::new(combo_capacity(graph.len()))
+                        Recorder::new(combo_capacity(graph))
                     } else {
                         Recorder::off().clone()
                     };
-                    let sim =
-                        simulate_lattice_traced(graph, cluster, process_of, strategy, &combo_rec);
+                    let sim = match net {
+                        Some(model) => simulate_lattice_with_network_traced(
+                            graph, cluster, process_of, strategy, model, &combo_rec,
+                        ),
+                        None => simulate_lattice_traced(
+                            graph, cluster, process_of, strategy, &combo_rec,
+                        ),
+                    };
                     let outcome = ComboOutcome {
                         strategy: *strategy,
                         combo: i as u32,
@@ -256,6 +301,32 @@ mod tests {
             let board = race(&g, &cluster, &[0, 1], workers);
             assert_eq!(board, reference, "workers={workers}");
             assert_eq!(board.fingerprint(), reference.fingerprint());
+        }
+    }
+
+    #[test]
+    fn network_race_prices_comm_and_stays_worker_invariant() {
+        use crate::network::{Link, NetworkModel};
+        let g = diamond();
+        let cluster = ClusterConfig::new(2, 1);
+        let net = NetworkModel::uniform(
+            Link {
+                latency: 50,
+                cost_per_byte: 1,
+            },
+            1,
+        );
+        let free = race(&g, &cluster, &[0, 1], 1);
+        let priced = race_network(&g, &cluster, &[0, 1], &net, 1);
+        assert_eq!(priced.entries.len(), 24);
+        assert!(
+            priced.winner().makespan > free.winner().makespan,
+            "the diamond's cross-domain edges must cost something"
+        );
+        for workers in [2usize, 4] {
+            let board = race_network(&g, &cluster, &[0, 1], &net, workers);
+            assert_eq!(board, priced, "workers={workers}");
+            assert_eq!(board.fingerprint(), priced.fingerprint());
         }
     }
 

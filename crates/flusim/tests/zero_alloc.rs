@@ -10,8 +10,9 @@
 //! heterogeneous core counts.
 
 use tempart_flusim::{
-    race, simulate_lattice_with_comm, simulate_traced, simulate_with_comm, ClusterConfig,
-    CommModel, DynamicListStrategy, Strategy,
+    race, race_network, simulate_lattice_with_comm, simulate_lattice_with_network,
+    simulate_lattice_with_network_traced, simulate_traced, simulate_with_comm, ClusterConfig,
+    CommModel, DynamicListStrategy, Link, NetworkModel, Strategy,
 };
 use tempart_obs::Recorder;
 use tempart_taskgraph::{Task, TaskGraph, TaskId, TaskKind};
@@ -152,6 +153,81 @@ fn portfolio_race_event_loops_are_allocation_free() {
     let process_of: Vec<usize> = (0..6).map(|d| d % 3).collect();
     for workers in [1usize, 4] {
         let board = race(&g, &ClusterConfig::new(3, 2), &process_of, workers);
+        assert_eq!(board.entries.len(), 24);
+        for e in &board.entries {
+            assert_eq!(e.total_busy, g.total_cost());
+        }
+    }
+}
+
+/// A bounded two-level network: contended NIC channels force the
+/// earliest-free channel scan and transfer queueing on every cross edge.
+fn bounded_net() -> NetworkModel {
+    NetworkModel::two_level(
+        2,
+        Link {
+            latency: 2,
+            cost_per_byte: 1,
+        },
+        Link {
+            latency: 9,
+            cost_per_byte: 2,
+        },
+        2,
+    )
+}
+
+#[test]
+fn network_event_loop_is_allocation_free_on_every_lattice_combo() {
+    // The network path adds the NIC free-time table and the transfer
+    // ledger to the loop state; both are pre-sized up front (np × channels
+    // slots, ≤ n_edges transfers), so the steady-state guards must stay
+    // green for all 24 combos under bounded channels.
+    let g = layered(16, 24, 8);
+    let process_of: Vec<usize> = (0..8).map(|d| d % 4).collect();
+    let net = bounded_net();
+    for strat in DynamicListStrategy::lattice() {
+        let r =
+            simulate_lattice_with_network(&g, &ClusterConfig::new(4, 2), &process_of, &strat, &net);
+        assert_eq!(r.total_executed(), g.total_cost(), "{}", strat.label());
+        assert!(!r.transfers.is_empty(), "{}", strat.label());
+    }
+}
+
+#[test]
+fn traced_network_event_loop_is_allocation_free_with_enabled_recorder() {
+    // Tracing ON with the network model: every `net.xfer` emission lands in
+    // the pre-sized buffer alongside the `flusim.task` stream — zero drops,
+    // zero allocations once the loop is running.
+    let g = layered(16, 24, 8);
+    let process_of: Vec<usize> = (0..8).map(|d| d % 4).collect();
+    let net = bounded_net();
+    let rec = Recorder::new(8 * g.len() + 2 * g.n_edges() + 64);
+    let r = simulate_lattice_with_network_traced(
+        &g,
+        &ClusterConfig::new(4, 2),
+        &process_of,
+        &DynamicListStrategy::from(Strategy::EagerFifo),
+        &net,
+        &rec,
+    );
+    assert_eq!(r.total_executed(), g.total_cost());
+    let trace = rec.take();
+    assert_eq!(trace.dropped, 0);
+    assert_eq!(trace.named("flusim.task").count(), g.len());
+    assert_eq!(trace.named("net.xfer").count(), r.transfers.len());
+}
+
+#[test]
+fn network_portfolio_race_event_loops_are_allocation_free() {
+    // The priced race runs all 24 network simulations on the fork-join
+    // pool with the counting allocator installed — the steady-state guards
+    // are armed on every worker thread.
+    let g = layered(12, 16, 6);
+    let process_of: Vec<usize> = (0..6).map(|d| d % 3).collect();
+    let net = bounded_net();
+    for workers in [1usize, 4] {
+        let board = race_network(&g, &ClusterConfig::new(3, 2), &process_of, &net, workers);
         assert_eq!(board.entries.len(), 24);
         for e in &board.entries {
             assert_eq!(e.total_busy, g.total_cost());

@@ -76,27 +76,159 @@ pub fn replay_tasks(
     }
 }
 
+/// Communication statistics per destination process, reconstructed either by
+/// the simulator from its own transfer log or by [`replay_network`] from
+/// `net.*` events. Both sides funnel through [`NetStats::from_intervals`],
+/// so the two reconstructions are bit-equal by construction — integer sums
+/// plus interval unions/intersections over the very same `u64` endpoints.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetStats {
+    /// Σ transfer duration per destination process (channel-time spent
+    /// receiving, counting concurrent channels separately).
+    pub comm_busy: Vec<u64>,
+    /// Length of the union of each destination process's transfer intervals
+    /// — the wall-clock window during which at least one inbound transfer
+    /// was in flight.
+    pub comm_active: Vec<u64>,
+    /// Length of the intersection of each process's transfer-active window
+    /// with its compute-active window: communication hidden under compute.
+    pub hidden: Vec<u64>,
+    /// Σ message bytes received per process.
+    pub bytes_in: Vec<u64>,
+    /// Number of messages received per process.
+    pub messages: Vec<u64>,
+}
+
+impl NetStats {
+    /// Builds the statistics from per-process inbound transfers
+    /// `(start, end, bytes)` and per-process compute intervals
+    /// `(start, end)`. Interval order within a process is irrelevant: sums
+    /// are exact `u64` arithmetic and the unions sort internally.
+    pub fn from_intervals(xfers: &[Vec<(u64, u64, u64)>], compute: &[Vec<(u64, u64)>]) -> Self {
+        assert_eq!(xfers.len(), compute.len(), "per-process lists must align");
+        let np = xfers.len();
+        let mut stats = NetStats {
+            comm_busy: vec![0; np],
+            comm_active: vec![0; np],
+            hidden: vec![0; np],
+            bytes_in: vec![0; np],
+            messages: vec![0; np],
+        };
+        for p in 0..np {
+            for &(s, e, b) in &xfers[p] {
+                stats.comm_busy[p] += e - s;
+                stats.bytes_in[p] += b;
+                stats.messages[p] += 1;
+            }
+            let xf = merge_intervals(xfers[p].iter().map(|&(s, e, _)| (s, e)).collect());
+            let cp = merge_intervals(compute[p].clone());
+            stats.comm_active[p] = xf.iter().map(|(s, e)| e - s).sum();
+            stats.hidden[p] = intersection_len(&xf, &cp);
+        }
+        stats
+    }
+
+    /// Total channel-time spent on communication across all processes.
+    pub fn total_comm_time(&self) -> u64 {
+        self.comm_busy.iter().sum()
+    }
+
+    /// Total messages across all processes.
+    pub fn total_messages(&self) -> u64 {
+        self.messages.iter().sum()
+    }
+
+    /// Total bytes across all processes.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_in.iter().sum()
+    }
+
+    /// Fraction of the comm-active time that was hidden under compute:
+    /// `Σ hidden ⁄ Σ comm_active`, and `1.0` when there was no
+    /// communication at all (vacuously fully overlapped).
+    pub fn overlap_efficiency(&self) -> f64 {
+        let active: u64 = self.comm_active.iter().sum();
+        if active == 0 {
+            return 1.0;
+        }
+        let hidden: u64 = self.hidden.iter().sum();
+        hidden as f64 / active as f64
+    }
+}
+
+/// Replays `Complete` events named `xfer_name` (transfers: track =
+/// destination process, `b` = bytes) against `Complete` events named
+/// `task_name` (compute segments) into a [`NetStats`] over `n_tracks`
+/// processes — the replay oracle for the simulator's own communication
+/// accounting.
+///
+/// # Panics
+///
+/// Panics if an event's track is out of range.
+pub fn replay_network(
+    events: &[Event],
+    xfer_name: &str,
+    task_name: &str,
+    n_tracks: usize,
+) -> NetStats {
+    let mut xfers: Vec<Vec<(u64, u64, u64)>> = vec![Vec::new(); n_tracks];
+    let mut compute: Vec<Vec<(u64, u64)>> = vec![Vec::new(); n_tracks];
+    for e in events {
+        if e.kind != Kind::Complete {
+            continue;
+        }
+        let p = e.track as usize;
+        if e.name == xfer_name {
+            assert!(p < n_tracks, "replay: transfer track {p} out of range");
+            xfers[p].push((e.t, e.end(), e.b));
+        } else if e.name == task_name {
+            assert!(p < n_tracks, "replay: compute track {p} out of range");
+            compute[p].push((e.t, e.end()));
+        }
+    }
+    NetStats::from_intervals(&xfers, &compute)
+}
+
 /// Length of the union of half-open intervals `[start, end)`.
-pub fn union_len(mut intervals: Vec<(u64, u64)>) -> u64 {
+pub fn union_len(intervals: Vec<(u64, u64)>) -> u64 {
+    merge_intervals(intervals).iter().map(|(s, e)| e - s).sum()
+}
+
+/// Normalises half-open intervals `[start, end)` into a sorted, disjoint
+/// list: empty intervals are dropped, overlapping and touching intervals are
+/// merged.
+pub fn merge_intervals(mut intervals: Vec<(u64, u64)>) -> Vec<(u64, u64)> {
     intervals.sort_unstable();
-    let mut total = 0u64;
-    let mut cur: Option<(u64, u64)> = None;
+    let mut merged: Vec<(u64, u64)> = Vec::with_capacity(intervals.len());
     for (s, e) in intervals {
         if e <= s {
             continue;
         }
-        match cur {
-            Some((cs, ce)) if s <= ce => cur = Some((cs, ce.max(e))),
-            Some((cs, ce)) => {
-                total += ce - cs;
-                let _ = cs;
-                cur = Some((s, e));
-            }
-            None => cur = Some((s, e)),
+        match merged.last_mut() {
+            Some((_, ce)) if s <= *ce => *ce = (*ce).max(e),
+            _ => merged.push((s, e)),
         }
     }
-    if let Some((cs, ce)) = cur {
-        total += ce - cs;
+    merged
+}
+
+/// Length of the intersection of two sorted disjoint interval lists (as
+/// produced by [`merge_intervals`]).
+pub fn intersection_len(a: &[(u64, u64)], b: &[(u64, u64)]) -> u64 {
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut total = 0u64;
+    while i < a.len() && j < b.len() {
+        let lo = a[i].0.max(b[j].0);
+        let hi = a[i].1.min(b[j].1);
+        if hi > lo {
+            total += hi - lo;
+        }
+        // Advance whichever interval ends first.
+        if a[i].1 <= b[j].1 {
+            i += 1;
+        } else {
+            j += 1;
+        }
     }
     total
 }
@@ -205,6 +337,55 @@ mod tests {
         complete(&rec, 0, 5, 4, 1, 0);
         let t = rec.take();
         assert_eq!(max_overlap(&t.events, "flusim.task", 0), 1);
+    }
+
+    #[test]
+    fn intersection_of_sorted_disjoint_lists() {
+        assert_eq!(intersection_len(&[], &[(0, 10)]), 0);
+        assert_eq!(intersection_len(&[(0, 10)], &[(5, 8)]), 3);
+        assert_eq!(intersection_len(&[(0, 5), (10, 20)], &[(3, 12)]), 4);
+        assert_eq!(
+            intersection_len(&[(0, 5)], &[(5, 9)]),
+            0,
+            "touching is empty"
+        );
+        assert_eq!(
+            intersection_len(&[(0, 4), (6, 10)], &[(2, 8), (9, 12)]),
+            2 + 2 + 1
+        );
+    }
+
+    #[test]
+    fn merge_intervals_normalises() {
+        assert_eq!(
+            merge_intervals(vec![(5, 8), (0, 5), (10, 11)]),
+            vec![(0, 8), (10, 11)]
+        );
+        assert_eq!(merge_intervals(vec![(3, 3), (1, 2)]), vec![(1, 2)]);
+    }
+
+    #[test]
+    fn network_replay_reconstructs_overlap() {
+        let rec = Recorder::new(16);
+        // Compute on process 0: [0, 20).
+        complete(&rec, 0, 0, 20, 0, 0);
+        // Two inbound transfers on process 0: [10, 18) hidden under the
+        // compute segment, [25, 30) fully exposed. `a` = src<<32|channel,
+        // `b` = bytes.
+        rec.complete_at(Clock::Virtual, "net.xfer", 0, 10, 8, 1 << 32, 64);
+        rec.complete_at(Clock::Virtual, "net.xfer", 0, 25, 5, 1 << 32, 16);
+        let t = rec.take();
+        let r = replay_network(&t.events, "net.xfer", "flusim.task", 1);
+        assert_eq!(r.comm_busy, vec![13]);
+        assert_eq!(r.comm_active, vec![13]);
+        assert_eq!(r.hidden, vec![8]);
+        assert_eq!(r.bytes_in, vec![80]);
+        assert_eq!(r.messages, vec![2]);
+        assert_eq!(r.total_comm_time(), 13);
+        assert_eq!(r.overlap_efficiency().to_bits(), (8.0f64 / 13.0).to_bits());
+        // No communication at all → vacuously fully overlapped.
+        let empty = NetStats::from_intervals(&[Vec::new()], &[vec![(0, 20)]]);
+        assert_eq!(empty.overlap_efficiency().to_bits(), 1.0f64.to_bits());
     }
 
     #[test]

@@ -43,6 +43,52 @@ pub struct DomainDecomposition {
     faces: Vec<Vec<(Vec<u32>, Vec<u32>)>>,
     /// Sorted neighbour domains of every domain.
     neighbors: Vec<Vec<PartId>>,
+    /// `halo_faces[d][i]` → number of interface faces domain `d` shares with
+    /// `neighbors[d][i]` (aligned with the sorted neighbour lists). This is
+    /// the per-pair halo edge cut the network model prices.
+    halo_faces: Vec<Vec<u32>>,
+}
+
+/// Bumps the interface-face count of neighbour `n` in one domain's
+/// accumulation row (linear scan — domain adjacency lists are tiny).
+fn bump_pair(row: &mut Vec<(PartId, u32)>, n: PartId) {
+    match row.iter_mut().find(|(d, _)| *d == n) {
+        Some((_, count)) => *count += 1,
+        None => row.push((n, 1)),
+    }
+}
+
+/// The sequential cross-domain face scan shared by [`DomainDecomposition::new`]
+/// and [`DomainDecomposition::new_sharded`]: marks cells that touch another
+/// domain and accumulates, per domain, the sorted neighbour list together
+/// with the number of interface faces shared with each neighbour.
+fn cross_domain_pass(
+    mesh: &Mesh,
+    part: &[PartId],
+    n_domains: usize,
+) -> (Vec<bool>, Vec<Vec<PartId>>, Vec<Vec<u32>>) {
+    let mut cell_external = vec![false; mesh.n_cells()];
+    let mut pairs: Vec<Vec<(PartId, u32)>> = vec![Vec::new(); n_domains];
+    for f in mesh.faces() {
+        if let FaceNeighbor::Interior(nb) = f.neighbor {
+            let d0 = part[f.owner as usize];
+            let d1 = part[nb as usize];
+            if d0 != d1 {
+                cell_external[f.owner as usize] = true;
+                cell_external[nb as usize] = true;
+                bump_pair(&mut pairs[d0 as usize], d1);
+                bump_pair(&mut pairs[d1 as usize], d0);
+            }
+        }
+    }
+    let mut neighbors: Vec<Vec<PartId>> = Vec::with_capacity(n_domains);
+    let mut halo_faces: Vec<Vec<u32>> = Vec::with_capacity(n_domains);
+    for mut row in pairs {
+        row.sort_unstable_by_key(|&(d, _)| d);
+        neighbors.push(row.iter().map(|&(d, _)| d).collect());
+        halo_faces.push(row.iter().map(|&(_, c)| c).collect());
+    }
+    (cell_external, neighbors, halo_faces)
 }
 
 impl DomainDecomposition {
@@ -62,29 +108,10 @@ impl DomainDecomposition {
             vec![vec![(Vec::new(), Vec::new()); nl]; n_domains];
         let mut faces: Vec<Vec<(Vec<u32>, Vec<u32>)>> =
             vec![vec![(Vec::new(), Vec::new()); nl]; n_domains];
-        let mut neighbors: Vec<Vec<PartId>> = vec![Vec::new(); n_domains];
 
-        // Classify cells: external iff any neighbouring cell is elsewhere.
-        let mut cell_external = vec![false; mesh.n_cells()];
-        for f in mesh.faces() {
-            if let FaceNeighbor::Interior(nb) = f.neighbor {
-                let d0 = part[f.owner as usize];
-                let d1 = part[nb as usize];
-                if d0 != d1 {
-                    cell_external[f.owner as usize] = true;
-                    cell_external[nb as usize] = true;
-                    if !neighbors[d0 as usize].contains(&d1) {
-                        neighbors[d0 as usize].push(d1);
-                    }
-                    if !neighbors[d1 as usize].contains(&d0) {
-                        neighbors[d1 as usize].push(d0);
-                    }
-                }
-            }
-        }
-        for d in &mut neighbors {
-            d.sort_unstable();
-        }
+        // Classify cells (external iff any neighbouring cell is elsewhere)
+        // and count interface faces per domain pair.
+        let (cell_external, neighbors, halo_faces) = cross_domain_pass(mesh, part, n_domains);
         for (c, &tau) in mesh.tau().iter().enumerate() {
             let d = part[c] as usize;
             let (int, ext) = &mut cells[d][tau as usize];
@@ -116,6 +143,7 @@ impl DomainDecomposition {
             cells,
             faces,
             neighbors,
+            halo_faces,
         }
     }
 
@@ -152,27 +180,7 @@ impl DomainDecomposition {
         let nl = mesh.n_tau_levels() as usize;
 
         // Sequential cross-domain pass (identical to `new`).
-        let mut neighbors: Vec<Vec<PartId>> = vec![Vec::new(); n_domains];
-        let mut cell_external = vec![false; n_cells];
-        for f in mesh.faces() {
-            if let FaceNeighbor::Interior(nb) = f.neighbor {
-                let d0 = part[f.owner as usize];
-                let d1 = part[nb as usize];
-                if d0 != d1 {
-                    cell_external[f.owner as usize] = true;
-                    cell_external[nb as usize] = true;
-                    if !neighbors[d0 as usize].contains(&d1) {
-                        neighbors[d0 as usize].push(d1);
-                    }
-                    if !neighbors[d1 as usize].contains(&d0) {
-                        neighbors[d1 as usize].push(d0);
-                    }
-                }
-            }
-        }
-        for d in &mut neighbors {
-            d.sort_unstable();
-        }
+        let (cell_external, neighbors, halo_faces) = cross_domain_pass(mesh, part, n_domains);
 
         // Parallel classification over contiguous id ranges: scoped
         // threads, one per shard, each returning its own binned lists
@@ -254,6 +262,7 @@ impl DomainDecomposition {
             cells,
             faces,
             neighbors,
+            halo_faces,
         }
     }
 
@@ -278,6 +287,26 @@ impl DomainDecomposition {
     /// Sorted neighbour domains of `domain`.
     pub fn neighbors_of(&self, domain: PartId) -> &[PartId] {
         &self.neighbors[domain as usize]
+    }
+
+    /// Number of interface faces `domain` shares with `neighbor` — the
+    /// per-pair halo edge cut. Zero when the two domains are not adjacent
+    /// (or are the same domain). Symmetric by construction.
+    pub fn halo_faces_between(&self, domain: PartId, neighbor: PartId) -> u32 {
+        match self.neighbors[domain as usize].binary_search(&neighbor) {
+            Ok(i) => self.halo_faces[domain as usize][i],
+            Err(_) => 0,
+        }
+    }
+
+    /// `(neighbour, shared interface faces)` pairs of `domain`, ascending by
+    /// neighbour id (aligned with [`Self::neighbors_of`]).
+    pub fn halo_of(&self, domain: PartId) -> impl Iterator<Item = (PartId, u32)> + '_ {
+        let d = domain as usize;
+        self.neighbors[d]
+            .iter()
+            .copied()
+            .zip(self.halo_faces[d].iter().copied())
     }
 
     /// Number of cells of `domain` (all levels, both classes).
@@ -404,6 +433,39 @@ mod tests {
             }
             assert_eq!(next, n, "n={n} shards={shards}");
         }
+    }
+
+    #[test]
+    fn halo_face_counts_match_the_interface() {
+        let m = grid_mesh(2);
+        let part = half_split(&m);
+        let dd = DomainDecomposition::new(&m, &part, 2);
+        // The 4x4x4 grid split in half shares a 4x4 interface plane.
+        assert_eq!(dd.halo_faces_between(0, 1), 16);
+        assert_eq!(dd.halo_faces_between(1, 0), 16);
+        assert_eq!(dd.halo_faces_between(0, 0), 0);
+        assert_eq!(dd.halo_of(0).collect::<Vec<_>>(), vec![(1, 16)]);
+
+        // Round-robin over 4 domains: counts stay symmetric and total to
+        // twice the cross-domain face count.
+        let scattered: Vec<PartId> = (0..64).map(|i| (i % 4) as PartId).collect();
+        let dd = DomainDecomposition::new(&m, &scattered, 4);
+        let cut: u64 = m
+            .faces()
+            .iter()
+            .filter(|f| match f.neighbor {
+                FaceNeighbor::Interior(nb) => scattered[f.owner as usize] != scattered[nb as usize],
+                FaceNeighbor::Boundary => false,
+            })
+            .count() as u64;
+        let mut total = 0u64;
+        for d in 0..4u32 {
+            for n in 0..4u32 {
+                assert_eq!(dd.halo_faces_between(d, n), dd.halo_faces_between(n, d));
+                total += u64::from(dd.halo_faces_between(d, n));
+            }
+        }
+        assert_eq!(total, 2 * cut);
     }
 
     #[test]

@@ -16,6 +16,11 @@ pub struct TaskGraphConfig {
     /// second-order method (the scheme FLUSEPA uses). Each stage emits its
     /// own face and cell tasks; stage `s+1` consumes stage `s`'s state.
     pub stages: u8,
+    /// Bytes exchanged per shared interface face when a halo is
+    /// communicated between two domains — the payload the network model
+    /// multiplies the halo edge cut by. Defaults to 40 bytes: five `f64`
+    /// conserved quantities (ρ, ρu, ρv, ρw, ρE) per face.
+    pub face_payload_bytes: u64,
 }
 
 impl Default for TaskGraphConfig {
@@ -26,6 +31,7 @@ impl Default for TaskGraphConfig {
             face_unit: 2,
             cell_unit: 1,
             stages: 1,
+            face_payload_bytes: 40,
         }
     }
 }

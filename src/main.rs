@@ -13,10 +13,14 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 use tempart::core_api::{
-    decompose_par, decompose_with_repair, env_workers, run_flusim_workers, run_portfolio,
-    run_sweep, Curve, PartitionStrategy, PipelineConfig,
+    decompose_par, decompose_with_repair, env_workers, run_flusim_network_traced,
+    run_flusim_workers, run_portfolio, run_sweep, Curve, PartitionStrategy, PipelineConfig,
+    WorkspacePool,
 };
-use tempart::flusim::{ascii_gantt, ClusterConfig, CommModel, DynamicListStrategy, Strategy};
+use tempart::flusim::{
+    ascii_gantt, parse_preset, ClusterConfig, DynamicListStrategy, Link, NetworkModel, Strategy,
+    UNBOUNDED_CHANNELS,
+};
 use tempart::graph::PartitionQuality;
 use tempart::mesh::{level_histogram, GeneratorConfig, Mesh, MeshCase};
 use tempart::runtime::RuntimeConfig;
@@ -36,7 +40,16 @@ COMMANDS:
                or partition an external METIS graph file:
                                            (--graph F.graph, --domains, --out F.part)
     simulate   FLUSIM one iteration       (--case, --depth, --strategy, --domains,
-                                           --processes, --cores, --latency, --gantt)
+                                           --processes, --cores, --latency, --gantt,
+                                           --net P) — with --net, halo exchanges
+               are priced by a deterministic network model and the report adds
+               comm time / overlap efficiency. Presets P:
+                 zero                           free links, unbounded channels
+                 uniform[:LAT[:CPB[:CH]]]       same link everywhere  [200:2:2]
+                 two-level[:LAT[:CPB[:PPN[:CH]]]] slow inter-node, 10x faster
+                                                intra-node links      [400:2:4:2]
+               --latency L is shorthand for uniform:L:0 with unbounded channels
+               (the legacy per-message comm model)
     trace      traced FLUSIM run          (--case, --depth, --strategy, --domains,
                                            --processes, --cores, --out F.json,
                                            --ndjson F.ndjson) — records every
@@ -79,6 +92,7 @@ struct Options {
     cores: usize,
     seed: u64,
     latency: u64,
+    net: Option<String>,
     iterations: usize,
     heun: bool,
     mu: Option<f64>,
@@ -105,6 +119,7 @@ impl Default for Options {
             cores: 4,
             seed: 0x5F4D,
             latency: 0,
+            net: None,
             iterations: 3,
             heun: false,
             mu: None,
@@ -201,6 +216,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     .parse()
                     .map_err(|e| format!("--latency: {e}"))?
             }
+            "--net" => o.net = Some(take(args, &mut i, "--net")?),
             "--iterations" => {
                 o.iterations = take(args, &mut i, "--iterations")?
                     .parse()
@@ -363,38 +379,31 @@ fn cmd_simulate(o: &Options) -> Result<(), String> {
         scheduling: Strategy::EagerFifo,
         seed: o.seed,
     };
-    let out = if o.latency == 0 {
-        run_flusim_workers(&mesh, &config, fj_workers(o))
-    } else {
-        // Re-simulate with the communication model.
-        let part = decompose_par(&mesh, o.strategy, o.domains, o.seed, fj_workers(o));
-        let dd = tempart::taskgraph::DomainDecomposition::new(&mesh, &part, o.domains);
-        let graph = tempart::taskgraph::generate_taskgraph(
+    // `--net` takes a topology preset; `--latency L` is shorthand for the
+    // legacy per-message model (uniform latency-only links, unbounded
+    // channels). Both route through the first-class network pipeline.
+    let net: Option<NetworkModel> = match (&o.net, o.latency) {
+        (Some(preset), _) => Some(parse_preset(preset)?),
+        (None, 0) => None,
+        (None, lat) => Some(NetworkModel::uniform(
+            Link {
+                latency: lat,
+                cost_per_byte: 0,
+            },
+            UNBOUNDED_CHANNELS,
+        )),
+    };
+    let workers = fj_workers(o);
+    let out = match &net {
+        Some(model) => run_flusim_network_traced(
             &mesh,
-            &dd,
-            &tempart::taskgraph::TaskGraphConfig::default(),
-        );
-        let process_of = block_process_map(o.domains, o.processes);
-        let comm = CommModel {
-            latency: o.latency,
-            cost_per_object: 0,
-        };
-        let sim = tempart::flusim::simulate_with_comm(
-            &graph,
-            &cluster,
-            &process_of,
-            Strategy::EagerFifo,
-            &comm,
-        );
-        let quality = PartitionQuality::measure(&mesh.to_graph(), &part, o.domains);
-        tempart::core_api::pipeline::FlusimOutcome {
-            part,
-            quality,
-            graph,
-            process_of,
-            sim,
-            interprocess_cut: 0,
-        }
+            &config,
+            model,
+            workers,
+            &WorkspacePool::new(workers),
+            tempart::obs::Recorder::off(),
+        ),
+        None => run_flusim_workers(&mesh, &config, workers),
     };
     println!(
         "{} × {} domains via {} on {}p×{}c",
@@ -411,6 +420,18 @@ fn cmd_simulate(o: &Options) -> Result<(), String> {
         out.sim.idle_fraction(&cluster) * 100.0
     );
     println!("  tasks           : {}", out.graph.len());
+    if let Some(stats) = &out.sim.net {
+        println!(
+            "  comm time       : {} ({} messages, {} bytes)",
+            stats.total_comm_time(),
+            stats.total_messages(),
+            stats.total_bytes()
+        );
+        println!(
+            "  overlap         : {:.1}% of comm hidden under compute",
+            stats.overlap_efficiency() * 100.0
+        );
+    }
     if o.gantt {
         println!(
             "{}",

@@ -238,6 +238,86 @@ fn trace_replay_is_bit_identical_to_simulator_accounting() {
 }
 
 #[test]
+fn network_replay_reconstructs_comm_stats_bit_identically() {
+    // The net.* replay oracle: comm-time, overlap and volume statistics
+    // recomputed purely from `net.xfer` + `flusim.task` events must be
+    // bit-equal to the simulator's own `SimResult::net` accounting — the
+    // same `NetStats::from_intervals` arithmetic over intervals
+    // reconstructed from the event stream instead of the in-loop ledger.
+    use tempart::flusim::{
+        simulate_lattice_with_network_traced, DynamicListStrategy, Link, NetworkModel,
+    };
+    let meshes = [
+        (
+            "cylinder3",
+            cylinder_like(&GeneratorConfig { base_depth: 3 }),
+        ),
+        ("cube4", cube_like(&GeneratorConfig { base_depth: 4 })),
+    ];
+    let net = NetworkModel::two_level(
+        2,
+        Link {
+            latency: 5,
+            cost_per_byte: 1,
+        },
+        Link {
+            latency: 50,
+            cost_per_byte: 2,
+        },
+        2,
+    );
+    for (name, mesh) in &meshes {
+        let n_domains = 16usize;
+        let part: Vec<u32> = (0..mesh.n_cells() as u32)
+            .map(|c| c % n_domains as u32)
+            .collect();
+        let dd = DomainDecomposition::new(mesh, &part, n_domains);
+        let graph = generate_taskgraph(mesh, &dd, &TaskGraphConfig::default());
+        let process_of = block_process_map(n_domains, 4);
+        let cluster = ClusterConfig::new(4, 2);
+        for strat in [Strategy::EagerFifo, Strategy::CriticalPathFirst] {
+            let rec = Recorder::new(8 * graph.len() + 2 * graph.n_edges() + 64);
+            let sim = simulate_lattice_with_network_traced(
+                &graph,
+                &cluster,
+                &process_of,
+                &DynamicListStrategy::from(strat),
+                &net,
+                &rec,
+            );
+            let trace = rec.take();
+            assert_eq!(trace.dropped, 0, "{name}/{strat:?}: events dropped");
+            let stats = sim.net.as_ref().expect("network stats");
+            let replayed = replay::replay_network(
+                &trace.events,
+                "net.xfer",
+                "flusim.task",
+                cluster.n_processes,
+            );
+            assert_eq!(&replayed, stats, "{name}/{strat:?}: NetStats diverged");
+            assert_eq!(
+                replayed.overlap_efficiency().to_bits(),
+                stats.overlap_efficiency().to_bits(),
+                "{name}/{strat:?}: overlap efficiency bits"
+            );
+            assert_eq!(
+                replayed.total_comm_time(),
+                stats.total_comm_time(),
+                "{name}/{strat:?}: total comm time"
+            );
+            // No destination NIC ever carries more concurrent transfers
+            // than it has channels.
+            for p in 0..cluster.n_processes as u32 {
+                assert!(
+                    replay::max_overlap(&trace.events, "net.xfer", p) <= net.channels,
+                    "{name}/{strat:?}: process {p} NIC oversubscribed"
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn partitioner_seed_actually_matters() {
     // Guard against an accidentally-ignored seed: two far-apart seeds on a
     // mesh with many near-tie decisions should give different partitions.

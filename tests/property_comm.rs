@@ -1,0 +1,350 @@
+//! Property tests for the network-priced simulator: on random graded
+//! meshes, every one of the 24 canonical lattice combinations must produce
+//! a *valid* schedule under a bounded two-level network, the makespan must
+//! be monotone in link latency and per-byte cost on the unbounded regime,
+//! zero-size messages must be free, and the zero-cost network model must be
+//! bit-identical to the no-comm simulator.
+//!
+//! Schedule validity extends the free-comm list-scheduling contract with
+//! the transfer ledger ([`SimResult::transfers`]):
+//!
+//! * conservation — one Gantt segment per task, Σ segment length =
+//!   Σ task cost;
+//! * messages — each dependency edge whose successor's home process
+//!   differs from the predecessor's *executing* process contributes
+//!   exactly one transfer of the model's message size (zero-byte edges
+//!   none), departing no earlier than the predecessor's completion and
+//!   lasting exactly the link's store-and-forward duration;
+//! * precedence — no task starts before every predecessor's segment has
+//!   ended *and* every inbound transfer has been delivered;
+//! * capacity — concurrent segments on a process never exceed its cores,
+//!   and concurrent transfers on one NIC channel never overlap.
+
+use tempart::core_api::{decompose, PartitionStrategy};
+use tempart::flusim::{
+    simulate_lattice, simulate_lattice_with_network, simulate_network_heterogeneous_traced,
+    ClusterConfig, DynamicListStrategy, HaloBytes, Link, MessageSizes, NetworkModel, Strategy,
+    UNBOUNDED_CHANNELS, UNBOUNDED_CORES,
+};
+use tempart::mesh::{Mesh, Octree, OctreeConfig, TemporalScheme};
+use tempart::obs::Recorder;
+use tempart::taskgraph::{
+    generate_taskgraph, stats::block_process_map, DomainDecomposition, TaskGraph, TaskGraphConfig,
+};
+use tempart_testkit::prop::bools;
+use tempart_testkit::{prop_assert, prop_assert_eq, proptest};
+
+/// Builds a random graded mesh from octant refinement choices (same
+/// construction as `property_tests.rs`).
+fn random_mesh(r1: bool, r2: bool, levels: u8) -> Mesh {
+    let cfg = OctreeConfig {
+        base_depth: 2,
+        max_depth: 4,
+    };
+    let tree = Octree::build(&cfg, |c, _, d| {
+        let near_origin = c[0] < 0.4 && c[1] < 0.4 && c[2] < 0.4;
+        let near_far = c[0] > 0.6 && c[1] > 0.6;
+        (d == 2 && r1 && near_origin) || (d == 3 && r2 && near_origin) || (d == 2 && near_far)
+    });
+    let mut m = Mesh::from_octree(&tree);
+    TemporalScheme::new(levels).assign(&mut m);
+    m
+}
+
+/// Random decomposition + task graph; the decomposition rides along so a
+/// network model can derive halo message sizes from it.
+fn random_instance(
+    r1: bool,
+    r2: bool,
+    levels: u8,
+    k: usize,
+    seed: u64,
+) -> (DomainDecomposition, TaskGraph) {
+    let m = random_mesh(r1, r2, levels);
+    let part = decompose(&m, PartitionStrategy::McTl, k, seed);
+    let dd = DomainDecomposition::new(&m, &part, k);
+    let graph = generate_taskgraph(&m, &dd, &TaskGraphConfig::default());
+    (dd, graph)
+}
+
+/// Validates one network-priced schedule against the contract in the
+/// module docs. O(n²) sweeps are fine at test sizes and independent of the
+/// simulator's own bookkeeping.
+fn check_schedule(
+    sim: &tempart::flusim::SimResult,
+    g: &TaskGraph,
+    model: &NetworkModel,
+    process_of: &[usize],
+    procs: usize,
+    cores: usize,
+    label: &str,
+) -> Result<(), String> {
+    // Conservation.
+    prop_assert_eq!(sim.segments.len(), g.len(), "{}", label);
+    prop_assert_eq!(sim.total_executed(), g.total_cost(), "{}", label);
+    let mut end_of = vec![u64::MAX; g.len()];
+    let mut start_of = vec![u64::MAX; g.len()];
+    let mut exec_proc = vec![usize::MAX; g.len()];
+    for s in &sim.segments {
+        let t = s.task as usize;
+        prop_assert_eq!(end_of[t], u64::MAX, "task {} ran twice ({})", t, label);
+        prop_assert_eq!(
+            s.end - s.start,
+            g.task(s.task).cost,
+            "task {} wrong duration ({})",
+            t,
+            label
+        );
+        prop_assert!((s.process as usize) < procs, "{}", label);
+        start_of[t] = s.start;
+        end_of[t] = s.end;
+        exec_proc[t] = s.process as usize;
+    }
+    // Messages: for every task, the multiset of inbound transfers matches
+    // the multiset of charged dependency edges.
+    let mut inbound: Vec<Vec<usize>> = vec![Vec::new(); g.len()];
+    for (i, x) in sim.transfers.iter().enumerate() {
+        inbound[x.task as usize].push(i);
+    }
+    for s in 0..g.len() as u32 {
+        let home = process_of[g.task(s).domain as usize];
+        let mut expected: Vec<(u32, u64)> = Vec::new();
+        for &p in g.preds(s) {
+            let tp = exec_proc[p as usize];
+            let bytes = model.message_bytes(g, p, s);
+            if tp != home && bytes > 0 {
+                expected.push((tp as u32, bytes));
+            }
+            // Base precedence: never start before a predecessor ends.
+            prop_assert!(
+                start_of[s as usize] >= end_of[p as usize],
+                "task {} started before pred {} ended ({})",
+                s,
+                p,
+                label
+            );
+        }
+        let mut actual: Vec<(u32, u64)> = inbound[s as usize]
+            .iter()
+            .map(|&i| (sim.transfers[i].src, sim.transfers[i].bytes))
+            .collect();
+        expected.sort_unstable();
+        actual.sort_unstable();
+        prop_assert_eq!(
+            actual,
+            expected,
+            "task {} inbound transfers diverge from charged edges ({})",
+            s,
+            label
+        );
+        for &i in &inbound[s as usize] {
+            let x = &sim.transfers[i];
+            prop_assert_eq!(x.dst as usize, home, "{}", label);
+            // Store-and-forward duration of the (src, dst) link.
+            let link = model.topology.link(x.src as usize, x.dst as usize);
+            prop_assert_eq!(x.end - x.start, link.duration(x.bytes), "{}", label);
+            // Departs no earlier than some completed predecessor on src.
+            prop_assert!(
+                g.preds(s)
+                    .iter()
+                    .any(|&p| exec_proc[p as usize] == x.src as usize
+                        && end_of[p as usize] <= x.start
+                        && model.message_bytes(g, p, s) == x.bytes),
+                "transfer {}→{} for task {} departs before any sender finished ({})",
+                x.src,
+                x.dst,
+                s,
+                label
+            );
+            // Delivery gates readiness.
+            prop_assert!(
+                start_of[s as usize] >= x.end,
+                "task {} started at {} before its transfer delivered at {} ({})",
+                s,
+                start_of[s as usize],
+                x.end,
+                label
+            );
+            prop_assert!(x.end <= sim.makespan, "{}", label);
+        }
+    }
+    // Channel capacity: transfers sharing a (dst, channel) NIC slot are
+    // serialized.
+    if model.channels != UNBOUNDED_CHANNELS {
+        let mut by_channel: Vec<Vec<(u64, u64)>> = vec![Vec::new(); procs * model.channels];
+        for x in &sim.transfers {
+            prop_assert!((x.channel as usize) < model.channels, "{}", label);
+            by_channel[x.dst as usize * model.channels + x.channel as usize].push((x.start, x.end));
+        }
+        for lane in &mut by_channel {
+            lane.sort_unstable();
+            for w in lane.windows(2) {
+                prop_assert!(
+                    w[1].0 >= w[0].1,
+                    "NIC channel overcommitted: {:?} overlaps {:?} ({})",
+                    w[0],
+                    w[1],
+                    label
+                );
+            }
+        }
+    }
+    // Core capacity.
+    for s in &sim.segments {
+        if s.start == s.end {
+            continue;
+        }
+        let overlap = sim
+            .segments
+            .iter()
+            .filter(|o| o.process == s.process && o.start <= s.start && s.start < o.end)
+            .count();
+        prop_assert!(overlap <= cores, "{}", label);
+    }
+    prop_assert!(sim.makespan >= g.critical_path(), "{}", label);
+    // The ledger and the reconstructed statistics agree on totals.
+    let stats = sim.net.as_ref().expect("network stats present");
+    prop_assert_eq!(
+        stats.total_messages(),
+        sim.transfers.len() as u64,
+        "{}",
+        label
+    );
+    prop_assert_eq!(
+        stats.total_bytes(),
+        sim.transfers.iter().map(|x| x.bytes).sum::<u64>(),
+        "{}",
+        label
+    );
+    Ok(())
+}
+
+proptest! {
+    #![config(cases = 8, seed = 0xC033_FEED)]
+
+    fn every_lattice_combo_yields_a_valid_schedule_under_the_network(
+        r1 in bools(),
+        r2 in bools(),
+        use_halo in bools(),
+        levels in 1u8..4,
+        k in 1usize..6,
+        procs in 1usize..5,
+        cores in 1usize..4,
+        seed in 0u64..200,
+    ) {
+        let (dd, g) = random_instance(r1, r2, levels, k, seed);
+        let process_of = block_process_map(k, procs);
+        let cluster = ClusterConfig::new(procs, cores);
+        // 8-way tuple strategies are the testkit's ceiling; derive the NIC
+        // width from the seed instead of a ninth argument.
+        let channels = 1 + (seed as usize) % 2;
+        let mut model = NetworkModel::two_level(
+            2,
+            Link { latency: 5, cost_per_byte: 1 },
+            Link { latency: 50, cost_per_byte: 2 },
+            channels,
+        );
+        if use_halo {
+            model = model.with_halo(&dd, 40);
+        }
+        for strat in DynamicListStrategy::lattice() {
+            let sim = simulate_lattice_with_network(&g, &cluster, &process_of, &strat, &model);
+            check_schedule(&sim, &g, &model, &process_of, procs, cores, &strat.label())?;
+        }
+    }
+}
+
+proptest! {
+    #![config(cases = 8, seed = 0xC033_0E77)]
+
+    fn makespan_is_monotone_in_latency_and_per_byte_cost_when_unbounded(
+        r1 in bools(),
+        r2 in bools(),
+        levels in 1u8..4,
+        k in 1usize..6,
+        procs in 2usize..5,
+        seed in 0u64..200,
+    ) {
+        // On unbounded cores and unbounded channels every start time is a
+        // max/plus expression over link delays, so the makespan is provably
+        // non-decreasing in both latency and cost-per-byte (no Graham
+        // anomalies — those need a capacity constraint to invert).
+        let (_, g) = random_instance(r1, r2, levels, k, seed);
+        let process_of = block_process_map(k, procs);
+        let cores = vec![UNBOUNDED_CORES; procs];
+        for legacy in [Strategy::EagerFifo, Strategy::CriticalPathFirst] {
+            let strat = DynamicListStrategy::from(legacy);
+            let mk = |latency: u64, cost_per_byte: u64| {
+                simulate_network_heterogeneous_traced(
+                    &g,
+                    &cores,
+                    &process_of,
+                    &strat,
+                    &NetworkModel::uniform(Link { latency, cost_per_byte }, UNBOUNDED_CHANNELS),
+                    Recorder::off(),
+                )
+                .makespan
+            };
+            for &cpb in &[0u64, 1, 5] {
+                let sweep: Vec<u64> = [0u64, 10, 100].iter().map(|&l| mk(l, cpb)).collect();
+                prop_assert!(
+                    sweep.windows(2).all(|w| w[0] <= w[1]),
+                    "{:?} not monotone in latency at cpb={}: {:?}", legacy, cpb, sweep);
+            }
+            for &lat in &[0u64, 10, 100] {
+                let sweep: Vec<u64> = [0u64, 1, 5].iter().map(|&c| mk(lat, c)).collect();
+                prop_assert!(
+                    sweep.windows(2).all(|w| w[0] <= w[1]),
+                    "{:?} not monotone in cost/byte at lat={}: {:?}", legacy, lat, sweep);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![config(cases = 8, seed = 0xC033_F4EE)]
+
+    fn zero_size_messages_cost_nothing_and_zero_cost_links_match_no_comm(
+        r1 in bools(),
+        r2 in bools(),
+        levels in 1u8..4,
+        k in 1usize..6,
+        procs in 1usize..5,
+        cores in 1usize..4,
+        seed in 0u64..200,
+    ) {
+        let (_, g) = random_instance(r1, r2, levels, k, seed);
+        let process_of = block_process_map(k, procs);
+        let cluster = ClusterConfig::new(procs, cores);
+        // An expensive, contended network whose message-size table is empty
+        // never sends anything: zero-size messages are free.
+        let mut empty = NetworkModel::uniform(
+            Link { latency: 10_000, cost_per_byte: 7 },
+            1,
+        );
+        empty.sizes = MessageSizes::Halo(HaloBytes::from_pairs(k, &[]));
+        // And free links under unbounded channels deliver instantly even
+        // for real message sizes.
+        let zero = NetworkModel::zero_cost();
+        for strat in DynamicListStrategy::lattice() {
+            let free = simulate_lattice(&g, &cluster, &process_of, &strat);
+            for (name, model) in [("empty-halo", &empty), ("zero-cost", &zero)] {
+                let net = simulate_lattice_with_network(&g, &cluster, &process_of, &strat, model);
+                let label = format!("{} {}", strat.label(), name);
+                prop_assert_eq!(net.makespan, free.makespan, "{}", label);
+                prop_assert_eq!(&net.segments, &free.segments, "{}", label);
+                prop_assert_eq!(&net.busy, &free.busy, "{}", label);
+                prop_assert_eq!(&net.active, &free.active, "{}", label);
+                // Bit-identity extends through the f64 statistics.
+                prop_assert_eq!(
+                    net.idle_fraction(&cluster).to_bits(),
+                    free.idle_fraction(&cluster).to_bits(),
+                    "{}", label);
+            }
+            // The empty table sends nothing; free links still send.
+            let empty_sim =
+                simulate_lattice_with_network(&g, &cluster, &process_of, &strat, &empty);
+            prop_assert!(empty_sim.transfers.is_empty(), "{}", strat.label());
+        }
+    }
+}

@@ -19,11 +19,13 @@
 
 use std::fmt::Write as _;
 use tempart::core_api::{
-    decompose, decompose_par, env_workers, run_flusim, run_flusim_workers, run_portfolio,
-    strategy_weights, PartitionStrategy, PipelineConfig,
+    decompose, decompose_par, env_workers, run_flusim, run_flusim_network_traced,
+    run_flusim_workers, run_portfolio, run_portfolio_network, strategy_weights, PartitionStrategy,
+    PipelineConfig, WorkspacePool,
 };
-use tempart::flusim::{ClusterConfig, Segment, Strategy};
+use tempart::flusim::{parse_preset, ClusterConfig, Segment, Strategy, TransferSegment};
 use tempart::mesh::{cube_like, cylinder_like, GeneratorConfig, Mesh};
+use tempart::obs::Recorder;
 use tempart::partition::{sfc_partition_with, Curve, SfcWorkspace, SFC_RADIX_CUTOFF};
 
 const SEED: u64 = 0x3A7_2026;
@@ -88,6 +90,26 @@ fn segments_fingerprint(segments: &[Segment]) -> u64 {
     h
 }
 
+/// FNV-1a over each transfer's
+/// `(task, src, dst, channel, start, end, bytes)` in emission order.
+fn transfers_fingerprint(transfers: &[TransferSegment]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for x in transfers {
+        for word in [
+            u64::from(x.task),
+            u64::from(x.src),
+            u64::from(x.dst),
+            u64::from(x.channel),
+            x.start,
+            x.end,
+            x.bytes,
+        ] {
+            fnv1a(&mut h, word);
+        }
+    }
+    h
+}
+
 #[test]
 fn parallel_pipeline_is_bit_identical_across_widths() {
     for (name, mesh) in &meshes() {
@@ -120,9 +142,12 @@ fn parallel_pipeline_is_bit_identical_across_widths() {
 
 /// Writes `results/fingerprints_w<N>.txt` for the current `TEMPART_WORKERS`
 /// (default 1). One line per mesh × strategy:
-/// `<mesh>/<label> part=<hex> gantt=<hex> makespan=<n>`, then one portfolio
-/// line per mesh: `<mesh>/portfolio board=<hex> winner=<combo> makespan=<n>`
-/// covering the full 24-combo leaderboard of an MC_TL race.
+/// `<mesh>/<label> part=<hex> gantt=<hex> makespan=<n>`, then per mesh one
+/// portfolio line `<mesh>/portfolio board=<hex> winner=<combo> makespan=<n>`
+/// covering the full 24-combo leaderboard of an MC_TL race, two
+/// network-mode lines `<mesh>/net-{uniform,twolevel} gantt=<hex>
+/// xfers=<hex> makespan=<n>` pinning the priced Gantt + transfer ledger,
+/// and a comm-bound race line `<mesh>/net-portfolio`.
 #[test]
 fn emit_fingerprints_for_worker_matrix() {
     let workers = env_workers();
@@ -150,6 +175,46 @@ fn emit_fingerprints_for_worker_matrix() {
             portfolio.leaderboard.fingerprint(),
             portfolio.leaderboard.winner().combo,
             portfolio.leaderboard.winner().makespan,
+        )
+        .unwrap();
+        // Network-mode rows: the priced simulation (Gantt + transfer
+        // ledger) and the comm-bound race must be just as worker-count
+        // invariant as the free ones.
+        let pool = WorkspacePool::new(workers);
+        for (preset_name, preset) in [
+            ("net-uniform", "uniform:200:2:2"),
+            ("net-twolevel", "two-level"),
+        ] {
+            let model = parse_preset(preset).expect("valid preset");
+            let outcome = run_flusim_network_traced(
+                mesh,
+                &config(PartitionStrategy::McTl),
+                &model,
+                workers,
+                &pool,
+                Recorder::off(),
+            );
+            writeln!(
+                out,
+                "{name}/{preset_name} gantt={:016x} xfers={:016x} makespan={}",
+                segments_fingerprint(&outcome.sim.segments),
+                transfers_fingerprint(&outcome.sim.transfers),
+                outcome.makespan(),
+            )
+            .unwrap();
+        }
+        let net_portfolio = run_portfolio_network(
+            mesh,
+            &config(PartitionStrategy::McTl),
+            &parse_preset("uniform:200:2:2").expect("valid preset"),
+            workers,
+        );
+        writeln!(
+            out,
+            "{name}/net-portfolio board={:016x} winner={} makespan={}",
+            net_portfolio.leaderboard.fingerprint(),
+            net_portfolio.leaderboard.winner().combo,
+            net_portfolio.leaderboard.winner().makespan,
         )
         .unwrap();
     }
