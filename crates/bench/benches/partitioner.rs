@@ -4,14 +4,18 @@
 //! (warmup + samples, median/MAD, JSON under `results/`).
 
 use std::hint::black_box;
-use tempart_core::{strategy_weights, PartitionStrategy};
+use tempart_core::{
+    repartition_sequence_traced, strategy_weights, PartitionStrategy, RepartMode,
+    RepartSequenceConfig,
+};
 use tempart_mesh::{
     cloud_cell_count, cylinder_like, paper_scale_nside, sfc_cloud, GeneratorConfig, MeshCase,
 };
+use tempart_obs::Recorder;
 use tempart_partition::{
-    coarsen::coarsen, partition_graph, partition_graph_par, partition_graph_with, sfc_partition,
-    sfc_partition_with, Curve, PartitionConfig, PartitionWorkspace, Scheme, SfcWorkspace,
-    WorkspacePool,
+    coarsen::coarsen, partition_graph, partition_graph_par, partition_graph_with, repartition_ws,
+    sfc_partition, sfc_partition_with, Curve, PartitionConfig, PartitionWorkspace, RepartConfig,
+    Scheme, SfcWorkspace, WorkspacePool,
 };
 use tempart_testkit::bench::Bencher;
 use tempart_testkit::peak_rss_bytes;
@@ -131,6 +135,57 @@ fn bench_parallel_kway(b: &mut Bencher) {
             black_box(partition_graph_par(black_box(&g), &cfg, workers, &pool))
         });
     }
+}
+
+/// The incremental repartitioner against the rebuild it replaces: one
+/// diffusion refresh of a drifted graded-cylinder MC_TL instance
+/// (`repart/diffuse`, warm workspace) versus one from-scratch multilevel
+/// MC_TL partition of the same drifted graph (`repart/scratch`), plus the
+/// end-to-end 4-step drift sequence through the fork-join driver at 4
+/// workers (`repart/sequence-w4`, warm pool). `main` asserts the refresh
+/// undercuts the rebuild — the whole point of repartitioning incrementally.
+fn bench_repart(b: &mut Bencher) {
+    let mesh = cylinder_like(&GeneratorConfig { base_depth: 4 });
+    let drift = tempart_mesh::DriftConfig::graded_cylinder();
+    let mut m = mesh.clone();
+    drift.apply(&mut m, 0);
+    let (w0, ncon) = strategy_weights(&m, PartitionStrategy::McTl);
+    let g0 = m.to_graph().with_vertex_weights(w0, ncon);
+    let mcfg = PartitionConfig::new(16).with_ub(1.10);
+    let mut ws = PartitionWorkspace::new();
+    let part0 = partition_graph_with(&g0, &mcfg, &mut ws);
+    drift.apply(&mut m, 1);
+    let (w1, _) = strategy_weights(&m, PartitionStrategy::McTl);
+    let g1 = m.to_graph().with_vertex_weights(w1, ncon);
+    let rcfg = RepartConfig::new(16).with_ub(1.08);
+    let mut part = part0.clone();
+    // Warm the repart arenas once outside the measured region.
+    let _ = repartition_ws(&g1, &mut part, &rcfg, &mut ws);
+    b.set_samples(10);
+    b.bench("partition/repart/diffuse", || {
+        part.copy_from_slice(&part0);
+        black_box(repartition_ws(black_box(&g1), &mut part, &rcfg, &mut ws))
+    });
+    b.bench("partition/repart/scratch", || {
+        black_box(partition_graph_with(black_box(&g1), &mcfg, &mut ws))
+    });
+    let seq_cfg = RepartSequenceConfig::graded_cylinder(
+        16,
+        0x5F4D,
+        4,
+        RepartMode::Diffusion { budget: None },
+    );
+    let pool = WorkspacePool::new(4);
+    let _ = repartition_sequence_traced(&mesh, &seq_cfg, 4, &pool, Recorder::off());
+    b.bench("partition/repart/sequence-w4", || {
+        black_box(repartition_sequence_traced(
+            black_box(&mesh),
+            &seq_cfg,
+            4,
+            &pool,
+            Recorder::off(),
+        ))
+    });
 }
 
 fn bench_coarsening(b: &mut Bencher) {
@@ -259,7 +314,24 @@ fn main() {
     bench_parallel(&mut b);
     bench_sfc(&mut b);
     bench_parallel_kway(&mut b);
+    bench_repart(&mut b);
     bench_coarsening(&mut b);
     bench_paper(&mut b);
-    b.finish();
+    let stats = b.finish();
+    // An incremental refresh that costs as much as the rebuild it replaces
+    // is a bug, not a tuning matter — fail the suite, not just the
+    // baseline gate.
+    let median = |name: &str| {
+        stats
+            .iter()
+            .find(|s| s.name == name)
+            .map(|s| s.median_ns)
+            .expect("repart bench row missing")
+    };
+    let diffuse = median("partition/repart/diffuse");
+    let scratch = median("partition/repart/scratch");
+    assert!(
+        diffuse < scratch,
+        "diffusion refresh ({diffuse} ns) did not beat from-scratch MC_TL ({scratch} ns)"
+    );
 }

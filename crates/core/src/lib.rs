@@ -17,6 +17,7 @@
 //!   granularity with less communication.
 
 pub mod pipeline;
+pub mod repart;
 pub mod report;
 pub mod strategy;
 
@@ -26,6 +27,10 @@ pub use pipeline::{
     run_portfolio_network, run_portfolio_network_traced, run_portfolio_traced, run_sweep,
     run_sweep_traced, simulate_decomposition, simulate_decomposition_traced, CommCrossover,
     CommCrossoverRow, FlusimOutcome, PipelineConfig, PortfolioOutcome,
+};
+pub use repart::{
+    default_repart_config, repartition_sequence, repartition_sequence_traced, RepartMode,
+    RepartSequenceConfig, RepartSequenceOutcome, RepartStep,
 };
 pub use strategy::{
     decompose, decompose_par, decompose_par_traced, decompose_traced, decompose_with_repair,

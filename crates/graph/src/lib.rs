@@ -25,7 +25,7 @@ pub use csr::CsrGraph;
 pub use io::{parse_metis_graph, to_metis_graph, to_metis_partition, MetisParseError};
 pub use metrics::{
     communication_volume, constraint_imbalances, edge_cut, max_imbalance, migration_volume,
-    part_weights, PartitionQuality,
+    part_weights, MigrationStats, PartitionQuality,
 };
 
 /// Identifier of a partition (domain) a vertex is assigned to.

@@ -105,6 +105,55 @@ pub fn migration_volume(graph: &CsrGraph, old: &[PartId], new: &[PartId]) -> i64
     vol
 }
 
+/// What moving from one partition to another costs: the migration ledger
+/// of one repartitioning step, pricing cell moves the way the task graph
+/// prices halo exchanges (`face_payload_bytes`, 40 bytes per conservative
+/// state vector by default).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MigrationStats {
+    /// Number of cells whose part changed.
+    pub cells_moved: usize,
+    /// Weighted migration volume (see [`migration_volume`]).
+    pub volume: i64,
+    /// Migration traffic in bytes: `cells_moved × payload_bytes`.
+    pub bytes: u64,
+    /// Per-constraint imbalance factors before the move.
+    pub imbalance_before: Vec<f64>,
+    /// Per-constraint imbalance factors after the move.
+    pub imbalance_after: Vec<f64>,
+}
+
+impl MigrationStats {
+    /// Measures the migration from `old` to `new` under per-cell payload
+    /// `payload_bytes`.
+    pub fn measure(
+        graph: &CsrGraph,
+        old: &[PartId],
+        new: &[PartId],
+        nparts: usize,
+        payload_bytes: u64,
+    ) -> Self {
+        let cells_moved = old.iter().zip(new).filter(|(a, b)| a != b).count();
+        Self {
+            cells_moved,
+            volume: migration_volume(graph, old, new),
+            bytes: cells_moved as u64 * payload_bytes,
+            imbalance_before: constraint_imbalances(graph, old, nparts),
+            imbalance_after: constraint_imbalances(graph, new, nparts),
+        }
+    }
+
+    /// Worst per-constraint imbalance before the move.
+    pub fn max_imbalance_before(&self) -> f64 {
+        self.imbalance_before.iter().copied().fold(1.0f64, f64::max)
+    }
+
+    /// Worst per-constraint imbalance after the move.
+    pub fn max_imbalance_after(&self) -> f64 {
+        self.imbalance_after.iter().copied().fold(1.0f64, f64::max)
+    }
+}
+
 /// Aggregate quality report for a partition.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PartitionQuality {
@@ -200,6 +249,22 @@ mod tests {
         b.set_vertex_weights(1, &[0]);
         let g = b.build();
         assert_eq!(constraint_imbalances(&g, &[0, 1], 2), vec![1.0]);
+    }
+
+    #[test]
+    fn migration_stats_ledger() {
+        let g = grid_graph(4, 1); // path of 4, unit weights
+        let old = [0u32, 0, 0, 1];
+        let new = [0u32, 0, 1, 1];
+        let stats = MigrationStats::measure(&g, &old, &new, 2, 40);
+        assert_eq!(stats.cells_moved, 1);
+        assert_eq!(stats.volume, 1);
+        assert_eq!(stats.bytes, 40);
+        assert!((stats.max_imbalance_before() - 1.5).abs() < 1e-12);
+        assert!((stats.max_imbalance_after() - 1.0).abs() < 1e-12);
+        let frozen = MigrationStats::measure(&g, &old, &old, 2, 40);
+        assert_eq!(frozen.cells_moved, 0);
+        assert_eq!(frozen.bytes, 0);
     }
 
     #[test]

@@ -1,0 +1,146 @@
+//! Seedable temporal-level drift: the moving refinement front of a
+//! transient simulation, reduced to its partitioning-relevant effect.
+//!
+//! FLUSEPA's temporal levels are not static — as the flow (a plume, a
+//! shock, a separating booster) moves through the mesh, the radially graded
+//! τ assignment moves with it, and the partitioner is asked to *re*balance
+//! an already-placed mesh whose weights have drifted. [`DriftConfig`]
+//! models exactly that: a graded-sphere level assignment (the
+//! [`assign_radial`] grading the experiments use) whose centre translates
+//! at a fixed velocity per step, with an optional seeded jitter so
+//! stochastic drift stays reproducible. Step `s` is a pure function of
+//! `(config, s)` — replaying a sequence from any step gives bit-identical
+//! level assignments, which is what lets the worker-matrix fingerprints and
+//! the golden frontier test pin whole drift sequences.
+
+use crate::mesh::Mesh;
+use crate::temporal::assign_radial;
+
+/// A deterministic drifting refinement front: graded-sphere temporal
+/// levels whose centre moves every step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftConfig {
+    /// Centre of the refinement front at step 0.
+    pub centre: [f64; 3],
+    /// Strictly increasing grading radii (cells inside `radii[i]` get
+    /// level `i`; outside all radii, level `radii.len()`).
+    pub radii: Vec<f64>,
+    /// Centre translation per step.
+    pub velocity: [f64; 3],
+    /// Amplitude of the seeded per-step centre wobble (0 disables it).
+    pub jitter: f64,
+    /// Seed of the jitter stream; unused when `jitter == 0`.
+    pub seed: u64,
+}
+
+/// SplitMix64 — the same tiny generator the experiment binaries use, inlined
+/// here because `tempart-mesh` deliberately depends on `tempart-graph` only.
+fn splitmix64(state: u64) -> u64 {
+    let mut z = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Maps a hash word to `[-1, 1)`.
+fn unit(word: u64) -> f64 {
+    (word >> 12) as f64 / (1u64 << 52) as f64 * 2.0 - 1.0
+}
+
+impl DriftConfig {
+    /// The pinned graded-CYLINDER drift the repartitioning experiments,
+    /// fingerprints and golden tests share: the `ext_drift` grading
+    /// (radii 0.08 / 0.20 / 0.40 around the domain centre, four temporal
+    /// levels) translating along +x by 0.01 per step, jitter off.
+    pub fn graded_cylinder() -> Self {
+        Self {
+            centre: [0.5, 0.5, 0.5],
+            radii: vec![0.08, 0.20, 0.40],
+            velocity: [0.01, 0.0, 0.0],
+            jitter: 0.0,
+            seed: 0,
+        }
+    }
+
+    /// Enables a seeded centre wobble of the given amplitude.
+    pub fn with_jitter(mut self, jitter: f64, seed: u64) -> Self {
+        self.jitter = jitter;
+        self.seed = seed;
+        self
+    }
+
+    /// The front centre at `step` — start + velocity·step, plus the seeded
+    /// wobble when jitter is enabled. Pure in `(self, step)`.
+    pub fn centre_at(&self, step: u32) -> [f64; 3] {
+        let s = f64::from(step);
+        let mut centre = [
+            self.centre[0] + self.velocity[0] * s,
+            self.centre[1] + self.velocity[1] * s,
+            self.centre[2] + self.velocity[2] * s,
+        ];
+        if self.jitter != 0.0 {
+            let base = splitmix64(self.seed ^ (u64::from(step).wrapping_mul(0x9E37_79B9)));
+            for (a, c) in centre.iter_mut().enumerate() {
+                *c += self.jitter * unit(splitmix64(base.wrapping_add(a as u64)));
+            }
+        }
+        centre
+    }
+
+    /// Number of temporal levels every step of this drift produces.
+    pub fn n_levels(&self) -> usize {
+        self.radii.len() + 1
+    }
+
+    /// Re-grades `mesh`'s temporal levels for `step`: [`assign_radial`]
+    /// around [`DriftConfig::centre_at`]`(step)`.
+    pub fn apply(&self, mesh: &mut Mesh, step: u32) {
+        assign_radial(mesh, self.centre_at(step), &self.radii);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{cylinder_like, GeneratorConfig};
+
+    #[test]
+    fn drift_is_pure_in_step() {
+        let cfg = DriftConfig::graded_cylinder();
+        let base = cylinder_like(&GeneratorConfig { base_depth: 3 });
+        let mut a = base.clone();
+        let mut b = base.clone();
+        // Apply out of order; only the step number may matter.
+        cfg.apply(&mut a, 5);
+        cfg.apply(&mut b, 2);
+        cfg.apply(&mut b, 5);
+        assert_eq!(a.tau(), b.tau());
+        assert_eq!(a.n_tau_levels(), cfg.n_levels() as u8);
+    }
+
+    #[test]
+    fn drift_actually_moves_levels() {
+        let cfg = DriftConfig::graded_cylinder();
+        let base = cylinder_like(&GeneratorConfig { base_depth: 3 });
+        let mut a = base.clone();
+        let mut b = base.clone();
+        cfg.apply(&mut a, 0);
+        cfg.apply(&mut b, 8);
+        assert_ne!(a.tau(), b.tau(), "8 steps of drift must re-level cells");
+        assert_eq!(cfg.centre_at(8)[0], 0.5 + 0.08);
+    }
+
+    #[test]
+    fn jitter_is_seeded_and_bounded() {
+        let cfg = DriftConfig::graded_cylinder().with_jitter(0.005, 42);
+        let c1 = cfg.centre_at(3);
+        let c2 = cfg.centre_at(3);
+        assert_eq!(c1, c2, "same seed and step must give the same centre");
+        let plain = DriftConfig::graded_cylinder().centre_at(3);
+        for a in 0..3 {
+            assert!((c1[a] - plain[a]).abs() <= 0.005 + 1e-12);
+        }
+        let other = DriftConfig::graded_cylinder().with_jitter(0.005, 43);
+        assert_ne!(other.centre_at(3), c1, "different seed, different wobble");
+    }
+}

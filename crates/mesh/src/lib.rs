@@ -14,6 +14,7 @@
 //! exactly the volume heterogeneity that motivates adaptive time stepping.
 
 pub mod cloud;
+pub mod drift;
 pub mod generators;
 pub mod io;
 pub mod mesh;
@@ -21,6 +22,7 @@ pub mod octree;
 pub mod temporal;
 
 pub use cloud::{cloud_cell_count, paper_scale_nside, sfc_cloud, SfcCloud};
+pub use drift::DriftConfig;
 pub use generators::{cube_like, cylinder_like, pprime_nozzle_like, GeneratorConfig, MeshCase};
 pub use io::{cells_csv, to_vtk, write_vtk};
 pub use mesh::{Cell, Face, FaceNeighbor, Mesh};

@@ -27,6 +27,7 @@ pub mod par;
 pub mod par_kway;
 pub mod refine;
 pub mod repair;
+pub mod repart;
 pub mod workspace;
 
 use tempart_graph::{CsrGraph, PartId};
@@ -39,6 +40,9 @@ pub use kway::{kway_rebalance, multilevel_kway};
 pub use par::{partition_graph_par, partition_graph_par_traced, WorkspacePool};
 pub use par_kway::{colour_pairs, pairwise_kway_refine, pairwise_kway_refine_par};
 pub use repair::{repair_contiguity, repair_contiguity_traced, RepairReport};
+pub use repart::{
+    diffusion_plan, repartition, repartition_par, repartition_ws, RepartConfig, RepartStats,
+};
 pub use workspace::{GainBuckets, PartitionWorkspace};
 
 /// Which k-way scheme to use.

@@ -49,8 +49,10 @@ const PAIR_SWEEPS: usize = 2;
 
 /// Read/write access to the per-vertex part slots, so one monomorphised
 /// decision sequence serves both the sequential driver (`Cell` views of the
-/// caller's part vector) and the parallel driver (relaxed atomics).
-trait PartSlots {
+/// caller's part vector) and the parallel driver (relaxed atomics). Shared
+/// with the incremental repartitioner ([`crate::repart`]), which realizes
+/// its diffusion flows over the same colour-class schedule.
+pub(crate) trait PartSlots {
     fn get(&self, v: u32) -> u32;
     fn set(&self, v: u32, p: u32);
 }
@@ -81,7 +83,11 @@ impl PartSlots for [AtomicU32] {
 /// unordered `(p, q)` with `p < q` joined by at least one edge, sorted
 /// ascending and deduplicated — the edge list of the part adjacency graph
 /// in the fixed order the colouring consumes.
-fn collect_pairs<S: PartSlots + ?Sized>(graph: &CsrGraph, slots: &S, pairs: &mut Vec<(u32, u32)>) {
+pub(crate) fn collect_pairs<S: PartSlots + ?Sized>(
+    graph: &CsrGraph,
+    slots: &S,
+    pairs: &mut Vec<(u32, u32)>,
+) {
     pairs.clear();
     for v in 0..graph.nvtx() as u32 {
         let pv = slots.get(v);
@@ -144,7 +150,7 @@ pub fn colour_pairs(pairs: &[(u32, u32)], k: usize, colours: &mut Vec<u32>) -> u
 
 /// Builds the colour-class CSR: `class_pairs[class_off[c]..class_off[c+1]]`
 /// lists the pair indices of colour `c`, ascending (counting sort — stable).
-fn build_classes(
+pub(crate) fn build_classes(
     colours: &[u32],
     ncolours: usize,
     class_off: &mut Vec<usize>,
@@ -175,7 +181,7 @@ fn build_classes(
 /// sit on that pair's boundary — each vertex listed once per *distinct*
 /// adjacent foreign part, under the pair keyed by its own part.
 #[allow(clippy::too_many_arguments)]
-fn build_candidates<S: PartSlots + ?Sized>(
+pub(crate) fn build_candidates<S: PartSlots + ?Sized>(
     graph: &CsrGraph,
     slots: &S,
     pairs: &[(u32, u32)],

@@ -1,0 +1,1300 @@
+//! Incremental repartitioning by diffusion on the part adjacency graph.
+//!
+//! The paper's setting is not one-shot: temporal levels drift as the flow
+//! evolves, and production FLUSEPA repartitions periodically rather than
+//! from scratch. Rebuilding the whole multilevel partition discards the
+//! previous placement and migrates most of the mesh; the incremental
+//! repartitioner here instead takes the **previous part vector** plus the
+//! **drifted per-cell weights** and restores balance by moving as little as
+//! possible:
+//!
+//! 1. **Diffusion solve** ([`diffusion_plan`]): per out-of-tolerance
+//!    constraint, a fixed number of Jacobi diffusion sweeps on the part
+//!    adjacency graph turns the per-part load deviations into signed
+//!    per-pair **flow targets** (how much weight should cross each part
+//!    boundary). A per-constraint *deadband* zeroes the flows of any
+//!    constraint already within its allowance — so an undrifted mesh yields
+//!    an empty plan and **zero moves**.
+//! 2. **Move realization**: flows are realized by boundary-cell moves over
+//!    the exact colour-class schedule of [`crate::par_kway`] — collect the
+//!    boundary pairs, edge-colour them, and run one bounded transfer per
+//!    pair ([`GainBuckets`]-ordered: among cells whose move reduces the
+//!    pair's remaining flow, the smallest cut damage goes first). Cells move
+//!    only while the move shrinks the remaining flow and the receiving side
+//!    stays within its per-constraint allowance, so per part and constraint
+//!    the load never exceeds `max(previous load, allowance)`.
+//! 3. **Rounds**: moving the boundary exposes new boundary cells, so the
+//!    solve + realization repeats (up to [`RepartConfig::realize_rounds`])
+//!    until the plan is empty or a round moves nothing.
+//!
+//! # Determinism contract
+//!
+//! [`repartition_par`] is **bit-identical** to the pinned sequential
+//! schedule of [`repartition_ws`] (ascending colour, ascending pair index)
+//! at every worker count, by the same argument as the pairwise k-way
+//! refinement it borrows its schedule from: pair lists, colours, candidate
+//! lists and the diffusion solve are driver-side pure functions of the
+//! round-start partition; each pair task exclusively owns its two part-load
+//! rows **and its flow row**; and concurrent same-class tasks only move
+//! vertices between other parts, which the gain/benefit/allowance decisions
+//! never read. The migration budget is applied by **scaling the flow plan
+//! at the round barrier** — never by a shared in-loop counter, which would
+//! make the outcome schedule-dependent.
+//!
+//! `tests/property_repart.rs` (workspace root) enforces the ceiling,
+//! zero-drift, budget, warm-workspace and width-equivalence properties;
+//! `ci.sh worker-matrix` diffs `repart-*` fingerprint rows across process
+//! worker counts.
+
+use crate::kway::total_weights_into;
+use crate::par::WorkspacePool;
+use crate::par_kway::{build_candidates, build_classes, collect_pairs, colour_pairs, PartSlots};
+use crate::workspace::GainBuckets;
+use crate::{PartitionConfig, PartitionWorkspace};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicI64, AtomicU32, AtomicU64, Ordering};
+use tempart_graph::{CsrGraph, PartId};
+use tempart_obs::Recorder;
+use tempart_runtime::fork_join;
+
+/// Configuration of the incremental repartitioner.
+#[derive(Debug, Clone)]
+pub struct RepartConfig {
+    /// Shared partitioner knobs: part count, per-constraint allowance
+    /// (`ubvec`), optional per-part target fractions, and the scheduling
+    /// grains (`par_seq_cutoff`, `pair_grain`) the parallel driver reuses.
+    pub base: PartitionConfig,
+    /// Jacobi sweeps of the diffusion solve per round. The solve runs on
+    /// the *part* graph (k vertices), so generous pass counts are cheap;
+    /// more passes spread flow further from the overload before the
+    /// realization starts moving cells.
+    pub diffusion_passes: usize,
+    /// Maximum solve + realization rounds. Each round can only move cells
+    /// that currently sit on a part boundary, so deep load imbalances need
+    /// several rounds for the flow to tunnel through intermediate parts.
+    pub realize_rounds: usize,
+    /// Optional migration budget in [`migration volume`] units (first
+    /// constraint weight, minimum 1 per cell — the pricing of
+    /// [`tempart_graph::migration_volume`]). Applied by scaling each
+    /// round's flow plan down to the remaining budget; the realized volume
+    /// can overshoot by at most one cell weight per active pair.
+    ///
+    /// [`migration volume`]: tempart_graph::migration_volume
+    pub migration_budget: Option<u64>,
+}
+
+impl RepartConfig {
+    /// Defaults for `nparts` parts: the multi-constraint tolerance the
+    /// from-scratch MC_TL pipeline uses (1.10), 48 diffusion sweeps, up to
+    /// 32 realization rounds, no budget.
+    pub fn new(nparts: usize) -> Self {
+        Self {
+            base: PartitionConfig::new(nparts).with_ub(1.10),
+            diffusion_passes: 48,
+            realize_rounds: 32,
+            migration_budget: None,
+        }
+    }
+
+    /// Overrides the imbalance tolerance for all constraints.
+    pub fn with_ub(mut self, ub: f64) -> Self {
+        self.base = self.base.with_ub(ub);
+        self
+    }
+
+    /// Overrides the per-constraint tolerance vector.
+    pub fn with_ubvec(mut self, ubvec: Vec<f64>) -> Self {
+        self.base.ubvec = ubvec;
+        self
+    }
+
+    /// Sets the migration budget (see [`RepartConfig::migration_budget`]).
+    pub fn with_budget(mut self, budget: u64) -> Self {
+        self.migration_budget = Some(budget);
+        self
+    }
+}
+
+/// What one [`repartition_ws`] / [`repartition_par`] call did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RepartStats {
+    /// Number of cell moves applied (a cell moved twice counts twice, so
+    /// this bounds the net migration volume from above for unit weights).
+    pub cells_moved: u64,
+    /// Total moved weight in migration-volume units
+    /// (`max(vertex_weight[0], 1)` per move).
+    pub volume_moved: u64,
+    /// Solve + realization rounds that ran (0 when the first plan was
+    /// already empty — the zero-drift case).
+    pub rounds: u32,
+    /// L1 norm of the first round's quantized (and budget-scaled) flow
+    /// plan, in weight units.
+    pub planned_flow: u64,
+}
+
+/// Per-part per-constraint allowance `total[c] · frac(p) · ub(c)` — the
+/// ceiling a receiving part must stay under, laid out `p * ncon + c`.
+///
+/// The ceiling is floored at one weight unit: a constraint whose target
+/// share is sub-cell (fewer cells than parts) would otherwise forbid every
+/// receiver, leaving donors above the ceiling unable to shed. Anything
+/// larger than a one-unit floor is counterproductive — it legitimizes a
+/// `target + 1` park that a from-scratch partition of the same tiny
+/// constraint would beat.
+fn build_allowance(tot: &[i64], k: usize, ncon: usize, base: &PartitionConfig, out: &mut Vec<f64>) {
+    out.clear();
+    out.resize(k * ncon, 0.0);
+    for p in 0..k {
+        let frac = base.target_fracs.as_ref().map_or(1.0 / k as f64, |t| t[p]);
+        for c in 0..ncon {
+            let target = tot[c] as f64 * frac;
+            out[p * ncon + c] = (target * base.ub(c)).max(1.0);
+        }
+    }
+}
+
+/// The diffusion solve of one round: writes one quantized flow target per
+/// (pair, constraint) into `flow` (`pairs.len() * ncon`, positive = weight
+/// should move `p → q` for the pair `(p, q)` with `p < q`). Constraints
+/// whose every part already sits within its allowance (the deadband) and
+/// constraints with zero total weight contribute no flow. Returns `true`
+/// if any flow target is non-zero.
+///
+/// Deterministic: a fixed number of Jacobi sweeps (flows of one sweep are
+/// computed from the same load snapshot, then applied) in pair-list order,
+/// with the classic stable step `λ = 1 / (maxdeg + 1)` of the part graph.
+///
+/// `realize` is the per-(pair, constraint) realizability mask from
+/// [`realizable_mask`] (bit 0: some `p`-side boundary cell carries weight
+/// in `c`, bit 1: some `q`-side cell does) — it steers the sub-cell flow
+/// promotion toward pairs whose boundary can actually move that
+/// constraint.
+#[allow(clippy::too_many_arguments)]
+fn diffusion_flows(
+    pairs: &[(u32, u32)],
+    k: usize,
+    ncon: usize,
+    pw: &[i64],
+    tot: &[i64],
+    allow: &[f64],
+    realize: &[u8],
+    config: &RepartConfig,
+    flow: &mut Vec<i64>,
+    x: &mut Vec<f64>,
+    facc: &mut Vec<f64>,
+    fstep: &mut Vec<f64>,
+) -> bool {
+    flow.clear();
+    flow.resize(pairs.len() * ncon, 0);
+    if pairs.is_empty() {
+        return false;
+    }
+    // Part-graph degrees → the stable diffusion step size.
+    x.clear();
+    x.resize(k, 0.0);
+    for &(p, q) in pairs {
+        x[p as usize] += 1.0;
+        x[q as usize] += 1.0;
+    }
+    let maxdeg = x.iter().fold(0.0f64, |a, &b| a.max(b));
+    let lambda = 1.0 / (maxdeg + 1.0);
+    let mut any = false;
+    for c in 0..ncon {
+        if tot[c] == 0 {
+            continue;
+        }
+        // Deadband: a constraint already within its allowance everywhere
+        // needs no flow — this is what makes zero drift produce zero moves.
+        if (0..k).all(|p| pw[p * ncon + c] as f64 <= allow[p * ncon + c]) {
+            continue;
+        }
+        for p in 0..k {
+            let frac = config
+                .base
+                .target_fracs
+                .as_ref()
+                .map_or(1.0 / k as f64, |t| t[p]);
+            x[p] = pw[p * ncon + c] as f64 - tot[c] as f64 * frac;
+        }
+        facc.clear();
+        facc.resize(pairs.len(), 0.0);
+        for _ in 0..config.diffusion_passes.max(1) {
+            fstep.clear();
+            fstep.extend(
+                pairs
+                    .iter()
+                    .map(|&(p, q)| lambda * (x[p as usize] - x[q as usize])),
+            );
+            for (e, &(p, q)) in pairs.iter().enumerate() {
+                let f = fstep[e];
+                facc[e] += f;
+                x[p as usize] -= f;
+                x[q as usize] += f;
+            }
+        }
+        for (e, &f) in facc.iter().enumerate() {
+            let q = f.round() as i64;
+            if q != 0 {
+                flow[e * ncon + c] = q;
+                any = true;
+            }
+        }
+        // Promotion: a part above its allowance whose surplus is sub-cell
+        // (common for the paper's smallest temporal level, a few dozen
+        // cells) sees all its flows round to zero — the solve would report
+        // "nothing to do" while the constraint is still out of tolerance.
+        // Give every such part one **realizable** outward flow of ±1, among
+        // pairs whose boundary actually holds a cell of this constraint on
+        // the part's side. Preferred receiver: the steepest *downhill*
+        // neighbour, at least two units lighter — that move strictly
+        // shrinks `Σ load²`, so it cannot ping-pong and surplus cascades
+        // hop by hop toward under-loaded parts the donor does not touch.
+        // On a flat plateau (every neighbour exactly one unit lighter) the
+        // unit instead takes a *lateral* hop along the direction of the
+        // accumulated continuous flow: `facc` is the fractional transport
+        // plan, so its sign points across the plateau toward the genuine
+        // deficit, and once the unit lands there the recomputed field keeps
+        // pointing it onward rather than back. Deterministic: parts
+        // ascending, first maximum wins.
+        for p in 0..k {
+            if pw[p * ncon + c] as f64 <= allow[p * ncon + c] {
+                continue;
+            }
+            let mut has_out = false;
+            let mut down: Option<(usize, i64)> = None;
+            let mut lateral: Option<(usize, f64)> = None;
+            for (e, &(a, b)) in pairs.iter().enumerate() {
+                let (other, outflow, outacc, side) = if a as usize == p {
+                    (b as usize, flow[e * ncon + c] > 0, facc[e], 1u8)
+                } else if b as usize == p {
+                    (a as usize, flow[e * ncon + c] < 0, -facc[e], 2u8)
+                } else {
+                    continue;
+                };
+                if realize[e * ncon + c] & side == 0 {
+                    continue;
+                }
+                let gap = pw[p * ncon + c] - pw[other * ncon + c];
+                if gap < 1 {
+                    continue;
+                }
+                if outflow {
+                    has_out = true;
+                    break;
+                }
+                if gap >= 2 {
+                    if down.is_none_or(|(_, bg)| gap > bg) {
+                        down = Some((e, gap));
+                    }
+                } else if outacc > 0.0 && lateral.is_none_or(|(_, bf)| outacc > bf) {
+                    lateral = Some((e, outacc));
+                }
+            }
+            if !has_out {
+                if let Some((e, _)) = down.or(lateral.map(|(e, _)| (e, 0))) {
+                    flow[e * ncon + c] = if pairs[e].0 as usize == p { 1 } else { -1 };
+                    any = true;
+                }
+            }
+        }
+    }
+    any
+}
+
+/// Per-(pair, constraint) realizability of the candidate lists: bit 0 set
+/// when some candidate on the pair's `p` side carries weight in `c` (a
+/// `p → q` move of `c` is possible), bit 1 for the `q` side. A pure
+/// function of the round-start partition, computed driver-side.
+fn realizable_mask<S: PartSlots + ?Sized>(
+    graph: &CsrGraph,
+    slots: &S,
+    pairs: &[(u32, u32)],
+    cand: &[u32],
+    cand_off: &[usize],
+    out: &mut Vec<u8>,
+) {
+    let ncon = graph.ncon();
+    out.clear();
+    out.resize(pairs.len() * ncon, 0);
+    for (pi, &(p, _)) in pairs.iter().enumerate() {
+        for &v in &cand[cand_off[pi]..cand_off[pi + 1]] {
+            let side = if slots.get(v) == p { 1u8 } else { 2u8 };
+            for (c, &w) in graph.vertex_weights(v).iter().enumerate() {
+                if w > 0 {
+                    out[pi * ncon + c] |= side;
+                }
+            }
+        }
+    }
+}
+
+/// Scales the flow plan down so its L1 norm fits `remaining` budget units
+/// (truncating toward zero — never overshoots). Returns the resulting L1
+/// norm. A plain round-barrier function: budgets never touch the parallel
+/// inner loops, so they cannot perturb the determinism contract.
+fn scale_flows(flow: &mut [i64], remaining: u64) -> u64 {
+    let planned: u64 = flow.iter().map(|f| f.unsigned_abs()).sum();
+    if planned <= remaining {
+        return planned;
+    }
+    let s = remaining as f64 / planned as f64;
+    for f in flow.iter_mut() {
+        *f = (*f as f64 * s).trunc() as i64;
+    }
+    flow.iter().map(|f| f.unsigned_abs()).sum()
+}
+
+/// How much moving a cell of weights `vw` in direction `s` (+1 = `p → q`,
+/// −1 = `q → p`) shrinks the pair's remaining L1 flow residual. Positive
+/// means the move serves the plan. Constraints with zero remaining flow are
+/// neutral — they are in their deadband (or already drained), and the
+/// receiving side's allowance check alone guards them; counting them would
+/// veto every move of a cell that carries any weight in a balanced
+/// constraint.
+#[inline]
+fn flow_benefit(flow: &[i64], vw: &[u32], s: i64) -> i64 {
+    let mut b = 0i64;
+    for (c, &w) in vw.iter().enumerate() {
+        if flow[c] == 0 {
+            continue;
+        }
+        let w = i64::from(w) * s;
+        b += flow[c].abs() - (flow[c] - w).abs();
+    }
+    b
+}
+
+/// One pair's flow realization: candidates whose move direction reduces the
+/// remaining flow enter the gain buckets keyed by **cut gain** (so the
+/// cheapest cut damage moves first, LIFO tie-break documented at
+/// [`GainBuckets`]); moves apply while they still shrink the flow, keep the
+/// receiving side within its allowance (or strictly downhill for the
+/// flow-bearing constraint) and leave the source non-empty.
+/// Feasibility only shrinks as the transfer proceeds (flows decrease, the
+/// receiver fills up), so popped-but-infeasible candidates are discarded.
+/// Returns `(cells moved, volume moved)`.
+#[allow(clippy::too_many_arguments)]
+fn transfer_pair<S: PartSlots + ?Sized>(
+    graph: &CsrGraph,
+    slots: &S,
+    cands: &[u32],
+    p: u32,
+    q: u32,
+    flow: &mut [i64],
+    pw_p: &mut [i64],
+    pw_q: &mut [i64],
+    size_p: &mut i64,
+    size_q: &mut i64,
+    allow_p: &[f64],
+    allow_q: &[f64],
+    buckets: &mut GainBuckets,
+) -> (u64, u64) {
+    if flow.iter().all(|&f| f == 0) {
+        return (0, 0);
+    }
+    let ncon = graph.ncon();
+    // Pass 1: the gain bound. A cut gain w.r.t. the pair can never leave
+    // ±(total incident edge weight), even as neighbours move, so the
+    // largest such sum over the beneficial candidates bounds every bucket
+    // index this transfer will ever use.
+    let mut gmax = 1i64;
+    let mut have = false;
+    for &v in cands {
+        let own = slots.get(v);
+        if own != p && own != q {
+            continue;
+        }
+        let s = if own == p { 1 } else { -1 };
+        if flow_benefit(flow, graph.vertex_weights(v), s) <= 0 {
+            continue;
+        }
+        let d: i64 = graph.edge_weights(v).map(i64::from).sum();
+        gmax = gmax.max(d);
+        have = true;
+    }
+    if !have {
+        return (0, 0);
+    }
+    buckets.ensure(graph.nvtx(), gmax);
+    for &v in cands {
+        let own = slots.get(v);
+        if own != p && own != q {
+            continue;
+        }
+        let s = if own == p { 1 } else { -1 };
+        if flow_benefit(flow, graph.vertex_weights(v), s) <= 0 {
+            continue;
+        }
+        let other = if own == p { q } else { p };
+        let mut conn_own = 0i64;
+        let mut conn_other = 0i64;
+        for (u, w) in graph.neighbors(v).zip(graph.edge_weights(v)) {
+            let pu = slots.get(u);
+            if pu == own {
+                conn_own += i64::from(w);
+            } else if pu == other {
+                conn_other += i64::from(w);
+            }
+        }
+        buckets.insert(v, conn_other - conn_own);
+    }
+    let mut cells = 0u64;
+    let mut volume = 0u64;
+    while let Some(v) = buckets.pop_best(usize::MAX, |_, _| true) {
+        let own = slots.get(v);
+        debug_assert!(own == p || own == q, "bucketed cell left the pair");
+        let (s, pw_own, pw_other, size_own, size_other, allow_other, other) = if own == p {
+            (
+                1i64,
+                &mut *pw_p,
+                &mut *pw_q,
+                &mut *size_p,
+                &mut *size_q,
+                allow_q,
+                q,
+            )
+        } else {
+            (
+                -1i64,
+                &mut *pw_q,
+                &mut *pw_p,
+                &mut *size_q,
+                &mut *size_p,
+                allow_p,
+                p,
+            )
+        };
+        if *size_own <= 1 {
+            continue;
+        }
+        let vw = graph.vertex_weights(v);
+        if flow_benefit(flow, vw, s) <= 0 {
+            continue;
+        }
+        // A receiving side normally stays within its allowance; for the
+        // constraint the flow is pushing, a move that leaves the receiver
+        // no heavier than the sender was is also legal — downhill exchanges
+        // shrink `Σ load²` and lateral (equal-ending) hops relay a surplus
+        // unit across balanced plateau parts toward distant under-loaded
+        // ones; the solve only plans laterals along the continuous flow
+        // direction, which is what stops them from oscillating.
+        let fits = (0..ncon).all(|c| {
+            let w = i64::from(vw[c]);
+            if w == 0 {
+                return true;
+            }
+            let recv = pw_other[c] + w;
+            (recv as f64) <= allow_other[c].max(1.0) || (s * flow[c] > 0 && recv <= pw_own[c])
+        });
+        if !fits {
+            continue;
+        }
+        for c in 0..ncon {
+            let w = i64::from(vw[c]);
+            flow[c] -= s * w;
+            pw_own[c] -= w;
+            pw_other[c] += w;
+        }
+        *size_own -= 1;
+        *size_other += 1;
+        slots.set(v, other);
+        cells += 1;
+        volume += u64::from(vw[0].max(1));
+        // Refresh the cut gains of still-bucketed neighbours — their
+        // connectivity to the pair's sides just changed by w(u, v).
+        for u in graph.neighbors(v) {
+            if !buckets.contains(u) {
+                continue;
+            }
+            let uo = slots.get(u);
+            let uother = if uo == p { q } else { p };
+            let mut conn_own = 0i64;
+            let mut conn_other = 0i64;
+            for (t, w) in graph.neighbors(u).zip(graph.edge_weights(u)) {
+                let pt = slots.get(t);
+                if pt == uo {
+                    conn_own += i64::from(w);
+                } else if pt == uother {
+                    conn_other += i64::from(w);
+                }
+            }
+            buckets.update(u, conn_other - conn_own);
+        }
+    }
+    (cells, volume)
+}
+
+/// The diffusion plan the first round of [`repartition_ws`] would realize:
+/// the boundary pair list of `part` plus one quantized, budget-scaled flow
+/// target per (pair, constraint) (`pairs.len() * ncon`, positive = `p → q`).
+/// A pure function of `(graph, part, config)` — the worker-matrix
+/// fingerprints digest it to pin the migration plan across process worker
+/// counts. An empty / all-zero flow vector is the zero-drift case.
+pub fn diffusion_plan(
+    graph: &CsrGraph,
+    part: &[PartId],
+    config: &RepartConfig,
+) -> (Vec<(u32, u32)>, Vec<i64>) {
+    config.base.validate(graph);
+    assert_eq!(part.len(), graph.nvtx(), "partition vector length");
+    let k = config.base.nparts;
+    let ncon = graph.ncon();
+    let mut tot = Vec::new();
+    total_weights_into(graph, &mut tot);
+    let mut pw = vec![0i64; k * ncon];
+    for (v, &p) in part.iter().enumerate() {
+        let vw = graph.vertex_weights(v as u32);
+        for c in 0..ncon {
+            pw[p as usize * ncon + c] += i64::from(vw[c]);
+        }
+    }
+    let mut allow = Vec::new();
+    build_allowance(&tot, k, ncon, &config.base, &mut allow);
+    let mut pcopy = part.to_vec();
+    let slots = Cell::from_mut(&mut pcopy[..]).as_slice_of_cells();
+    let mut pairs = Vec::new();
+    collect_pairs(graph, slots, &mut pairs);
+    let (mut conn, mut touched) = (Vec::new(), Vec::new());
+    let (mut cand_cnt, mut cand_off, mut cand) = (Vec::new(), Vec::new(), Vec::new());
+    build_candidates(
+        graph,
+        slots,
+        &pairs,
+        &mut conn,
+        &mut touched,
+        k,
+        &mut cand_cnt,
+        &mut cand_off,
+        &mut cand,
+    );
+    let mut realize = Vec::new();
+    realizable_mask(graph, slots, &pairs, &cand, &cand_off, &mut realize);
+    let mut flow = Vec::new();
+    let (mut x, mut facc, mut fstep) = (Vec::new(), Vec::new(), Vec::new());
+    diffusion_flows(
+        &pairs, k, ncon, &pw, &tot, &allow, &realize, config, &mut flow, &mut x, &mut facc,
+        &mut fstep,
+    );
+    if let Some(b) = config.migration_budget {
+        scale_flows(&mut flow, b);
+    }
+    (pairs, flow)
+}
+
+/// Incremental repartitioning (allocating wrapper around
+/// [`repartition_ws`]).
+pub fn repartition(graph: &CsrGraph, part: &mut [PartId], config: &RepartConfig) -> RepartStats {
+    repartition_ws(graph, part, config, &mut PartitionWorkspace::new())
+}
+
+/// Incremental repartitioning with caller-provided scratch: diffuses the
+/// load of `graph`'s (drifted) vertex weights along the part adjacency
+/// graph of `part` and realizes the flows by boundary-cell moves, updating
+/// `part` in place. The **pinned sequential schedule** the parallel driver
+/// is bit-identical to.
+///
+/// The workspace carries capacity, not state — warm reuse across calls
+/// returns bit-identical results to a fresh workspace.
+///
+/// # Panics
+///
+/// Panics on invalid configuration or a part vector of the wrong length.
+pub fn repartition_ws(
+    graph: &CsrGraph,
+    part: &mut [PartId],
+    config: &RepartConfig,
+    ws: &mut PartitionWorkspace,
+) -> RepartStats {
+    config.base.validate(graph);
+    assert_eq!(part.len(), graph.nvtx(), "partition vector length");
+    let n = graph.nvtx();
+    let k = config.base.nparts;
+    let ncon = graph.ncon();
+    let mut stats = RepartStats::default();
+    if n == 0 || k <= 1 {
+        return stats;
+    }
+    let rec = ws.obs.clone();
+    let _span = rec.span("part.repart", 0, k as u64);
+
+    total_weights_into(graph, &mut ws.kw_tot);
+    ws.kw_pw.clear();
+    ws.kw_pw.resize(k * ncon, 0);
+    ws.kw_psize.clear();
+    ws.kw_psize.resize(k, 0);
+    for (v, &p) in part.iter().enumerate() {
+        let p = p as usize;
+        ws.kw_psize[p] += 1;
+        let vw = graph.vertex_weights(v as u32);
+        for (c, &w) in vw.iter().enumerate().take(ncon) {
+            ws.kw_pw[p * ncon + c] += i64::from(w);
+        }
+    }
+    let mut allow = ws.take_f64();
+    build_allowance(&ws.kw_tot, k, ncon, &config.base, &mut allow);
+
+    let mut pairs = std::mem::take(&mut ws.pairs);
+    let mut colours = ws.take_u32();
+    let mut class_pairs = ws.take_u32();
+    let mut cand = ws.take_u32();
+    let mut class_off = ws.take_usize();
+    let mut cand_cnt = ws.take_usize();
+    let mut cand_off = ws.take_usize();
+    let mut flow = ws.take_i64();
+    let mut x = ws.take_f64();
+    let mut facc = ws.take_f64();
+    let mut fstep = ws.take_f64();
+    let mut realize = ws.take_u8();
+
+    let slots = Cell::from_mut(&mut *part).as_slice_of_cells();
+    let mut total_pairs = 0u64;
+    for _round in 0..config.realize_rounds.max(1) {
+        collect_pairs(graph, slots, &mut pairs);
+        if pairs.is_empty() {
+            break;
+        }
+        build_candidates(
+            graph,
+            slots,
+            &pairs,
+            &mut ws.kw_conn,
+            &mut ws.kw_touched,
+            k,
+            &mut cand_cnt,
+            &mut cand_off,
+            &mut cand,
+        );
+        realizable_mask(graph, slots, &pairs, &cand, &cand_off, &mut realize);
+        if !diffusion_flows(
+            &pairs, k, ncon, &ws.kw_pw, &ws.kw_tot, &allow, &realize, config, &mut flow, &mut x,
+            &mut facc, &mut fstep,
+        ) {
+            break;
+        }
+        let planned = match config.migration_budget {
+            Some(b) => {
+                let remaining = b.saturating_sub(stats.volume_moved);
+                if remaining == 0 {
+                    break;
+                }
+                scale_flows(&mut flow, remaining)
+            }
+            None => flow.iter().map(|f| f.unsigned_abs()).sum(),
+        };
+        if planned == 0 {
+            break;
+        }
+        if stats.rounds == 0 {
+            stats.planned_flow = planned;
+        }
+        let ncolours = colour_pairs(&pairs, k, &mut colours);
+        build_classes(&colours, ncolours, &mut class_off, &mut class_pairs);
+        total_pairs += pairs.len() as u64;
+
+        let mut round_cells = 0u64;
+        for class in 0..ncolours {
+            for &pi in &class_pairs[class_off[class]..class_off[class + 1]] {
+                let pi = pi as usize;
+                let (p, q) = pairs[pi];
+                let cands = &cand[cand_off[pi]..cand_off[pi + 1]];
+                let (pp, qq) = (p as usize, q as usize);
+                let (lo, hi) = ws.kw_pw.split_at_mut(qq * ncon);
+                let pw_p = &mut lo[pp * ncon..(pp + 1) * ncon];
+                let pw_q = &mut hi[..ncon];
+                let mut sp = ws.kw_psize[pp] as i64;
+                let mut sq = ws.kw_psize[qq] as i64;
+                let (cells, vol) = transfer_pair(
+                    graph,
+                    slots,
+                    cands,
+                    p,
+                    q,
+                    &mut flow[pi * ncon..(pi + 1) * ncon],
+                    pw_p,
+                    pw_q,
+                    &mut sp,
+                    &mut sq,
+                    &allow[pp * ncon..(pp + 1) * ncon],
+                    &allow[qq * ncon..(qq + 1) * ncon],
+                    &mut ws.buckets,
+                );
+                ws.kw_psize[pp] = sp as usize;
+                ws.kw_psize[qq] = sq as usize;
+                round_cells += cells;
+                stats.cells_moved += cells;
+                stats.volume_moved += vol;
+            }
+        }
+        stats.rounds += 1;
+        if round_cells == 0 {
+            break;
+        }
+    }
+
+    ws.pairs = pairs;
+    ws.give_u32(colours);
+    ws.give_u32(class_pairs);
+    ws.give_u32(cand);
+    ws.give_usize(class_off);
+    ws.give_usize(cand_cnt);
+    ws.give_usize(cand_off);
+    ws.give_i64(flow);
+    ws.give_f64(x);
+    ws.give_f64(facc);
+    ws.give_f64(fstep);
+    ws.give_f64(allow);
+    ws.give_u8(realize);
+    if rec.enabled() {
+        rec.counter("part.repart.moves", 0, stats.cells_moved);
+        rec.counter("part.repart.volume", 0, stats.volume_moved);
+        rec.counter("part.repart.rounds", 0, u64::from(stats.rounds));
+        rec.counter("part.repart.pairs", 0, total_pairs);
+        rec.counter("part.repart.flow", 0, stats.planned_flow);
+    }
+    stats
+}
+
+/// One parallel task: a contiguous chunk of same-colour pairs. Exactly the
+/// [`crate::par_kway`] chunk shape, extended with the pair's exclusively
+/// owned flow row: load rows into the leased workspace, run the shared
+/// [`transfer_pair`], store back.
+#[allow(clippy::too_many_arguments)]
+fn run_transfer_chunk(
+    graph: &CsrGraph,
+    slots: &[AtomicU32],
+    pw: &[AtomicI64],
+    psize: &[AtomicI64],
+    flow: &[AtomicI64],
+    allow: &[f64],
+    pairs: &[(u32, u32)],
+    cand: &[u32],
+    cand_off: &[usize],
+    cls: &[u32],
+    worker: usize,
+    pool: &WorkspacePool,
+    cells: &AtomicU64,
+    volume: &AtomicU64,
+) {
+    let ncon = graph.ncon();
+    let mut ws = pool.checkout(worker);
+    ws.kw_pw.clear();
+    ws.kw_pw.resize(3 * ncon, 0);
+    for &pi in cls {
+        let pi = pi as usize;
+        let (p, q) = pairs[pi];
+        let cands = &cand[cand_off[pi]..cand_off[pi + 1]];
+        let (pp, qq) = (p as usize, q as usize);
+        let (rows, frow) = ws.kw_pw.split_at_mut(2 * ncon);
+        let (row_p, row_q) = rows.split_at_mut(ncon);
+        for c in 0..ncon {
+            row_p[c] = pw[pp * ncon + c].load(Ordering::Relaxed);
+            row_q[c] = pw[qq * ncon + c].load(Ordering::Relaxed);
+            frow[c] = flow[pi * ncon + c].load(Ordering::Relaxed);
+        }
+        let mut sp = psize[pp].load(Ordering::Relaxed);
+        let mut sq = psize[qq].load(Ordering::Relaxed);
+        let (m, vol) = transfer_pair(
+            graph,
+            slots,
+            cands,
+            p,
+            q,
+            frow,
+            row_p,
+            row_q,
+            &mut sp,
+            &mut sq,
+            &allow[pp * ncon..(pp + 1) * ncon],
+            &allow[qq * ncon..(qq + 1) * ncon],
+            &mut ws.buckets,
+        );
+        if m != 0 {
+            for c in 0..ncon {
+                pw[pp * ncon + c].store(row_p[c], Ordering::Relaxed);
+                pw[qq * ncon + c].store(row_q[c], Ordering::Relaxed);
+                flow[pi * ncon + c].store(frow[c], Ordering::Relaxed);
+            }
+            psize[pp].store(sp, Ordering::Relaxed);
+            psize[qq].store(sq, Ordering::Relaxed);
+            cells.fetch_add(m, Ordering::Relaxed);
+            volume.fetch_add(vol, Ordering::Relaxed);
+        }
+    }
+    pool.give_back(worker, ws);
+}
+
+/// Parallel incremental repartitioning on the fork-join pool —
+/// bit-identical to [`repartition_ws`] at every worker count (see the
+/// module docs for the argument). The driver solves, colours and plans
+/// single-threaded at each round barrier; colour classes fan their pair
+/// chunks out exactly like the pairwise k-way refinement, with each chunk
+/// leasing a workspace from `pool`.
+///
+/// # Panics
+///
+/// Panics if `n_workers == 0`, on invalid configuration, or on a part
+/// vector of the wrong length.
+pub fn repartition_par(
+    graph: &CsrGraph,
+    part: &mut [PartId],
+    config: &RepartConfig,
+    n_workers: usize,
+    pool: &WorkspacePool,
+    rec: &Recorder,
+) -> RepartStats {
+    assert!(n_workers >= 1, "need at least one worker");
+    config.base.validate(graph);
+    assert_eq!(part.len(), graph.nvtx(), "partition vector length");
+    let n = graph.nvtx();
+    let k = config.base.nparts;
+    let ncon = graph.ncon();
+    let mut stats = RepartStats::default();
+    if n == 0 || k <= 1 {
+        return stats;
+    }
+    if n_workers == 1 || n <= config.base.par_seq_cutoff {
+        // Too small to fan out: run the pinned schedule directly.
+        let mut ws = pool.checkout(0);
+        ws.obs = rec.clone();
+        let stats = repartition_ws(graph, part, config, &mut ws);
+        pool.give_back(0, ws);
+        return stats;
+    }
+    let _span = rec.span("part.repart", 0, k as u64);
+
+    let slots: Vec<AtomicU32> = part.iter().map(|&p| AtomicU32::new(p)).collect();
+    let mut pw_init = vec![0i64; k * ncon];
+    let mut psize_init = vec![0i64; k];
+    for (v, &p) in part.iter().enumerate() {
+        let p = p as usize;
+        psize_init[p] += 1;
+        let vw = graph.vertex_weights(v as u32);
+        for c in 0..ncon {
+            pw_init[p * ncon + c] += i64::from(vw[c]);
+        }
+    }
+    let pw: Vec<AtomicI64> = pw_init.into_iter().map(AtomicI64::new).collect();
+    let psize: Vec<AtomicI64> = psize_init.into_iter().map(AtomicI64::new).collect();
+    let mut dws = pool.checkout(0);
+    total_weights_into(graph, &mut dws.kw_tot);
+    let mut allow = dws.take_f64();
+    build_allowance(&dws.kw_tot, k, ncon, &config.base, &mut allow);
+
+    let mut pairs = std::mem::take(&mut dws.pairs);
+    let mut colours = dws.take_u32();
+    let mut class_pairs = dws.take_u32();
+    let mut cand = dws.take_u32();
+    let mut class_off = dws.take_usize();
+    let mut cand_cnt = dws.take_usize();
+    let mut cand_off = dws.take_usize();
+    let mut flow = dws.take_i64();
+    let mut pw_snap = dws.take_i64();
+    let mut x = dws.take_f64();
+    let mut facc = dws.take_f64();
+    let mut fstep = dws.take_f64();
+    let mut realize = dws.take_u8();
+    let mut flow_slots: Vec<AtomicI64> = Vec::new();
+    let mut chunks: Vec<(usize, usize)> = Vec::new();
+
+    let mut total_pairs = 0u64;
+    let grain = config.base.pair_grain.max(1);
+    for _round in 0..config.realize_rounds.max(1) {
+        // Between rounds only the driver runs; fork-join joins give it a
+        // happens-before view of every task's relaxed stores.
+        collect_pairs(graph, slots.as_slice(), &mut pairs);
+        if pairs.is_empty() {
+            break;
+        }
+        pw_snap.clear();
+        pw_snap.extend(pw.iter().map(|w| w.load(Ordering::Relaxed)));
+        build_candidates(
+            graph,
+            slots.as_slice(),
+            &pairs,
+            &mut dws.kw_conn,
+            &mut dws.kw_touched,
+            k,
+            &mut cand_cnt,
+            &mut cand_off,
+            &mut cand,
+        );
+        realizable_mask(
+            graph,
+            slots.as_slice(),
+            &pairs,
+            &cand,
+            &cand_off,
+            &mut realize,
+        );
+        if !diffusion_flows(
+            &pairs,
+            k,
+            ncon,
+            &pw_snap,
+            &dws.kw_tot,
+            &allow,
+            &realize,
+            config,
+            &mut flow,
+            &mut x,
+            &mut facc,
+            &mut fstep,
+        ) {
+            break;
+        }
+        let planned = match config.migration_budget {
+            Some(b) => {
+                let remaining = b.saturating_sub(stats.volume_moved);
+                if remaining == 0 {
+                    break;
+                }
+                scale_flows(&mut flow, remaining)
+            }
+            None => flow.iter().map(|f| f.unsigned_abs()).sum(),
+        };
+        if planned == 0 {
+            break;
+        }
+        if stats.rounds == 0 {
+            stats.planned_flow = planned;
+        }
+        let ncolours = colour_pairs(&pairs, k, &mut colours);
+        build_classes(&colours, ncolours, &mut class_off, &mut class_pairs);
+        total_pairs += pairs.len() as u64;
+        flow_slots.clear();
+        flow_slots.extend(flow.iter().map(|&f| AtomicI64::new(f)));
+
+        let round_cells = AtomicU64::new(0);
+        let round_volume = AtomicU64::new(0);
+        for class in 0..ncolours {
+            let cls = &class_pairs[class_off[class]..class_off[class + 1]];
+            chunks.clear();
+            let mut start = 0usize;
+            let mut acc = 0usize;
+            for (i, &pi) in cls.iter().enumerate() {
+                let pi = pi as usize;
+                acc += cand_off[pi + 1] - cand_off[pi];
+                if acc >= grain {
+                    chunks.push((start, i + 1));
+                    start = i + 1;
+                    acc = 0;
+                }
+            }
+            if start < cls.len() {
+                chunks.push((start, cls.len()));
+            }
+            if chunks.len() <= 1 {
+                run_transfer_chunk(
+                    graph,
+                    &slots,
+                    &pw,
+                    &psize,
+                    &flow_slots,
+                    &allow,
+                    &pairs,
+                    &cand,
+                    &cand_off,
+                    cls,
+                    0,
+                    pool,
+                    &round_cells,
+                    &round_volume,
+                );
+            } else {
+                let (slots_r, pw_r, psize_r, flow_r) = (&slots, &pw, &psize, &flow_slots);
+                let (allow_r, pairs_r, cand_r, cand_off_r) = (&allow, &pairs, &cand, &cand_off);
+                let (chunks_r, cells_r, volume_r) = (&chunks, &round_cells, &round_volume);
+                fork_join(n_workers.min(chunks.len()), move |ctx| {
+                    for &(s, e) in &chunks_r[1..] {
+                        ctx.spawn(move |c| {
+                            run_transfer_chunk(
+                                graph,
+                                slots_r,
+                                pw_r,
+                                psize_r,
+                                flow_r,
+                                allow_r,
+                                pairs_r,
+                                cand_r,
+                                cand_off_r,
+                                &cls[s..e],
+                                c.worker_index(),
+                                pool,
+                                cells_r,
+                                volume_r,
+                            );
+                        });
+                    }
+                    let (s, e) = chunks_r[0];
+                    run_transfer_chunk(
+                        graph,
+                        slots_r,
+                        pw_r,
+                        psize_r,
+                        flow_r,
+                        allow_r,
+                        pairs_r,
+                        cand_r,
+                        cand_off_r,
+                        &cls[s..e],
+                        ctx.worker_index(),
+                        pool,
+                        cells_r,
+                        volume_r,
+                    );
+                });
+            }
+        }
+        let round_cells = round_cells.into_inner();
+        stats.cells_moved += round_cells;
+        stats.volume_moved += round_volume.into_inner();
+        stats.rounds += 1;
+        if round_cells == 0 {
+            break;
+        }
+    }
+
+    for (dst, s) in part.iter_mut().zip(&slots) {
+        *dst = s.load(Ordering::Relaxed);
+    }
+    dws.pairs = pairs;
+    dws.give_u32(colours);
+    dws.give_u32(class_pairs);
+    dws.give_u32(cand);
+    dws.give_usize(class_off);
+    dws.give_usize(cand_cnt);
+    dws.give_usize(cand_off);
+    dws.give_i64(flow);
+    dws.give_i64(pw_snap);
+    dws.give_f64(x);
+    dws.give_f64(facc);
+    dws.give_f64(fstep);
+    dws.give_f64(allow);
+    dws.give_u8(realize);
+    pool.give_back(0, dws);
+    if rec.enabled() {
+        rec.counter("part.repart.moves", 0, stats.cells_moved);
+        rec.counter("part.repart.volume", 0, stats.volume_moved);
+        rec.counter("part.repart.rounds", 0, u64::from(stats.rounds));
+        rec.counter("part.repart.pairs", 0, total_pairs);
+        rec.counter("part.repart.flow", 0, stats.planned_flow);
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition_graph;
+    use tempart_graph::builder::grid_graph;
+    use tempart_graph::{constraint_imbalances, max_imbalance, migration_volume};
+
+    /// A deliberately skewed 4-part strip partition of an `n × n` grid:
+    /// parts get 40% / 30% / 20% / 10% of the columns.
+    fn skewed_strips(n: usize) -> Vec<PartId> {
+        let cuts = [n * 4 / 10, n * 7 / 10, n * 9 / 10];
+        let mut part = Vec::with_capacity(n * n);
+        for r in 0..n {
+            let _ = r;
+            for c in 0..n {
+                let p = cuts.iter().filter(|&&x| c >= x).count() as PartId;
+                part.push(p);
+            }
+        }
+        part
+    }
+
+    #[test]
+    fn balanced_partition_moves_nothing() {
+        let g = grid_graph(16, 16);
+        let cfg = RepartConfig::new(4).with_ub(1.05);
+        let mut part = partition_graph(&g, &PartitionConfig::new(4));
+        let before = part.clone();
+        let stats = repartition(&g, &mut part, &cfg);
+        assert_eq!(stats, RepartStats::default());
+        assert_eq!(part, before, "zero drift must leave the partition alone");
+        let (_, flow) = diffusion_plan(&g, &before, &cfg);
+        assert!(flow.iter().all(|&f| f == 0), "plan must be empty");
+    }
+
+    #[test]
+    fn skewed_strips_rebalance_with_bounded_migration() {
+        let g = grid_graph(20, 20);
+        let mut part = skewed_strips(20);
+        let before = part.clone();
+        let imb0 = max_imbalance(&g, &part, 4);
+        assert!(imb0 > 1.5, "start must be imbalanced, got {imb0}");
+        let cfg = RepartConfig::new(4).with_ub(1.05);
+        let stats = repartition(&g, &mut part, &cfg);
+        let imb1 = max_imbalance(&g, &part, 4);
+        assert!(stats.cells_moved > 0);
+        assert!(imb1 < imb0, "imbalance {imb0} -> {imb1}");
+        assert!(
+            imb1 <= 1.10,
+            "diffusion should land within slack, got {imb1}"
+        );
+        // Volume accounting: unit weights, so the stats volume bounds the
+        // net migration volume from above.
+        let net = migration_volume(&g, &before, &part);
+        assert!(net as u64 <= stats.volume_moved);
+    }
+
+    #[test]
+    fn ceiling_is_monotone_per_part() {
+        // No part may end above max(its previous load, its allowance).
+        let g = grid_graph(20, 20);
+        let mut part = skewed_strips(20);
+        let cfg = RepartConfig::new(4).with_ub(1.05);
+        let pre = tempart_graph::part_weights(&g, &part, 4);
+        repartition(&g, &mut part, &cfg);
+        let post = tempart_graph::part_weights(&g, &part, 4);
+        let allowance = 400.0 / 4.0 * 1.05;
+        for p in 0..4 {
+            let ceiling = (pre[p][0] as f64).max(allowance);
+            assert!(
+                post[p][0] as f64 <= ceiling + 1e-9,
+                "part {p}: {} -> {} above ceiling {ceiling}",
+                pre[p][0],
+                post[p][0]
+            );
+        }
+    }
+
+    #[test]
+    fn budget_caps_volume_and_zero_budget_freezes() {
+        let g = grid_graph(20, 20);
+        let start = skewed_strips(20);
+        let mut frozen = start.clone();
+        let stats0 = repartition(&g, &mut frozen, &RepartConfig::new(4).with_budget(0));
+        assert_eq!(stats0.cells_moved, 0);
+        assert_eq!(frozen, start);
+        // Unit weights: budget bounds the realized volume exactly.
+        for budget in [10u64, 40, 120] {
+            let mut part = start.clone();
+            let stats = repartition(&g, &mut part, &RepartConfig::new(4).with_budget(budget));
+            assert!(
+                stats.volume_moved <= budget,
+                "budget {budget} exceeded: {}",
+                stats.volume_moved
+            );
+        }
+        // Larger budgets reach at-least-as-good balance.
+        let mut small = start.clone();
+        let mut large = start.clone();
+        repartition(&g, &mut small, &RepartConfig::new(4).with_budget(20));
+        repartition(&g, &mut large, &RepartConfig::new(4).with_budget(400));
+        assert!(max_imbalance(&g, &large, 4) <= max_imbalance(&g, &small, 4) + 1e-9);
+    }
+
+    #[test]
+    fn multiconstraint_deadband_is_per_constraint() {
+        // Two constraints; only the second is imbalanced. The plan must
+        // carry flow only in the second constraint's slots.
+        let n = 16usize;
+        let g = grid_graph(n, n);
+        let mut vwgt = vec![0u32; n * n * 2];
+        for v in 0..n * n {
+            vwgt[v * 2] = 1;
+            // Constraint 1 lives in the left 10 columns, reaching across
+            // the part boundary at column 8.
+            vwgt[v * 2 + 1] = u32::from(v % n < 10);
+        }
+        let g2 = g.with_vertex_weights(vwgt, 2);
+        // Halves: constraint 0 perfectly split, constraint 1 all in part 0.
+        let part: Vec<PartId> = (0..n * n).map(|v| PartId::from(v % n >= 8)).collect();
+        let cfg = RepartConfig::new(2).with_ub(1.10);
+        let (pairs, flow) = diffusion_plan(&g2, &part, &cfg);
+        assert!(!pairs.is_empty());
+        let c0: i64 = flow.iter().step_by(2).map(|f| f.abs()).sum();
+        let c1: i64 = flow.iter().skip(1).step_by(2).map(|f| f.abs()).sum();
+        assert_eq!(c0, 0, "balanced constraint must stay in the deadband");
+        assert!(c1 > 0, "imbalanced constraint must carry flow");
+        let mut moved = part.clone();
+        let stats = repartition(&g2, &mut moved, &cfg);
+        assert!(stats.cells_moved > 0);
+        let imb = constraint_imbalances(&g2, &moved, 2);
+        let imb_before = constraint_imbalances(&g2, &part, 2);
+        assert!(imb[1] < imb_before[1], "{} -> {}", imb_before[1], imb[1]);
+    }
+
+    #[test]
+    fn parallel_matches_pinned_sequential_schedule() {
+        let g = grid_graph(40, 40);
+        let start = skewed_strips(40);
+        let cfg = RepartConfig {
+            base: PartitionConfig {
+                par_seq_cutoff: 0,
+                pair_grain: 8,
+                ..PartitionConfig::new(4).with_ub(1.05)
+            },
+            ..RepartConfig::new(4)
+        };
+        let mut seq = start.clone();
+        let seq_stats = repartition_ws(&g, &mut seq, &cfg, &mut PartitionWorkspace::new());
+        assert!(seq_stats.cells_moved > 0);
+        for workers in [1usize, 2, 3, 4] {
+            let pool = WorkspacePool::new(workers);
+            let mut par = start.clone();
+            let par_stats = repartition_par(&g, &mut par, &cfg, workers, &pool, Recorder::off());
+            assert_eq!(par, seq, "workers={workers}: part vector diverged");
+            assert_eq!(par_stats, seq_stats, "workers={workers}: stats diverged");
+            // Warm pool: capacity, not state.
+            let mut par2 = start.clone();
+            let par2_stats = repartition_par(&g, &mut par2, &cfg, workers, &pool, Recorder::off());
+            assert_eq!(par2, seq, "workers={workers} warm: part vector diverged");
+            assert_eq!(par2_stats, seq_stats);
+        }
+    }
+
+    #[test]
+    fn warm_workspace_matches_fresh() {
+        let g = grid_graph(20, 20);
+        let cfg = RepartConfig::new(4).with_ub(1.05);
+        let start = skewed_strips(20);
+        let mut ws = PartitionWorkspace::new();
+        let mut a = start.clone();
+        let sa = repartition_ws(&g, &mut a, &cfg, &mut ws);
+        let mut b = start.clone();
+        let sb = repartition_ws(&g, &mut b, &cfg, &mut ws);
+        let mut c = start.clone();
+        let sc = repartition(&g, &mut c, &cfg);
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+        assert_eq!(sa, sb);
+        assert_eq!(sa, sc);
+    }
+
+    #[test]
+    fn traced_run_emits_repart_counters() {
+        let g = grid_graph(20, 20);
+        let mut part = skewed_strips(20);
+        let rec = Recorder::new(1 << 12);
+        let mut ws = PartitionWorkspace::new();
+        ws.obs = rec.clone();
+        let stats = repartition_ws(&g, &mut part, &RepartConfig::new(4), &mut ws);
+        let trace = rec.take();
+        assert_eq!(trace.dropped, 0);
+        assert!(trace.events.iter().any(|e| e.name == "part.repart"));
+        assert_eq!(
+            trace.last_counter("part.repart.moves"),
+            Some(stats.cells_moved)
+        );
+        assert_eq!(
+            trace.last_counter("part.repart.rounds"),
+            Some(u64::from(stats.rounds))
+        );
+    }
+
+    #[test]
+    fn noop_on_single_part() {
+        let g = grid_graph(4, 4);
+        let mut part = vec![0 as PartId; 16];
+        let cfg = RepartConfig::new(1);
+        assert_eq!(repartition(&g, &mut part, &cfg), RepartStats::default());
+        let pool = WorkspacePool::new(1);
+        assert_eq!(
+            repartition_par(&g, &mut part, &cfg, 2, &pool, Recorder::off()),
+            RepartStats::default()
+        );
+    }
+}

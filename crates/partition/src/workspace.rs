@@ -308,6 +308,8 @@ pub struct PartitionWorkspace {
     pool_usize: Vec<Vec<usize>>,
     pool_u32: Vec<Vec<u32>>,
     pool_u8: Vec<Vec<u8>>,
+    pool_i64: Vec<Vec<i64>>,
+    pool_f64: Vec<Vec<f64>>,
     pool_levels: Vec<Vec<crate::coarsen::CoarseLevel>>,
 }
 
@@ -351,6 +353,30 @@ impl PartitionWorkspace {
     /// Returns a `Vec<u8>` to the pool.
     pub(crate) fn give_u8(&mut self, v: Vec<u8>) {
         self.pool_u8.push(v);
+    }
+
+    /// Takes a cleared `Vec<i64>` from the pool (or a fresh one).
+    pub(crate) fn take_i64(&mut self) -> Vec<i64> {
+        let mut v = self.pool_i64.pop().unwrap_or_default();
+        v.clear();
+        v
+    }
+
+    /// Returns a `Vec<i64>` to the pool.
+    pub(crate) fn give_i64(&mut self, v: Vec<i64>) {
+        self.pool_i64.push(v);
+    }
+
+    /// Takes a cleared `Vec<f64>` from the pool (or a fresh one).
+    pub(crate) fn take_f64(&mut self) -> Vec<f64> {
+        let mut v = self.pool_f64.pop().unwrap_or_default();
+        v.clear();
+        v
+    }
+
+    /// Returns a `Vec<f64>` to the pool.
+    pub(crate) fn give_f64(&mut self, v: Vec<f64>) {
+        self.pool_f64.push(v);
     }
 
     /// Decomposes a dead graph and pools its CSR arrays for reuse.

@@ -13,9 +13,9 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 use tempart::core_api::{
-    decompose_par, decompose_with_repair, env_workers, run_flusim_network_traced,
-    run_flusim_workers, run_portfolio, run_sweep, Curve, PartitionStrategy, PipelineConfig,
-    WorkspacePool,
+    decompose_par, decompose_with_repair, env_workers, repartition_sequence,
+    run_flusim_network_traced, run_flusim_workers, run_portfolio, run_sweep, Curve,
+    PartitionStrategy, PipelineConfig, RepartMode, RepartSequenceConfig, WorkspacePool,
 };
 use tempart::flusim::{
     ascii_gantt, parse_preset, ClusterConfig, DynamicListStrategy, Link, NetworkModel, Strategy,
@@ -67,6 +67,13 @@ COMMANDS:
     solve      real FV solver             (--case, --depth, --strategy, --domains,
                                            --iterations, --heun, --mu X, --groups,
                                            --workers)
+    repart     drift a graded refinement front across the mesh for --steps
+               steps and print the quality-vs-migration frontier: incremental
+               diffusion repartitioning (unbounded + at each --budgets
+               fraction of the cell count) against from-scratch repartitioning
+                                          (--case, --depth, --strategy,
+                                           --domains, --seed, --steps,
+                                           --budgets F1,F2,.., --workers)
     help       show this text
 
 COMMON OPTIONS:
@@ -106,6 +113,8 @@ struct Options {
     graph_file: Option<PathBuf>,
     out: Option<PathBuf>,
     ndjson: Option<PathBuf>,
+    steps: u32,
+    budgets: Vec<f64>,
 }
 
 impl Default for Options {
@@ -133,6 +142,8 @@ impl Default for Options {
             graph_file: None,
             out: None,
             ndjson: None,
+            steps: 8,
+            budgets: vec![0.01, 0.02, 0.05],
         }
     }
 }
@@ -252,6 +263,28 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--graph" => o.graph_file = Some(PathBuf::from(take(args, &mut i, "--graph")?)),
             "--out" => o.out = Some(PathBuf::from(take(args, &mut i, "--out")?)),
             "--ndjson" => o.ndjson = Some(PathBuf::from(take(args, &mut i, "--ndjson")?)),
+            "--steps" => {
+                o.steps = take(args, &mut i, "--steps")?
+                    .parse()
+                    .map_err(|e| format!("--steps: {e}"))?
+            }
+            "--budgets" => {
+                o.budgets = take(args, &mut i, "--budgets")?
+                    .split(',')
+                    .map(|s| {
+                        s.trim()
+                            .parse::<f64>()
+                            .map_err(|e| format!("--budgets: {e}"))
+                            .and_then(|f| {
+                                if f > 0.0 && f.is_finite() {
+                                    Ok(f)
+                                } else {
+                                    Err(format!("--budgets: bad fraction {s:?}"))
+                                }
+                            })
+                    })
+                    .collect::<Result<Vec<f64>, String>>()?
+            }
             other => return Err(format!("unknown option {other:?}")),
         }
         i += 1;
@@ -636,6 +669,77 @@ fn cmd_portfolio(o: &Options) -> Result<(), String> {
     Ok(())
 }
 
+/// Runs one drift sequence per repartitioning mode and prints the
+/// quality-vs-migration frontier: from-scratch as the quality anchor,
+/// diffusion unbounded, then diffusion at each `--budgets` fraction of the
+/// cell count per step.
+fn cmd_repart(o: &Options) -> Result<(), String> {
+    let mesh = build_mesh(o);
+    let workers = fj_workers(o);
+    let n = mesh.n_cells();
+    let seq_cfg = |mode: RepartMode| RepartSequenceConfig {
+        strategy: o.strategy,
+        ..RepartSequenceConfig::graded_cylinder(o.domains, o.seed, o.steps, mode)
+    };
+    println!(
+        "{} ({} cells) × {} domains via {}, {} drift steps ({} worker{})",
+        o.case.name(),
+        n,
+        o.domains,
+        o.strategy.label(),
+        o.steps,
+        workers,
+        if workers == 1 { "" } else { "s" }
+    );
+    println!(
+        "graded front radii [0.08, 0.20, 0.40], centre +x 0.01/step; \
+         migration priced at 40 B/cell"
+    );
+    println!();
+    println!(
+        "{:<22} {:>10} {:>12} {:>10} {:>9} {:>9}",
+        "mode", "moved", "volume", "MiB", "imb-ceil", "edge-cut"
+    );
+    let mut rows = Vec::new();
+    let mut run = |label: String, mode: RepartMode| {
+        let out = repartition_sequence(&mesh, &seq_cfg(mode), workers);
+        println!(
+            "{label:<22} {:>10} {:>12} {:>10.2} {:>9.3} {:>9}",
+            out.total_cells_moved(),
+            out.total_migration_volume(),
+            out.total_migration_bytes() as f64 / (1024.0 * 1024.0),
+            out.imbalance_ceiling(),
+            out.final_edge_cut(),
+        );
+        rows.push((label, out));
+    };
+    run("scratch".into(), RepartMode::Scratch);
+    run("diffusion".into(), RepartMode::Diffusion { budget: None });
+    for &frac in &o.budgets {
+        let budget = (n as f64 * frac).ceil() as u64;
+        run(
+            format!("diffusion b={frac}"),
+            RepartMode::Diffusion {
+                budget: Some(budget),
+            },
+        );
+    }
+    let scratch = &rows[0].1;
+    let diffusion = &rows[1].1;
+    let ratio =
+        scratch.total_migration_volume() as f64 / diffusion.total_migration_volume().max(1) as f64;
+    println!();
+    println!(
+        "diffusion moved {:.1}x less volume than from-scratch {} \
+         (imbalance ceiling {:.3} vs {:.3})",
+        ratio,
+        o.strategy.label(),
+        diffusion.imbalance_ceiling(),
+        scratch.imbalance_ceiling(),
+    );
+    Ok(())
+}
+
 fn cmd_compare(o: &Options) -> Result<(), String> {
     let mesh = build_mesh(o);
     let cluster = ClusterConfig::new(o.processes, o.cores);
@@ -729,6 +833,7 @@ fn main() -> ExitCode {
             "compare" => cmd_compare(&o),
             "portfolio" => cmd_portfolio(&o),
             "solve" => cmd_solve(&o),
+            "repart" => cmd_repart(&o),
             "help" | "--help" | "-h" => {
                 print!("{USAGE}");
                 Ok(())

@@ -1,0 +1,188 @@
+//! Property tests for the incremental diffusion repartitioner, plus the
+//! golden frontier pin for the paper's graded-CYLINDER drift experiment.
+//!
+//! The invariants:
+//!
+//! * **ceiling** — a repartitioning step never pushes any constraint's
+//!   maximum part load above `max(previous maximum, allowance)`: normal
+//!   moves are gated by the receiver's allowance, downhill/lateral cascade
+//!   moves by the sender's pre-move load;
+//! * **migration bound** — over a drift sequence, diffusion moves at most
+//!   as much volume as re-partitioning from scratch relabels;
+//! * **zero drift ⇒ zero moves** — with velocity and jitter both zero the
+//!   per-constraint deadband suppresses every flow;
+//! * **warm-vs-fresh** — a warm `WorkspacePool` (second sequence on reused
+//!   buffers) is bit-identical to a fresh one;
+//! * **worker invariance** — the sequence is bit-identical at fork-join
+//!   widths 1 through 4.
+
+use tempart::core_api::{
+    repartition_sequence, strategy_weights, RepartMode, RepartSequenceConfig, WorkspacePool,
+};
+use tempart::mesh::{cylinder_like, DriftConfig, GeneratorConfig};
+use tempart::obs::Recorder;
+use tempart_testkit::{prop_assert, prop_assert_eq, proptest};
+
+const N_DOMAINS: usize = 16;
+
+fn seq_config(seed: u64, steps: u32, mode: RepartMode) -> RepartSequenceConfig {
+    RepartSequenceConfig::graded_cylinder(N_DOMAINS, seed, steps, mode)
+}
+
+proptest! {
+    #![config(cases = 6, seed = 0x5EED_2026)]
+
+    /// Per-constraint ceiling: a diffusion step never raises a constraint's
+    /// imbalance above `max(pre-step imbalance, allowance)` — normal moves
+    /// are gated by the receiver's allowance, downhill/lateral cascade
+    /// moves by the sender's pre-move load.
+    fn repart_respects_balance_ceiling(seed in 0u64..1 << 48, steps in 1u32..4) {
+        let mesh = cylinder_like(&GeneratorConfig { base_depth: 3 });
+        let cfg = seq_config(seed, steps, RepartMode::Diffusion { budget: None });
+        let out = repartition_sequence(&mesh, &cfg, 2);
+        // Re-derive the per-step constraint totals, mirroring the
+        // sequence's own drift application.
+        let mut m = mesh.clone();
+        cfg.drift.apply(&mut m, 0);
+        let ub: f64 = 1.08; // default_repart_config for ncon > 1
+        for s in &out.steps {
+            cfg.drift.apply(&mut m, s.step);
+            let (w, ncon) = strategy_weights(&m, cfg.strategy);
+            for c in 0..ncon {
+                let tot: i64 = w.iter().skip(c).step_by(ncon).map(|&x| i64::from(x)).sum();
+                if tot == 0 {
+                    continue;
+                }
+                // The allowance in imbalance units: `max(target·ub, 1)`
+                // load becomes `max(ub, k/tot)` after dividing by the
+                // per-part target `tot/k`.
+                let allow_imb = ub.max(N_DOMAINS as f64 / tot as f64);
+                let bound = s.migration.imbalance_before[c].max(allow_imb);
+                prop_assert!(
+                    s.migration.imbalance_after[c] <= bound + 1e-9,
+                    "step {} constraint {c}: imbalance {} above ceiling {bound}",
+                    s.step,
+                    s.migration.imbalance_after[c]
+                );
+            }
+        }
+    }
+
+    /// Diffusion's total migration never exceeds what from-scratch
+    /// re-partitioning relabels over the same drift sequence.
+    fn diffusion_migration_below_scratch_relabel_bound(seed in 0u64..1 << 48, steps in 1u32..4) {
+        let mesh = cylinder_like(&GeneratorConfig { base_depth: 3 });
+        let diff = repartition_sequence(
+            &mesh,
+            &seq_config(seed, steps, RepartMode::Diffusion { budget: None }),
+            2,
+        );
+        let scratch = repartition_sequence(
+            &mesh,
+            &seq_config(seed, steps, RepartMode::Scratch),
+            2,
+        );
+        prop_assert!(
+            diff.total_migration_volume() <= scratch.total_migration_volume(),
+            "diffusion moved {} > scratch relabel bound {}",
+            diff.total_migration_volume(),
+            scratch.total_migration_volume()
+        );
+    }
+
+    /// The sequence is a pure function of its inputs: widths 1–4 agree
+    /// bit for bit, and a warm pool replays identically to a fresh one.
+    fn sequence_is_width_and_warmth_invariant(seed in 0u64..1 << 48) {
+        let mesh = cylinder_like(&GeneratorConfig { base_depth: 3 });
+        let cfg = seq_config(seed, 2, RepartMode::Diffusion { budget: None });
+        let reference = repartition_sequence(&mesh, &cfg, 1);
+        for workers in 2..=4usize {
+            let par = repartition_sequence(&mesh, &cfg, workers);
+            prop_assert_eq!(&reference.part, &par.part, "w{} diverged", workers);
+            prop_assert_eq!(
+                reference.total_migration_volume(),
+                par.total_migration_volume()
+            );
+        }
+        let pool = WorkspacePool::new(4);
+        let fresh = tempart::core_api::repartition_sequence_traced(
+            &mesh, &cfg, 4, &pool, Recorder::off(),
+        );
+        let warm = tempart::core_api::repartition_sequence_traced(
+            &mesh, &cfg, 4, &pool, Recorder::off(),
+        );
+        prop_assert_eq!(&fresh.part, &warm.part, "warm pool diverged from fresh");
+        prop_assert_eq!(fresh.total_cells_moved(), warm.total_cells_moved());
+    }
+}
+
+#[test]
+fn zero_drift_means_zero_moves() {
+    let mesh = cylinder_like(&GeneratorConfig { base_depth: 3 });
+    let mut cfg = seq_config(0xD1FF, 4, RepartMode::Diffusion { budget: None });
+    cfg.drift = DriftConfig {
+        velocity: [0.0; 3],
+        ..cfg.drift
+    };
+    let out = repartition_sequence(&mesh, &cfg, 2);
+    // Step 1 may settle residual imbalance (the initial MC_TL split
+    // targets a looser ub than the diffusion allowance); with frozen
+    // weights every later step must move nothing — a plan may survive for
+    // surplus no boundary move can realize, but it must not cause churn.
+    for s in &out.steps[1..] {
+        assert_eq!(
+            s.migration.cells_moved, 0,
+            "step {}: moved cells without drift",
+            s.step
+        );
+        assert_eq!(s.migration.volume, 0, "step {}: volume", s.step);
+    }
+}
+
+/// The golden frontier: the pinned graded-CYLINDER drift experiment the
+/// `tempart repart` subcommand reports (depth-4 CYLINDER, 16 domains,
+/// 8 steps, seed 0x5F4D). Pins the acceptance claim — diffusion migrates
+/// at least 5× less volume than from-scratch MC_TL at an equal-or-better
+/// per-level imbalance ceiling — and the exact migration ledger, so any
+/// change to the solve, the realization order or the drift generator
+/// shows up as a diff here before it reaches the CLI.
+#[test]
+fn golden_frontier_graded_cylinder() {
+    let mesh = cylinder_like(&GeneratorConfig { base_depth: 4 });
+    let diff = repartition_sequence(
+        &mesh,
+        &RepartSequenceConfig::graded_cylinder(
+            16,
+            0x5F4D,
+            8,
+            RepartMode::Diffusion { budget: None },
+        ),
+        4,
+    );
+    let scratch = repartition_sequence(
+        &mesh,
+        &RepartSequenceConfig::graded_cylinder(16, 0x5F4D, 8, RepartMode::Scratch),
+        4,
+    );
+
+    // The acceptance frontier.
+    assert!(
+        diff.total_migration_volume() * 5 <= scratch.total_migration_volume(),
+        "diffusion {} vs scratch {}: less than 5x",
+        diff.total_migration_volume(),
+        scratch.total_migration_volume()
+    );
+    assert!(
+        diff.imbalance_ceiling() <= scratch.imbalance_ceiling() + 1e-12,
+        "diffusion ceiling {} worse than scratch {}",
+        diff.imbalance_ceiling(),
+        scratch.imbalance_ceiling()
+    );
+
+    // The pinned ledger (update deliberately when the algorithm changes).
+    assert_eq!(diff.total_migration_volume(), 638);
+    assert_eq!(diff.total_cells_moved(), 638);
+    assert_eq!(scratch.total_migration_volume(), 50304);
+    assert!((diff.imbalance_ceiling() - 1.08).abs() < 5e-3);
+    assert!((scratch.imbalance_ceiling() - 1.092).abs() < 5e-3);
+}

@@ -19,14 +19,17 @@
 
 use std::fmt::Write as _;
 use tempart::core_api::{
-    decompose, decompose_par, env_workers, run_flusim, run_flusim_network_traced,
-    run_flusim_workers, run_portfolio, run_portfolio_network, strategy_weights, PartitionStrategy,
-    PipelineConfig, WorkspacePool,
+    decompose, decompose_par, default_repart_config, env_workers, repartition_sequence, run_flusim,
+    run_flusim_network_traced, run_flusim_workers, run_portfolio, run_portfolio_network,
+    strategy_weights, PartitionStrategy, PipelineConfig, RepartMode, RepartSequenceConfig,
+    WorkspacePool,
 };
 use tempart::flusim::{parse_preset, ClusterConfig, Segment, Strategy, TransferSegment};
 use tempart::mesh::{cube_like, cylinder_like, GeneratorConfig, Mesh};
 use tempart::obs::Recorder;
-use tempart::partition::{sfc_partition_with, Curve, SfcWorkspace, SFC_RADIX_CUTOFF};
+use tempart::partition::{
+    diffusion_plan, sfc_partition_with, Curve, SfcWorkspace, SFC_RADIX_CUTOFF,
+};
 
 const SEED: u64 = 0x3A7_2026;
 const N_DOMAINS: usize = 16;
@@ -240,6 +243,50 @@ fn emit_fingerprints_for_worker_matrix() {
         )
         .unwrap();
     }
+
+    // Incremental repartitioner rows over a pinned drift sequence on the
+    // same depth-4 cylinder: the first migration plan (part-pair list +
+    // quantized per-constraint flows) and the post-sequence part vector.
+    // Both run through `repartition_par` at the env worker count, so a
+    // schedule-dependent divergence in the diffusion realization shows up
+    // as a file diff in ci.sh.
+    let seq_cfg = RepartSequenceConfig::graded_cylinder(
+        N_DOMAINS,
+        SEED,
+        4,
+        RepartMode::Diffusion { budget: None },
+    );
+    let mut drifted = sfc_mesh.clone();
+    seq_cfg.drift.apply(&mut drifted, 0);
+    let part0 = decompose_par(&drifted, seq_cfg.strategy, N_DOMAINS, SEED, workers);
+    seq_cfg.drift.apply(&mut drifted, 1);
+    let (w, ncon) = strategy_weights(&drifted, seq_cfg.strategy);
+    let g = drifted.to_graph().with_vertex_weights(w, ncon);
+    let rcfg = default_repart_config(N_DOMAINS, ncon, None);
+    let (plan_pairs, plan_flow) = diffusion_plan(&g, &part0, &rcfg);
+    let mut plan_h = 0xcbf2_9ce4_8422_2325u64;
+    for &(p, q) in &plan_pairs {
+        fnv1a(&mut plan_h, u64::from(p));
+        fnv1a(&mut plan_h, u64::from(q));
+    }
+    for &f in &plan_flow {
+        fnv1a(&mut plan_h, f as u64);
+    }
+    writeln!(
+        out,
+        "cylinder4/repart-plan plan={plan_h:016x} pairs={}",
+        plan_pairs.len(),
+    )
+    .unwrap();
+    let seq = repartition_sequence(&sfc_mesh, &seq_cfg, workers);
+    writeln!(
+        out,
+        "cylinder4/repart-seq part={:016x} moved={} volume={}",
+        part_fingerprint(&seq.part),
+        seq.total_cells_moved(),
+        seq.total_migration_volume(),
+    )
+    .unwrap();
 
     // Nearest ancestor `results/` (repo root when run via cargo).
     let dir = std::env::current_dir()
